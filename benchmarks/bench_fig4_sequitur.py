@@ -1,0 +1,51 @@
+"""Figure 4: Sequitur grammar inference (worked example + throughput).
+
+Regenerates the paper's example grammar and benchmarks online grammar
+construction throughput on a repetitive reference stream (the operation that
+runs inside every profiling burst).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.figures import EXAMPLE_STRING, figure4_grammar
+from repro.sequitur import Sequitur
+
+
+def test_figure4_grammar_matches_paper(benchmark):
+    text = benchmark(figure4_grammar)
+    assert text == "S -> R1 a R3 R3\nR1 -> a b\nR2 -> R1 c\nR3 -> R2 R2"
+    print("\nFigure 4: Sequitur grammar for w=" + EXAMPLE_STRING)
+    print(text)
+
+
+def test_sequitur_throughput_repetitive_trace(benchmark):
+    """Online compression of a hot-stream-like trace (32k symbols)."""
+    rng = random.Random(1)
+    chains = [[rng.randrange(1000) for _ in range(40)] for _ in range(20)]
+    trace: list[int] = []
+    while len(trace) < 32_000:
+        trace.extend(rng.choice(chains))
+
+    def build() -> int:
+        seq = Sequitur()
+        seq.extend(trace)
+        return seq.grammar_size()
+
+    grammar_size = benchmark(build)
+    # Heavily repetitive input must compress well.
+    assert grammar_size < len(trace) / 10
+
+
+def test_sequitur_throughput_random_trace(benchmark):
+    """Worst-case-ish input: little structure to exploit."""
+    rng = random.Random(2)
+    trace = [rng.randrange(4000) for _ in range(32_000)]
+
+    def build() -> int:
+        seq = Sequitur()
+        seq.extend(trace)
+        return seq.length
+
+    assert benchmark(build) == len(trace)

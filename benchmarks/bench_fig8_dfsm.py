@@ -1,0 +1,47 @@
+"""Figure 8 / Section 3.1: prefix-match DFSM construction.
+
+Asserts the paper's example DFSM shape and benchmarks construction at the
+scale Table 2 reports (tens of streams -> ~2n+1 states).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.stream import HotDataStream
+from repro.bench.figures import figure8_dfsm
+from repro.dfsm import build_dfsm
+
+
+def test_figure8_shape_matches_paper(benchmark):
+    dfsm = benchmark(figure8_dfsm)
+    # headLen * n + 1 = 3*2 + 1 states, exactly as the paper reports.
+    assert dfsm.num_states == 7
+    completed = sorted(v for c in dfsm.completions.values() for v in c)
+    assert completed == [0, 1]
+    print(f"\nFigure 8: {dfsm.num_states} states, {dfsm.num_transitions} transitions")
+    for state in range(dfsm.num_states):
+        print(f"  {state}: {dfsm.describe(state)}")
+
+
+def test_construction_at_table2_scale(benchmark):
+    """41 streams (vpr's count): states stay near headLen*n+1."""
+    rng = random.Random(4)
+    streams = []
+    for i in range(41):
+        symbols = tuple(rng.sample(range(10_000), 40))
+        streams.append(HotDataStream(symbols, heat=1000 - i, rule_id=i))
+
+    dfsm = benchmark(build_dfsm, streams, 2)
+    assert dfsm.num_states <= 2 * 41 + 2
+
+
+def test_construction_with_shared_prefixes(benchmark):
+    """Adversarial sharing: many streams with a common first symbol."""
+    streams = []
+    for i in range(32):
+        symbols = (7, 100 + i, 200 + i, 300 + i, 400 + i)
+        streams.append(HotDataStream(symbols, heat=100 - i, rule_id=i))
+
+    dfsm = benchmark(build_dfsm, streams, 2)
+    assert dfsm.num_states <= 2 * 32 + 2

@@ -1,0 +1,30 @@
+"""Shared state for the benchmark suite.
+
+All figure/table benches share one :class:`ResultCache`, so each
+(workload, level) pair executes exactly once per session no matter how many
+benches consume it.  Set ``REPRO_BENCH_SCALE`` (e.g. ``0.25``) to shrink
+every workload's pass count for quick smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.figures import ResultCache
+
+
+@pytest.fixture(scope="session")
+def cache() -> ResultCache:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return ResultCache(passes_scale=scale)
+
+
+@pytest.fixture(scope="session")
+def bench_workloads() -> list[str]:
+    """Benchmarks to sweep; override with REPRO_BENCH_WORKLOADS=vpr,mcf."""
+    names = os.environ.get("REPRO_BENCH_WORKLOADS", "")
+    from repro.workloads import presets
+
+    return [n for n in names.split(",") if n] or presets.names()

@@ -1,0 +1,39 @@
+"""Hot-data-stream analysis: the fast Figure 5 algorithm and exact checkers."""
+
+from repro.analysis.exact import (
+    enumerate_hot_substrings,
+    exact_heat,
+    non_overlapping_frequency,
+)
+from repro.analysis.stability import (
+    address_overlap,
+    hot_reference_coverage,
+    pc_signature,
+    signature_heat,
+    stream_overlap,
+)
+from repro.analysis.hotstreams import (
+    PAPER_ANALYSIS,
+    AnalysisConfig,
+    RuleFacts,
+    analyze_grammar,
+    find_hot_streams,
+)
+from repro.analysis.stream import HotDataStream
+
+__all__ = [
+    "AnalysisConfig",
+    "PAPER_ANALYSIS",
+    "RuleFacts",
+    "analyze_grammar",
+    "find_hot_streams",
+    "HotDataStream",
+    "non_overlapping_frequency",
+    "exact_heat",
+    "enumerate_hot_substrings",
+    "pc_signature",
+    "signature_heat",
+    "stream_overlap",
+    "hot_reference_coverage",
+    "address_overlap",
+]

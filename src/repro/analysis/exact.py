@@ -1,0 +1,64 @@
+"""Exact (brute-force) regularity computations, used as test ground truth.
+
+The paper defines a subsequence's regularity magnitude as
+``heat = length * frequency`` where frequency counts *non-overlapping*
+occurrences in the trace (Section 2.3).  The fast grammar-based analysis is
+conservative — a non-terminal's ``coldUses`` never exceeds the true
+non-overlapping frequency of its expansion — and these helpers let tests
+verify that, plus enumerate truly hot substrings on tiny traces.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def non_overlapping_frequency(needle: Sequence[int], trace: Sequence[int]) -> int:
+    """Greedy left-to-right count of non-overlapping occurrences."""
+    if not needle:
+        raise ValueError("needle must be non-empty")
+    n, m = len(trace), len(needle)
+    count = 0
+    i = 0
+    first = needle[0]
+    needle = list(needle)
+    trace = list(trace)
+    while i + m <= n:
+        if trace[i] == first and trace[i : i + m] == needle:
+            count += 1
+            i += m
+        else:
+            i += 1
+    return count
+
+
+def exact_heat(needle: Sequence[int], trace: Sequence[int]) -> int:
+    """``length * non-overlapping frequency`` of ``needle`` in ``trace``."""
+    return len(needle) * non_overlapping_frequency(needle, trace)
+
+
+def enumerate_hot_substrings(
+    trace: Sequence[int],
+    heat_threshold: int,
+    min_length: int,
+    max_length: int,
+) -> dict[tuple[int, ...], int]:
+    """All substrings within length bounds whose exact heat reaches H.
+
+    Exponential in spirit, quadratic in practice; only for small test traces.
+    Returns ``{substring: heat}``.
+    """
+    trace = list(trace)
+    results: dict[tuple[int, ...], int] = {}
+    n = len(trace)
+    for length in range(min_length, min(max_length, n) + 1):
+        seen: set[tuple[int, ...]] = set()
+        for start in range(0, n - length + 1):
+            candidate = tuple(trace[start : start + length])
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            heat = exact_heat(candidate, trace)
+            if heat >= heat_threshold:
+                results[candidate] = heat
+    return results

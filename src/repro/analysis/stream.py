@@ -1,0 +1,45 @@
+"""Hot data streams and their head/tail split for prefetching.
+
+A hot data stream is a data-reference subsequence whose *regularity
+magnitude* ``heat = length * frequency`` exceeds a threshold (Section 2.3).
+The optimizer splits each stream ``v`` into ``v.head`` (the first ``headLen``
+references, to be matched) and ``v.tail`` (the rest, to be prefetched) —
+Section 3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HotDataStream:
+    """One hot data stream over interned symbol ids.
+
+    Attributes:
+        symbols: the stream's data references as interned ids, in order.
+        heat: regularity magnitude ``length * coldUses`` from the analysis.
+        rule_id: the Sequitur non-terminal this stream came from.
+    """
+
+    symbols: tuple[int, ...]
+    heat: int
+    rule_id: int
+
+    @property
+    def length(self) -> int:
+        """Number of references in the stream."""
+        return len(self.symbols)
+
+    @property
+    def unique_refs(self) -> int:
+        """Number of distinct references in the stream."""
+        return len(set(self.symbols))
+
+    def head(self, head_len: int) -> tuple[int, ...]:
+        """The prefix that must be matched before prefetching."""
+        return self.symbols[:head_len]
+
+    def tail(self, head_len: int) -> tuple[int, ...]:
+        """The suffix whose addresses are prefetched on a head match."""
+        return self.symbols[head_len:]

@@ -1,0 +1,33 @@
+"""Experiment harness: measurement levels, figure/table regeneration, CLI."""
+
+from repro.bench.figures import (
+    ResultCache,
+    ablation_headlen,
+    ablation_hwpref,
+    figure4_grammar,
+    figure8_dfsm,
+    figure11_rows,
+    figure12_rows,
+    table1_rows,
+    table2_rows,
+)
+from repro.bench.reporting import format_table
+from repro.bench.runner import LEVELS, RunResult, configure_level, run_level, run_workload
+
+__all__ = [
+    "ResultCache",
+    "figure4_grammar",
+    "table1_rows",
+    "figure8_dfsm",
+    "figure11_rows",
+    "figure12_rows",
+    "table2_rows",
+    "ablation_headlen",
+    "ablation_hwpref",
+    "format_table",
+    "LEVELS",
+    "RunResult",
+    "run_level",
+    "run_workload",
+    "configure_level",
+]

@@ -1,0 +1,174 @@
+"""Command-line entry point: ``repro-bench <artifact>``.
+
+Regenerates the paper's figures and tables as text::
+
+    repro-bench figure4            # Sequitur grammar example
+    repro-bench table1             # analysis worked example
+    repro-bench figure8            # prefix-match DFSM example
+    repro-bench figure11           # profiling/analysis overheads
+    repro-bench figure12           # prefetching impact
+    repro-bench table2             # per-cycle characterization
+    repro-bench ablation-headlen   # prefix length 1/2/3
+    repro-bench ablation-hwpref    # stride/Markov baselines
+    repro-bench all
+
+``--scale 0.5`` shrinks every workload's pass count for quick smoke runs;
+``--workloads vpr,mcf`` restricts the set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench import figures
+from repro.bench.figures import ResultCache
+from repro.bench.reporting import format_table
+from repro.workloads import presets
+
+
+def _print_figure4() -> None:
+    print("Figure 4: Sequitur grammar for w=" + figures.EXAMPLE_STRING)
+    print(figures.figure4_grammar())
+
+
+def _print_table1() -> None:
+    rows = figures.table1_rows()
+    print(
+        format_table(
+            ["rule", "word", "length", "index", "uses", "coldUses", "heat", "hot"],
+            [[r[k] for k in ("rule", "word", "length", "index", "uses", "coldUses", "heat", "hot")] for r in rows],
+            title="Table 1: hot data stream analysis worked example (H=8, len 2..7)",
+        )
+    )
+
+
+def _print_figure8() -> None:
+    dfsm = figures.figure8_dfsm()
+    print(f"Figure 8: prefix-match DFSM for v={figures.EXAMPLE_STREAMS[0]}, "
+          f"w={figures.EXAMPLE_STREAMS[1]} (headLen=3)")
+    print(f"states={dfsm.num_states} transitions={dfsm.num_transitions}")
+    for state in range(dfsm.num_states):
+        completions = dfsm.completions.get(state, ())
+        suffix = f"  completes {completions}" if completions else ""
+        print(f"  {state}: {dfsm.describe(state)}{suffix}")
+
+
+def _print_figure11(cache: ResultCache, names: Sequence[str]) -> None:
+    rows = figures.figure11_rows(cache, names)
+    print(
+        format_table(
+            ["benchmark", "Base %", "Prof %", "Hds %"],
+            [[r["benchmark"], r["base_pct"], r["prof_pct"], r["hds_pct"]] for r in rows],
+            title="Figure 11: overhead of online profiling and analysis",
+        )
+    )
+
+
+def _print_figure12(cache: ResultCache, names: Sequence[str]) -> None:
+    rows = figures.figure12_rows(cache, names)
+    print(
+        format_table(
+            ["benchmark", "No-pref %", "Seq-pref %", "Dyn-pref %"],
+            [[r["benchmark"], r["nopref_pct"], r["seqpref_pct"], r["dynpref_pct"]] for r in rows],
+            title="Figure 12: performance impact of dynamic prefetching "
+            "(negative = speedup)",
+        )
+    )
+
+
+def _print_table2(cache: ResultCache, names: Sequence[str]) -> None:
+    rows = figures.table2_rows(cache, names)
+    print(
+        format_table(
+            ["benchmark", "#opt cycles", "#traced refs", "#hds", "DFSM states", "checks", "#procs"],
+            [
+                [
+                    r["benchmark"],
+                    r["opt_cycles"],
+                    r["traced_refs_per_cycle"],
+                    r["hds_per_cycle"],
+                    r["dfsm_states"],
+                    r["dfsm_checks"],
+                    r["procs_modified"],
+                ]
+                for r in rows
+            ],
+            title="Table 2: detailed dynamic prefetching characterization (per-cycle averages)",
+        )
+    )
+
+
+def _print_ablation_headlen(names: Sequence[str], cache: ResultCache) -> None:
+    for name in names:
+        rows = figures.ablation_headlen(name, passes=cache.passes_for(name))
+        print(
+            format_table(
+                ["headLen", "Dyn-pref %", "accuracy", "issued"],
+                [[r["head_len"], r["dynpref_pct"], r["prefetch_accuracy"], r["prefetches_issued"]] for r in rows],
+                title=f"Ablation (Section 4.3): prefix-match length, {name}",
+            )
+        )
+
+
+def _print_ablation_hwpref(names: Sequence[str], cache: ResultCache) -> None:
+    for name in names:
+        rows = figures.ablation_hwpref(name, passes=cache.passes_for(name))
+        print(
+            format_table(
+                ["scheme", "overhead %", "accuracy", "useful", "wasted"],
+                [[r["scheme"], r["overhead_pct"], r["prefetch_accuracy"], r["useful"], r["wasted"]] for r in rows],
+                title=f"Ablation (Section 5.1): hardware prefetcher baselines, {name}",
+            )
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(prog="repro-bench", description=__doc__)
+    parser.add_argument(
+        "artifact",
+        choices=[
+            "figure4",
+            "table1",
+            "figure8",
+            "figure11",
+            "figure12",
+            "table2",
+            "ablation-headlen",
+            "ablation-hwpref",
+            "all",
+        ],
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="workload pass-count scale")
+    parser.add_argument("--workloads", default="", help="comma-separated subset of benchmarks")
+    args = parser.parse_args(argv)
+
+    names = [n for n in args.workloads.split(",") if n] or presets.names()
+    unknown = set(names) - set(presets.names())
+    if unknown:
+        parser.error(f"unknown workloads: {sorted(unknown)}")
+    cache = ResultCache(passes_scale=args.scale)
+
+    if args.artifact in ("figure4", "all"):
+        _print_figure4()
+    if args.artifact in ("table1", "all"):
+        _print_table1()
+    if args.artifact in ("figure8", "all"):
+        _print_figure8()
+    if args.artifact in ("figure11", "all"):
+        _print_figure11(cache, names)
+    if args.artifact in ("figure12", "all"):
+        _print_figure12(cache, names)
+    if args.artifact in ("table2", "all"):
+        _print_table2(cache, names)
+    if args.artifact in ("ablation-headlen", "all"):
+        _print_ablation_headlen(names, cache)
+    if args.artifact in ("ablation-hwpref", "all"):
+        _print_ablation_hwpref(names, cache)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Plain-text table rendering for experiment output.
+
+Every figure/table regenerator returns rows of Python values; this module
+turns them into aligned monospace tables so bench runs read like the paper's
+artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:+.1f}" if value < 1000 else f"{value:.0f}"
+    return str(value)
+
+
+def format_percent_row(name: str, values: dict[str, float]) -> str:
+    """One-line summary, e.g. ``vpr: base=+3.0% ... dyn=-14.5%``."""
+    parts = " ".join(f"{k}={v:+.1f}%" for k, v in values.items())
+    return f"{name}: {parts}"

@@ -1,0 +1,132 @@
+"""Experiment runner: executes workloads at the paper's measurement levels.
+
+The levels form the ladder both evaluation figures climb:
+
+==========  =================================================================
+``orig``    unmodified binary (the normalization baseline)
+``base``    bursty-tracing checks only, (virtually) no tracing — Figure 11
+            "Base" (huge ``nCheck0``, ``nInstr0 = 1``, no listener)
+``prof``    temporal data-reference profiling at the configured sampling
+            rate, no analysis — Figure 11 "Prof"
+``hds``     profiling + online hot-data-stream analysis — Figure 11 "Hds"
+``nopref``  full pipeline incl. DFSM prefix matching, but no prefetches —
+            Figure 12 "No-pref"
+``seq``     prefetch sequentially-following blocks — Figure 12 "Seq-pref"
+``dyn``     prefetch the hot data stream tails — Figure 12 "Dyn-pref"
+==========  =================================================================
+
+Every level rebuilds the workload from scratch (runs mutate simulated
+memory) and returns a :class:`RunResult` carrying the cycle count, cache and
+prefetch statistics, and the optimizer's per-cycle characterization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.config import OptimizerConfig
+from repro.core.optimizer import DynamicPrefetcher
+from repro.core.stats import OptimizerSummary
+from repro.errors import ConfigError
+from repro.interp.interpreter import ExecStats, Interpreter
+from repro.machine.config import MachineConfig, PAPER_MACHINE
+from repro.machine.hierarchy import MemoryHierarchy
+from repro.vulcan.static_edit import instrument_program
+from repro.workloads import presets
+from repro.workloads.base import BuiltWorkload
+
+LEVELS = ("orig", "base", "prof", "hds", "nopref", "seq", "dyn", "static", "stride", "markov")
+#: levels that attach the full online optimizer
+_OPTIMIZED_LEVELS = ("prof", "hds", "nopref", "seq", "dyn", "static")
+#: hardware-prefetcher baselines running on the unmodified binary
+_HW_LEVELS = ("stride", "markov")
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (workload, level) execution."""
+
+    workload: str
+    level: str
+    stats: ExecStats
+    hierarchy: MemoryHierarchy
+    summary: Optional[OptimizerSummary]
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    def overhead_vs(self, baseline: "RunResult") -> float:
+        """Percent overhead relative to ``baseline`` (negative = speedup)."""
+        return 100.0 * (self.cycles - baseline.cycles) / baseline.cycles
+
+
+def configure_level(level: str, opt: OptimizerConfig) -> OptimizerConfig:
+    """Derive the optimizer configuration implementing ``level``."""
+    if level == "prof":
+        return replace(opt, analyze=False, inject=False)
+    if level == "hds":
+        return replace(opt, analyze=True, inject=False)
+    if level == "nopref":
+        return replace(opt, analyze=True, inject=True, mode="nopref")
+    if level == "seq":
+        return replace(opt, analyze=True, inject=True, mode="seq")
+    if level in ("dyn", "static"):
+        return replace(opt, analyze=True, inject=True, mode="dyn")
+    raise ConfigError(f"level {level!r} does not use an optimizer config")
+
+
+def run_workload(
+    workload: BuiltWorkload,
+    level: str,
+    machine: MachineConfig = PAPER_MACHINE,
+    opt: Optional[OptimizerConfig] = None,
+) -> RunResult:
+    """Execute an already-built workload at one measurement level."""
+    if level not in LEVELS:
+        raise ConfigError(f"unknown level {level!r}; known: {LEVELS}")
+    opt = opt if opt is not None else OptimizerConfig()
+    program = workload.program
+    summary: Optional[OptimizerSummary] = None
+    if level == "orig":
+        interp = Interpreter(program, workload.memory, machine)
+    elif level in _HW_LEVELS:
+        from repro.core.hwpref import MarkovPrefetcher, StridePrefetcher
+
+        interp = Interpreter(program, workload.memory, machine)
+        interp.hw_prefetcher = StridePrefetcher() if level == "stride" else MarkovPrefetcher()
+    else:
+        program, _report = instrument_program(program)
+        interp = Interpreter(program, workload.memory, machine)
+        if level == "base":
+            # Checks execute, instrumented code (virtually) never does.
+            interp.set_counters(1 << 40, 1)
+        elif level == "static":
+            from repro.core.static_pref import StaticPrefetcher
+
+            optimizer = StaticPrefetcher(program, interp, machine, configure_level(level, opt))
+            summary = optimizer.summary
+        else:
+            optimizer = DynamicPrefetcher(program, interp, machine, configure_level(level, opt))
+            summary = optimizer.summary
+    stats = interp.run(workload.args)
+    interp.hierarchy.finalize()
+    return RunResult(
+        workload=workload.name,
+        level=level,
+        stats=stats,
+        hierarchy=interp.hierarchy,
+        summary=summary,
+    )
+
+
+def run_level(
+    name: str,
+    level: str,
+    machine: MachineConfig = PAPER_MACHINE,
+    opt: Optional[OptimizerConfig] = None,
+    passes: Optional[int] = None,
+) -> RunResult:
+    """Build the named preset workload and execute it at ``level``."""
+    return run_workload(presets.build(name, passes=passes), level, machine, opt)

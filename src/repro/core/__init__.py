@@ -1,0 +1,20 @@
+"""The paper's primary contribution: the dynamic prefetching optimizer."""
+
+from repro.core.config import OptimizerConfig, paper_scale
+from repro.core.hwpref import MarkovPrefetcher, StridePrefetcher
+from repro.core.optimizer import AWAKE, HIBERNATING, DynamicPrefetcher
+from repro.core.static_pref import StaticPrefetcher
+from repro.core.stats import OptCycleStats, OptimizerSummary
+
+__all__ = [
+    "OptimizerConfig",
+    "paper_scale",
+    "DynamicPrefetcher",
+    "StaticPrefetcher",
+    "AWAKE",
+    "HIBERNATING",
+    "OptCycleStats",
+    "OptimizerSummary",
+    "StridePrefetcher",
+    "MarkovPrefetcher",
+]

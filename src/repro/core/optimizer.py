@@ -1,0 +1,182 @@
+"""The dynamic prefetching optimizer: Figure 1's phase cycle, end to end.
+
+:class:`DynamicPrefetcher` is the interpreter's check listener.  Its life
+cycle per optimization cycle:
+
+1. **profiling (awake)** — bursty tracing feeds sampled data references into
+   the online Sequitur grammar for ``n_awake`` burst periods;
+2. **analysis & optimization** — the fast Figure 5 analysis extracts hot
+   data streams, the Figure 9 construction builds the joint prefix-matching
+   DFSM, Figure 7-style handlers are generated, and dynamic Vulcan patches
+   the affected procedures; the analysis cost is charged to simulated time;
+3. **hibernation** — tracing off (``nCheck = nCheck0+nInstr0-1, nInstr = 1``
+   keeps burst periods the same length), the program runs with detection and
+   prefetching injected for ``n_hibernate`` burst periods;
+4. **deoptimization** — the patches are removed and control returns to the
+   profiling phase.
+
+For long-running programs the cycle repeats; ``summary.cycles`` records the
+Table 2 characterization of every completed cycle.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.hotstreams import find_hot_streams
+from repro.analysis.stream import HotDataStream
+from repro.core.config import OptimizerConfig
+from repro.core.stats import OptCycleStats, OptimizerSummary
+from repro.dfsm.build import DfsmTooLarge, build_dfsm
+from repro.dfsm.codegen import generate_handlers
+from repro.interp.interpreter import Interpreter
+from repro.ir.program import Program
+from repro.machine.config import MachineConfig
+from repro.profiling.profiler import TemporalProfiler
+from repro.vulcan.dynamic_edit import deoptimize, inject_detection
+
+AWAKE, HIBERNATING = "awake", "hibernating"
+
+
+def _dedupe_streams(streams: list[HotDataStream], head_len: int) -> list[HotDataStream]:
+    """Drop streams subsumed by longer ones.
+
+    Burst truncation makes Sequitur report prefix/suffix fragments of a long
+    stream alongside the full stream; the analysis's coldUses discount only
+    removes occurrences *inside* hot parents, not the truncated copies.  Two
+    filters: (a) keep one stream per distinct head prefix (same head means
+    the same DFSM match), preferring the longest; (b) drop any stream whose
+    reference sequence is a contiguous subsequence of a kept longer stream —
+    its matches would only re-prefetch a suffix the longer stream already
+    covers, at the price of extra injected checks.
+    """
+    by_head: dict[tuple[int, ...], HotDataStream] = {}
+    for stream in streams:
+        head = stream.head(head_len)
+        kept = by_head.get(head)
+        if kept is None or (stream.length, stream.heat) > (kept.length, kept.heat):
+            by_head[head] = stream
+    candidates = sorted(by_head.values(), key=lambda s: (-s.length, -s.heat, s.rule_id))
+    kept_keys: list[str] = []
+    result: list[HotDataStream] = []
+    for stream in candidates:
+        key = "," + ",".join(map(str, stream.symbols)) + ","
+        if any(key in longer for longer in kept_keys):
+            continue
+        kept_keys.append(key)
+        result.append(stream)
+    return sorted(result, key=lambda s: (-s.heat, s.rule_id))
+
+
+class DynamicPrefetcher:
+    """Online profiler + analyzer + prefetch injector (the paper's system)."""
+
+    def __init__(
+        self,
+        program: Program,
+        interp: Interpreter,
+        machine: MachineConfig,
+        config: OptimizerConfig,
+    ) -> None:
+        self.program = program
+        self.interp = interp
+        self.machine = machine
+        self.config = config
+        self.profiler = TemporalProfiler()
+        self.summary = OptimizerSummary()
+        self.phase = AWAKE
+        self._awake_bursts = 0
+        self._hibernate_bursts = 0
+        # Wire into the interpreter: profiling starts awake.
+        interp.check_listener = self
+        interp.trace_sink = self.profiler.record
+        interp.tracing_enabled = True
+        interp.set_counters(config.counters.n_check0, config.counters.n_instr0)
+
+    # ----------------------------------------------------- CheckListener API
+
+    def burst_begin(self, now: int) -> int:
+        """Nothing happens at burst starts; transitions occur at burst ends."""
+        return 0
+
+    def burst_end(self, now: int) -> int:
+        """Advance the phase machine; returns cycles to charge for analysis."""
+        if self.phase == AWAKE:
+            self._awake_bursts += 1
+            if self._awake_bursts >= self.config.n_awake:
+                return self._optimize()
+        else:
+            self._hibernate_bursts += 1
+            if self._hibernate_bursts >= self.config.n_hibernate:
+                self._wake()
+        return 0
+
+    # ------------------------------------------------------- phase changes
+
+    def _optimize(self) -> int:
+        """End of awake phase: analyze, inject, enter hibernation."""
+        config = self.config
+        traced = self.profiler.trace_length
+        charge = 0
+        streams: list[HotDataStream] = []
+        if config.analyze and traced:
+            charge = self.machine.analysis_cost_per_symbol * traced
+            streams = find_hot_streams(self.profiler.sequitur, config.analysis)
+            streams = [s for s in streams if s.length > config.head_len]
+            streams = _dedupe_streams(streams, config.head_len)
+
+        dfsm_states = dfsm_transitions = injected_checks = procs_modified = 0
+        if config.inject and streams:
+            dfsm, streams = self._build_dfsm_with_backoff(streams)
+            handlers = generate_handlers(
+                dfsm,
+                self.profiler.symbols,
+                mode=config.mode,
+                block_bytes=self.machine.block_bytes,
+                max_prefetches=config.max_prefetches,
+            )
+            deoptimize(self.program)
+            result = inject_detection(self.program, handlers)
+            self.interp.dfsm_state = 0
+            dfsm_states = dfsm.num_states
+            dfsm_transitions = dfsm.num_transitions
+            injected_checks = sum(h.num_cases for h in handlers.values())
+            procs_modified = result.num_procedures
+
+        self.summary.cycles.append(
+            OptCycleStats(
+                cycle=len(self.summary.cycles) + 1,
+                traced_refs=traced,
+                num_streams=len(streams),
+                dfsm_states=dfsm_states,
+                dfsm_transitions=dfsm_transitions,
+                injected_checks=injected_checks,
+                procs_modified=procs_modified,
+                stream_lengths=[s.length for s in streams],
+            )
+        )
+
+        hibernating = config.counters.hibernating()
+        self.interp.tracing_enabled = False
+        self.interp.set_counters(hibernating.n_check0, hibernating.n_instr0)
+        self.phase = HIBERNATING
+        self._hibernate_bursts = 0
+        return charge
+
+    def _build_dfsm_with_backoff(self, streams: list[HotDataStream]):
+        """Build the DFSM, halving the stream set on pathological blow-up."""
+        while True:
+            try:
+                return build_dfsm(streams, self.config.head_len, self.config.max_dfsm_states), streams
+            except DfsmTooLarge:
+                if len(streams) <= 1:
+                    raise
+                streams = streams[: len(streams) // 2]
+
+    def _wake(self) -> None:
+        """End of hibernation: deoptimize and return to profiling."""
+        deoptimize(self.program)
+        self.interp.dfsm_state = 0
+        self.profiler.reset()
+        self.interp.tracing_enabled = True
+        self.interp.set_counters(self.config.counters.n_check0, self.config.counters.n_instr0)
+        self.phase = AWAKE
+        self._awake_bursts = 0

@@ -1,0 +1,35 @@
+"""Static (profile-once) prefetching — the paper's deferred comparison.
+
+Section 1: hot data streams "have been shown to be fairly stable across
+program inputs and could serve as the basis for an off-line static
+prefetching scheme [10]. On the other hand, for programs with distinct
+phase behavior, a dynamic prefetching scheme that adapts to program phase
+transitions may perform better. [...] we leave a comparison with static
+prefetching for future work."
+
+:class:`StaticPrefetcher` implements that comparison point: it profiles one
+awake period at program start, injects detection/prefetch code once, and
+then *never deoptimizes or re-profiles* — the injected streams stay fixed
+for the rest of the run, exactly like an offline scheme whose profile was
+gathered on startup behaviour.  On single-phase programs it performs like
+the dynamic scheme minus the recurring profiling cost; on programs with
+phase transitions its stale streams stop matching (or worse, prefetch dead
+addresses), which is the paper's argument for being dynamic.
+"""
+
+from __future__ import annotations
+
+from repro.core.optimizer import HIBERNATING, DynamicPrefetcher
+
+
+class StaticPrefetcher(DynamicPrefetcher):
+    """Profile once, optimize once, keep the injected code forever."""
+
+    def burst_end(self, now: int) -> int:
+        if self.phase == HIBERNATING:
+            # Never wake up: the one-time optimization is permanent.
+            return 0
+        self._awake_bursts += 1
+        if self._awake_bursts >= self.config.n_awake:
+            return self._optimize()
+        return 0

@@ -1,0 +1,61 @@
+"""Per-optimization-cycle statistics (the raw material of Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OptCycleStats:
+    """What one profile -> analyze -> optimize cycle saw and did."""
+
+    cycle: int
+    traced_refs: int
+    num_streams: int
+    dfsm_states: int
+    dfsm_transitions: int
+    injected_checks: int
+    procs_modified: int
+    stream_lengths: list[int] = field(default_factory=list)
+
+    @property
+    def mean_stream_length(self) -> float:
+        if not self.stream_lengths:
+            return 0.0
+        return sum(self.stream_lengths) / len(self.stream_lengths)
+
+
+@dataclass
+class OptimizerSummary:
+    """Aggregate over all completed cycles of one run (one Table 2 row)."""
+
+    cycles: list[OptCycleStats] = field(default_factory=list)
+
+    @property
+    def num_cycles(self) -> int:
+        return len(self.cycles)
+
+    def _mean(self, attr: str) -> float:
+        if not self.cycles:
+            return 0.0
+        return sum(getattr(c, attr) for c in self.cycles) / len(self.cycles)
+
+    @property
+    def mean_traced_refs(self) -> float:
+        return self._mean("traced_refs")
+
+    @property
+    def mean_streams(self) -> float:
+        return self._mean("num_streams")
+
+    @property
+    def mean_dfsm_states(self) -> float:
+        return self._mean("dfsm_states")
+
+    @property
+    def mean_injected_checks(self) -> float:
+        return self._mean("injected_checks")
+
+    @property
+    def mean_procs_modified(self) -> float:
+        return self._mean("procs_modified")

@@ -1,0 +1,22 @@
+"""Prefix-matching DFSM: joint construction and detection-code generation."""
+
+from repro.dfsm.build import DfsmTooLarge, build_dfsm
+from repro.dfsm.codegen import (
+    PREFETCH_MODES,
+    DetectCase,
+    DetectHandler,
+    generate_handlers,
+)
+from repro.dfsm.machine import PrefixDFSM, State, StateElement
+
+__all__ = [
+    "PrefixDFSM",
+    "State",
+    "StateElement",
+    "build_dfsm",
+    "DfsmTooLarge",
+    "DetectCase",
+    "DetectHandler",
+    "generate_handlers",
+    "PREFETCH_MODES",
+]

@@ -1,0 +1,94 @@
+"""Lazy work-list construction of the prefix-matching DFSM (Figure 9).
+
+Starting from the empty state, for every reachable state we add transitions
+for (a) the continuation symbol of each live state element and (b) every
+symbol that starts some hot data stream.  The transition function is
+
+    d(s, a) = {[v, n+1] | n < headLen and [v, n] in s and head_v[n] == a}
+              union {[w, 1] | head_w[0] == a}
+
+Theoretically there can be exponentially many states; the paper reports
+"close to headLen*n + 1" in practice, and ``max_states`` guards against the
+pathological case (the caller then retries with fewer streams).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.analysis.stream import HotDataStream
+from repro.dfsm.machine import PrefixDFSM, State
+from repro.errors import AnalysisError
+
+
+class DfsmTooLarge(AnalysisError):
+    """State-count guard tripped during construction."""
+
+
+def build_dfsm(
+    streams: list[HotDataStream],
+    head_len: int,
+    max_states: int | None = None,
+) -> PrefixDFSM:
+    """Construct the joint prefix-matching DFSM for ``streams``.
+
+    Streams shorter than ``head_len + 1`` are rejected: their head would
+    leave no tail to prefetch (the optimizer filters these out beforehand).
+    """
+    if head_len < 1:
+        raise AnalysisError(f"head_len must be >= 1, got {head_len}")
+    for stream in streams:
+        if stream.length <= head_len:
+            raise AnalysisError(
+                f"stream of length {stream.length} leaves no tail for head_len={head_len}"
+            )
+    heads = [stream.head(head_len) for stream in streams]
+    #: symbols that begin some stream -> the streams they begin
+    starters: dict[int, list[int]] = {}
+    for v, head in enumerate(heads):
+        starters.setdefault(head[0], []).append(v)
+
+    dfsm = PrefixDFSM(streams=list(streams), head_len=head_len)
+    empty: State = frozenset()
+    state_ids: dict[State, int] = {empty: 0}
+    dfsm.states.append(empty)
+    worklist: deque[State] = deque([empty])
+
+    def successor(state: State, symbol: int) -> State:
+        elements = {
+            (v, n + 1)
+            for v, n in state
+            if n < head_len and heads[v][n] == symbol
+        }
+        for v in starters.get(symbol, ()):
+            elements.add((v, 1))
+        return frozenset(elements)
+
+    while worklist:
+        state = worklist.popleft()
+        sid = state_ids[state]
+        symbols: set[int] = set(starters)
+        for v, n in state:
+            if n < head_len:
+                symbols.add(heads[v][n])
+        for symbol in sorted(symbols):
+            if (sid, symbol) in dfsm.edges:
+                continue
+            target = successor(state, symbol)
+            if not target:
+                continue
+            target_id = state_ids.get(target)
+            if target_id is None:
+                target_id = len(dfsm.states)
+                if max_states is not None and target_id >= max_states:
+                    raise DfsmTooLarge(
+                        f"DFSM exceeded {max_states} states for {len(streams)} streams"
+                    )
+                state_ids[target] = target_id
+                dfsm.states.append(target)
+                worklist.append(target)
+                completed = tuple(sorted(v for v, n in target if n == head_len))
+                if completed:
+                    dfsm.completions[target_id] = completed
+            dfsm.edges[(sid, symbol)] = target_id
+    return dfsm

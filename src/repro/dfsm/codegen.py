@@ -1,0 +1,173 @@
+"""Generation of per-pc detection-and-prefetch handlers (Section 3.1, Fig. 7).
+
+The paper compiles the DFSM into if-chains injected at every pc occurring in
+a stream head::
+
+    a.pc: if ((accessing a.addr) && (state == s)) {
+              state = s';
+              prefetch s'.prefetches;
+          }
+
+We model each pc's injected code as a :class:`DetectHandler`: an ordered
+case list (one case per DFSM transition whose symbol lives at that pc,
+sorted most-likely-first as the paper suggests) plus the initial/failed-match
+fallback, which is ``d(s0, symbol)``.  The interpreter charges
+``detect_base + detect_per_case * cases_examined`` cycles per execution, so
+the cost of the if-chain is part of the simulation.
+
+Prefetch targets depend on the scheme:
+
+* ``dyn``  — the paper's scheme: the tail addresses of each completed
+  stream, deduplicated to one address per cache block;
+* ``seq``  — the Figure 12 "Seq-pref" baseline: the same *number* of blocks,
+  but sequentially following the last prefix-matched address;
+* ``nopref`` — match prefixes, prefetch nothing (the "No-pref" bar).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dfsm.machine import PrefixDFSM
+from repro.errors import AnalysisError
+from repro.ir.instructions import Pc
+from repro.profiling.trace import SymbolTable
+
+PREFETCH_MODES = ("dyn", "seq", "nopref")
+
+
+@dataclass
+class DetectCase:
+    """The injected code for one address at one pc (one Figure 7 arm).
+
+    ``by_state`` maps the current DFSM state to its successor; ``default``
+    is the initial/failed-match behaviour ``d(s0, symbol)`` — the stream
+    start this address may begin, or state 0.
+    """
+
+    addr: int
+    by_state: dict[int, tuple[int, tuple[int, ...]]]
+    default: tuple[int, tuple[int, ...]]
+
+
+class DetectHandler:
+    """Injected detection code for a single pc; drives the global state.
+
+    Mirrors the paper's generated if-chains: the *address* is compared once
+    per arm (arms sorted most-likely-first), and a matching arm then
+    dispatches on the state variable.  The modeled cost, returned as
+    ``cases_examined``, is the number of address compares performed plus one
+    for the state dispatch — which is why Table 2's per-benchmark "checks"
+    land near ``headLen * num_streams`` rather than near
+    ``num_states * num_streams``.
+    """
+
+    __slots__ = ("pc", "arms")
+
+    def __init__(self, pc: Pc, arms: list[DetectCase]) -> None:
+        self.pc = pc
+        #: dense arm tuples (addr, by_state, default)
+        self.arms = [(c.addr, c.by_state, c.default) for c in arms]
+
+    def step(self, state: int, addr: int) -> tuple[int, tuple[int, ...], int]:
+        """Execute the if-chain: returns (next state, prefetches, cost)."""
+        examined = 0
+        for arm_addr, by_state, default in self.arms:
+            examined += 1
+            if arm_addr == addr:
+                entry = by_state.get(state)
+                if entry is None:
+                    entry = default
+                return entry[0], entry[1], examined + 1
+        # Address matches no arm: failed match, nothing starts here.
+        return 0, (), examined
+
+    @property
+    def num_cases(self) -> int:
+        """Number of injected address-compare arms (Table 2's "checks")."""
+        return len(self.arms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DetectHandler({self.pc}, {self.num_cases} arms)"
+
+
+def _dedup_blocks(addrs: list[int], block_bytes: int, exclude: set[int]) -> tuple[int, ...]:
+    """Keep the first address of each block, in order, skipping ``exclude``."""
+    seen: set[int] = set()
+    out: list[int] = []
+    shift = block_bytes.bit_length() - 1
+    for addr in addrs:
+        block = addr >> shift
+        if block in seen or block in exclude:
+            continue
+        seen.add(block)
+        out.append(addr)
+    return tuple(out)
+
+
+def _state_heat(dfsm: PrefixDFSM, state_id: int) -> int:
+    """Likelihood proxy for a state: the hottest stream it tracks."""
+    elements = dfsm.states[state_id]
+    if not elements:
+        return 0
+    return max(dfsm.streams[v].heat for v, _ in elements)
+
+
+def generate_handlers(
+    dfsm: PrefixDFSM,
+    symbols: SymbolTable,
+    mode: str = "dyn",
+    block_bytes: int = 32,
+    max_prefetches: int = 64,
+) -> dict[Pc, DetectHandler]:
+    """Compile the DFSM into one handler per pc appearing in stream heads."""
+    if mode not in PREFETCH_MODES:
+        raise AnalysisError(f"unknown prefetch mode {mode!r}; pick one of {PREFETCH_MODES}")
+    shift = block_bytes.bit_length() - 1
+
+    def prefetches_for(target_state: int, matched_addr: int) -> tuple[int, ...]:
+        completed = dfsm.completions.get(target_state)
+        if not completed or mode == "nopref":
+            return ()
+        tail_addrs: list[int] = []
+        head_blocks: set[int] = set()
+        for v in completed:
+            stream = dfsm.streams[v]
+            for sym in stream.head(dfsm.head_len):
+                head_blocks.add(symbols.lookup(sym).addr >> shift)
+            for sym in stream.tail(dfsm.head_len):
+                tail_addrs.append(symbols.lookup(sym).addr)
+        targets = _dedup_blocks(tail_addrs, block_bytes, exclude=head_blocks)
+        targets = targets[:max_prefetches]
+        if mode == "dyn":
+            return targets
+        # Seq-pref: same block budget, but sequential from the matched addr.
+        base_block = matched_addr >> shift
+        return tuple((base_block + k + 1) << shift for k in range(len(targets)))
+
+    # Group transitions by (pc, addr): one if-chain arm per distinct address.
+    arms: dict[tuple[Pc, int], DetectCase] = {}
+    for (state, symbol), target in sorted(dfsm.edges.items()):
+        ref = symbols.lookup(symbol)
+        key = (ref.pc, ref.addr)
+        case = arms.get(key)
+        if case is None:
+            case = DetectCase(addr=ref.addr, by_state={}, default=(0, ()))
+            arms[key] = case
+        entry = (target, prefetches_for(target, ref.addr))
+        case.by_state[state] = entry
+        if state == 0:
+            # d(s0, symbol): the behaviour when no tracked prefix continues.
+            case.default = entry
+
+    def arm_heat(case: DetectCase) -> int:
+        return max(_state_heat(dfsm, target) for target, _ in case.by_state.values())
+
+    by_pc: dict[Pc, list[DetectCase]] = {}
+    for (pc, _addr), case in arms.items():
+        by_pc.setdefault(pc, []).append(case)
+    handlers: dict[Pc, DetectHandler] = {}
+    for pc, cases in by_pc.items():
+        cases.sort(key=lambda c: (-arm_heat(c), c.addr))
+        handlers[pc] = DetectHandler(pc, cases)
+    return handlers

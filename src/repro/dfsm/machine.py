@@ -1,0 +1,61 @@
+"""The prefix-matching DFSM (Section 3.1, Figure 8).
+
+A *state* is a set of state elements ``[v, n]`` meaning "the first ``n``
+references of hot data stream ``v`` have just been seen".  State 0 is the
+empty set.  Elements with ``n == headLen`` mark a completed head: entering a
+state containing them triggers prefetching of the corresponding tails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.stream import HotDataStream
+
+#: A state element: (stream index, number of head references seen).
+StateElement = tuple[int, int]
+State = frozenset
+
+
+@dataclass
+class PrefixDFSM:
+    """Deterministic FSM tracking prefix matches for all streams at once."""
+
+    streams: list[HotDataStream]
+    head_len: int
+    #: state id -> the set of state elements it denotes (index 0 = empty set)
+    states: list[State] = field(default_factory=list)
+    #: (state id, symbol) -> successor state id
+    edges: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: state id -> stream indices whose heads complete on entering it
+    completions: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def num_transitions(self) -> int:
+        return len(self.edges)
+
+    def step(self, state: int, symbol: int) -> int:
+        """Follow the transition for ``symbol``; fall back to a fresh match.
+
+        A symbol with no outgoing edge from ``state`` behaves like
+        ``d(s0, symbol)`` — Figure 7's failed/initial-match special cases —
+        because ``d(s, a)`` always includes the start elements for ``a``.
+        """
+        successor = self.edges.get((state, symbol))
+        if successor is not None:
+            return successor
+        return self.edges.get((0, symbol), 0)
+
+    def alphabet(self) -> set[int]:
+        """All symbols appearing in stream heads (the DFSM's input alphabet)."""
+        return {symbol for _, symbol in self.edges}
+
+    def describe(self, state: int) -> str:
+        """Readable rendering of a state, e.g. ``{[v0,2],[v1,1]}``."""
+        elements = sorted(self.states[state])
+        inner = ",".join(f"[v{v},{n}]" for v, n in elements)
+        return "{" + inner + "}"

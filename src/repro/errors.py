@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised deliberately by this library derive from :class:`ReproError`
+so that callers can catch library failures without masking programming errors
+(``TypeError``, ``KeyError``, ...) in their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """An ill-formed program was constructed or validated."""
+
+
+class ExecutionError(ReproError):
+    """The simulated machine trapped while executing a program."""
+
+
+class MemoryFault(ExecutionError):
+    """A simulated load/store touched an unmapped or unaligned address."""
+
+
+class EditError(ReproError):
+    """A binary-editing (Vulcan) operation could not be applied."""
+
+
+class AnalysisError(ReproError):
+    """Hot-data-stream analysis was given inconsistent inputs."""
+
+
+class ConfigError(ReproError):
+    """A configuration object holds contradictory or out-of-range values."""

@@ -1,0 +1,22 @@
+"""Interpreter for the mini-ISA: lowering, execution, cycle accounting."""
+
+from repro.interp.interpreter import (
+    CHECKING,
+    INSTRUMENTED,
+    CheckListener,
+    ExecStats,
+    HardwarePrefetcher,
+    Interpreter,
+)
+from repro.interp.lowering import lower_body, lower_procedure
+
+__all__ = [
+    "Interpreter",
+    "ExecStats",
+    "CheckListener",
+    "HardwarePrefetcher",
+    "CHECKING",
+    "INSTRUMENTED",
+    "lower_body",
+    "lower_procedure",
+]

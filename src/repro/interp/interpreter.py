@@ -1,0 +1,372 @@
+"""The simulated machine: executes lowered programs and accounts cycles.
+
+Cost model (see :class:`~repro.machine.config.MachineConfig`):
+
+* every instruction costs one cycle,
+* loads/stores add the memory-hierarchy stall for their address,
+* ``CHECK`` adds ``check_cost`` and drives the bursty-tracing counter machine
+  of Figure 2/3 (``nCheck``/``nInstr``, checking vs. instrumented version),
+* traced references add ``trace_cost`` and are pushed to the ``trace_sink``,
+* injected detection handlers add ``detect_base + detect_per_case * cases``
+  and may issue prefetches (``prefetch_issue_cost`` each), and
+* online analysis charges cycles through the check listener's return value.
+
+The interpreter is deliberately a single big dispatch loop over dense tuples;
+this is the hot path of every experiment in the repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+from repro.errors import ExecutionError, MemoryFault
+from repro.interp.lowering import (
+    OP_ALLOC,
+    OP_ALU,
+    OP_ALUI,
+    OP_BNZ,
+    OP_BZ,
+    OP_CALL,
+    OP_CHECK,
+    OP_CMP,
+    OP_CONST,
+    OP_HALT,
+    OP_JMP,
+    OP_LOAD,
+    OP_MOV,
+    OP_NOP,
+    OP_PREFETCH,
+    OP_RET,
+    OP_STORE,
+    lower_procedure,
+)
+from repro.ir.instructions import Pc
+from repro.ir.program import Program
+from repro.machine.config import MachineConfig, PAPER_MACHINE
+from repro.machine.hierarchy import MemoryHierarchy
+from repro.machine.memory import Memory
+
+#: Version indices for the dual-version bodies (Figure 2).
+CHECKING, INSTRUMENTED = 0, 1
+
+
+class CheckListener(Protocol):
+    """Receives burst transitions from the CHECK counter machine.
+
+    Both callbacks return extra cycles to charge to simulated time (used to
+    bill online analysis/optimization work, the paper's Hds overhead).  A
+    listener may also mutate the interpreter's counter reload values,
+    ``tracing_enabled`` flag and ``dfsm_state`` — the interpreter re-reads
+    them after every callback.
+    """
+
+    def burst_begin(self, now: int) -> int: ...
+
+    def burst_end(self, now: int) -> int: ...
+
+
+class HardwarePrefetcher(Protocol):
+    """Optional hardware-prefetcher model observing the demand stream."""
+
+    def observe(self, pc: Pc, addr: int, now: int, hierarchy: MemoryHierarchy) -> None: ...
+
+
+@dataclass
+class ExecStats:
+    """Counters accumulated over one :meth:`Interpreter.run`."""
+
+    cycles: int = 0
+    instructions: int = 0
+    memory_refs: int = 0
+    mem_stall_cycles: int = 0
+    checks_executed: int = 0
+    bursts: int = 0
+    traced_refs: int = 0
+    detect_cycles: int = 0
+    detects_executed: int = 0
+    prefetches_issued: int = 0
+    charged_cycles: int = 0
+    return_value: int = 0
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+class Interpreter:
+    """Executes a program against a memory image and a cache hierarchy."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Memory,
+        config: MachineConfig = PAPER_MACHINE,
+        hierarchy: Optional[MemoryHierarchy] = None,
+    ) -> None:
+        self.program = program
+        self.memory = memory
+        self.config = config
+        self.hierarchy = hierarchy if hierarchy is not None else MemoryHierarchy(config)
+        # Bursty-tracing counter machine (Figure 2/3).  Reload values are
+        # mutated by the profiling controller; `huge` defaults mean "never
+        # enter the instrumented version".
+        self.n_check0 = 1 << 60
+        self.n_instr0 = 1
+        self.tracing_enabled = False
+        self.trace_sink: Optional[Callable[[Pc, int], None]] = None
+        self.check_listener: Optional[CheckListener] = None
+        self.hw_prefetcher: Optional[HardwarePrefetcher] = None
+        #: Current DFSM prefix-matcher state (the injected `state` variable).
+        self.dfsm_state: int = 0
+
+    def set_counters(self, n_check0: int, n_instr0: int) -> None:
+        """Set the counter reload values (profiling rate, Section 2.1)."""
+        if n_check0 < 1 or n_instr0 < 1:
+            raise ExecutionError("counter reload values must be >= 1")
+        self.n_check0 = n_check0
+        self.n_instr0 = n_instr0
+
+    def run(self, args: tuple[int, ...] = (), max_instructions: Optional[int] = None) -> ExecStats:
+        """Execute from the entry procedure until HALT / final RET.
+
+        Args:
+            args: integer arguments for the entry procedure.
+            max_instructions: optional safety bound; exceeding it raises
+                :class:`ExecutionError`.
+        """
+        try:
+            return self._run(args, max_instructions)
+        except ZeroDivisionError as exc:
+            raise ExecutionError("division by zero in simulated program") from exc
+
+    def _run(self, args: tuple[int, ...], max_instructions: Optional[int]) -> ExecStats:
+        stats = ExecStats()
+        program = self.program
+        cfg = self.config
+        hier = self.hierarchy
+        access = hier.access
+        issue_prefetch = hier.issue_prefetch
+        mem_words = self.memory._words
+        allocate = self.memory.allocate
+
+        check_cost = cfg.check_cost
+        trace_cost = cfg.trace_cost
+        detect_base = cfg.detect_base
+        detect_per_case = cfg.detect_per_case
+        pf_cost = cfg.prefetch_issue_cost
+
+        proc = program.resolve(program.entry)
+        if len(args) != proc.num_params:
+            raise ExecutionError(
+                f"entry {proc.name!r} takes {proc.num_params} args, got {len(args)}"
+            )
+        code_pair = lower_procedure(proc)
+        mode = CHECKING
+        code = code_pair[mode]
+        regs: list[int] = [0] * proc.num_regs
+        regs[: len(args)] = list(args)
+        ip = 0
+        stack: list[tuple] = []
+
+        cycles = 0
+        icount = 0
+        mem_refs = 0
+        mem_stall = 0
+        nchecks = 0
+        bursts = 0
+        traced = 0
+        detect_cyc = 0
+        detects = 0
+        pf_issued = 0
+        charged = 0
+        return_value = 0
+
+        n_check = self.n_check0
+        n_instr = self.n_instr0
+        tracing = self.tracing_enabled
+        sink = self.trace_sink
+        listener = self.check_listener
+        hwpref = self.hw_prefetcher
+        dstate = self.dfsm_state
+        limit = max_instructions if max_instructions is not None else (1 << 62)
+
+        while True:
+            t = code[ip]
+            ip += 1
+            icount += 1
+            cycles += 1
+            op = t[0]
+
+            if op == OP_LOAD:
+                # (op, dst, base, offset, pc, traced, detect)
+                addr = regs[t[2]] + t[3]
+                if addr & 3 or addr < 0:
+                    raise MemoryFault(f"bad load address {addr:#x} at {t[4]}")
+                stall = access(addr, cycles)
+                cycles += stall
+                mem_stall += stall
+                mem_refs += 1
+                regs[t[1]] = mem_words.get(addr, 0)
+                if t[5]:
+                    cycles += trace_cost
+                    if tracing and sink is not None:
+                        traced += 1
+                        sink(t[4], addr)
+                det = t[6]
+                if det is not None:
+                    dstate, prefetches, cases = det.step(dstate, addr)
+                    detects += 1
+                    extra = detect_base + detect_per_case * cases
+                    cycles += extra
+                    detect_cyc += extra
+                    if prefetches:
+                        for a in prefetches:
+                            issue_prefetch(a, cycles)
+                            cycles += pf_cost
+                        pf_issued += len(prefetches)
+                if hwpref is not None:
+                    hwpref.observe(t[4], addr, cycles, hier)
+
+            elif op == OP_STORE:
+                # (op, src, base, offset, pc, traced, detect)
+                addr = regs[t[2]] + t[3]
+                if addr & 3 or addr < 0:
+                    raise MemoryFault(f"bad store address {addr:#x} at {t[4]}")
+                stall = access(addr, cycles)
+                cycles += stall
+                mem_stall += stall
+                mem_refs += 1
+                mem_words[addr] = regs[t[1]]
+                if t[5]:
+                    cycles += trace_cost
+                    if tracing and sink is not None:
+                        traced += 1
+                        sink(t[4], addr)
+                det = t[6]
+                if det is not None:
+                    dstate, prefetches, cases = det.step(dstate, addr)
+                    detects += 1
+                    extra = detect_base + detect_per_case * cases
+                    cycles += extra
+                    detect_cyc += extra
+                    if prefetches:
+                        for a in prefetches:
+                            issue_prefetch(a, cycles)
+                            cycles += pf_cost
+                        pf_issued += len(prefetches)
+                if hwpref is not None:
+                    hwpref.observe(t[4], addr, cycles, hier)
+
+            elif op == OP_ALUI:
+                regs[t[2]] = t[1](regs[t[3]], t[4])
+            elif op == OP_ALU:
+                regs[t[2]] = t[1](regs[t[3]], regs[t[4]])
+            elif op == OP_CMP:
+                regs[t[2]] = 1 if t[1](regs[t[3]], regs[t[4]]) else 0
+            elif op == OP_BZ:
+                if regs[t[1]] == 0:
+                    ip = t[2]
+            elif op == OP_BNZ:
+                if regs[t[1]] != 0:
+                    ip = t[2]
+            elif op == OP_JMP:
+                ip = t[1]
+            elif op == OP_MOV:
+                regs[t[1]] = regs[t[2]]
+            elif op == OP_CONST:
+                regs[t[1]] = t[2]
+
+            elif op == OP_CHECK:
+                cycles += check_cost
+                nchecks += 1
+                if mode == CHECKING:
+                    n_check -= 1
+                    if n_check == 0:
+                        mode = INSTRUMENTED
+                        n_instr = self.n_instr0
+                        code = code_pair[INSTRUMENTED]
+                        if listener is not None:
+                            self.dfsm_state = dstate
+                            extra = listener.burst_begin(cycles)
+                            cycles += extra
+                            charged += extra
+                            tracing = self.tracing_enabled
+                            sink = self.trace_sink
+                            dstate = self.dfsm_state
+                            n_instr = self.n_instr0
+                else:
+                    n_instr -= 1
+                    if n_instr == 0:
+                        mode = CHECKING
+                        n_check = self.n_check0
+                        code = code_pair[CHECKING]
+                        bursts += 1
+                        if listener is not None:
+                            self.dfsm_state = dstate
+                            extra = listener.burst_end(cycles)
+                            cycles += extra
+                            charged += extra
+                            tracing = self.tracing_enabled
+                            sink = self.trace_sink
+                            dstate = self.dfsm_state
+                            # The listener may have switched phase (awake <->
+                            # hibernating); its new reload values take effect
+                            # for the checking period that starts right now.
+                            n_check = self.n_check0
+
+            elif op == OP_CALL:
+                # (op, dst, name, args)
+                callee = program.resolve(t[2])
+                new_regs = [0] * callee.num_regs
+                for k, a in enumerate(t[3]):
+                    new_regs[k] = regs[a]
+                stack.append((proc, code_pair, ip, regs, t[1]))
+                proc = callee
+                code_pair = lower_procedure(proc)
+                code = code_pair[mode]
+                regs = new_regs
+                ip = 0
+
+            elif op == OP_RET:
+                value = regs[t[1]] if t[1] is not None else 0
+                if not stack:
+                    return_value = value
+                    break
+                proc, code_pair, ip, regs, dst = stack.pop()
+                code = code_pair[mode]
+                if dst is not None:
+                    regs[dst] = value
+
+            elif op == OP_ALLOC:
+                regs[t[1]] = allocate(regs[t[2]])
+            elif op == OP_PREFETCH:
+                for a in t[1]:
+                    issue_prefetch(a, cycles)
+                    cycles += pf_cost
+                pf_issued += len(t[1])
+            elif op == OP_HALT:
+                break
+            elif op == OP_NOP:
+                pass
+            else:  # pragma: no cover - lowering emits only known opcodes
+                raise ExecutionError(f"unknown opcode {op}")
+
+            if icount >= limit:
+                raise ExecutionError(f"instruction limit {limit} exceeded in {proc.name}")
+
+        self.dfsm_state = dstate
+        stats.cycles = cycles
+        stats.instructions = icount
+        stats.memory_refs = mem_refs
+        stats.mem_stall_cycles = mem_stall
+        stats.checks_executed = nchecks
+        stats.bursts = bursts
+        stats.traced_refs = traced
+        stats.detect_cycles = detect_cyc
+        stats.detects_executed = detects
+        stats.prefetches_issued = pf_issued
+        stats.charged_cycles = charged
+        stats.return_value = return_value
+        return stats

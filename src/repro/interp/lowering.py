@@ -1,0 +1,150 @@
+"""Lowering from the instruction IR to dense executable tuples.
+
+The interpreter executes tuples ``(opcode, ...)`` rather than instruction
+objects: labels are resolved to indices, ALU/compare kinds become C-level
+functions from :mod:`operator`, and each procedure version lowers to one flat
+list.  Lowered code is cached on the procedure object; the binary editors
+always create *new* procedure objects, so a cache entry can never go stale.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    Alloc,
+    Alu,
+    AluImm,
+    Bnz,
+    Bz,
+    Call,
+    Check,
+    Cmp,
+    Const,
+    Halt,
+    Instr,
+    Jmp,
+    Load,
+    Mov,
+    Nop,
+    Prefetch,
+    Ret,
+    Store,
+)
+from repro.ir.program import Procedure
+
+# Opcode numbers (grouped roughly by expected execution frequency).
+OP_LOAD = 0
+OP_STORE = 1
+OP_ALU = 2
+OP_ALUI = 3
+OP_CMP = 4
+OP_BZ = 5
+OP_BNZ = 6
+OP_JMP = 7
+OP_MOV = 8
+OP_CONST = 9
+OP_CHECK = 10
+OP_CALL = 11
+OP_RET = 12
+OP_ALLOC = 13
+OP_PREFETCH = 14
+OP_HALT = 15
+OP_NOP = 16
+
+
+def _shr(a: int, b: int) -> int:
+    return a >> b
+
+
+def _shl(a: int, b: int) -> int:
+    return a << b
+
+
+ALU_FUNCS: dict[str, Callable[[int, int], int]] = {
+    "add": operator.add,
+    "sub": operator.sub,
+    "mul": operator.mul,
+    "div": operator.floordiv,
+    "mod": operator.mod,
+    "and": operator.and_,
+    "or": operator.or_,
+    "xor": operator.xor,
+    "shl": _shl,
+    "shr": _shr,
+}
+
+CMP_FUNCS: dict[str, Callable[[int, int], bool]] = {
+    "lt": operator.lt,
+    "le": operator.le,
+    "eq": operator.eq,
+    "ne": operator.ne,
+    "gt": operator.gt,
+    "ge": operator.ge,
+}
+
+
+def lower_body(body: list[Instr], labels: dict[str, int], proc_name: str) -> list[tuple]:
+    """Lower one instruction list to executable tuples."""
+    code: list[tuple] = []
+    for i, instr in enumerate(body):
+        if isinstance(instr, Load):
+            code.append((OP_LOAD, instr.dst, instr.base, instr.offset, instr.pc, instr.traced, instr.detect))
+        elif isinstance(instr, Store):
+            code.append((OP_STORE, instr.src, instr.base, instr.offset, instr.pc, instr.traced, instr.detect))
+        elif isinstance(instr, Alu):
+            code.append((OP_ALU, ALU_FUNCS[instr.kind], instr.dst, instr.a, instr.b))
+        elif isinstance(instr, AluImm):
+            code.append((OP_ALUI, ALU_FUNCS[instr.kind], instr.dst, instr.a, instr.imm))
+        elif isinstance(instr, Cmp):
+            code.append((OP_CMP, CMP_FUNCS[instr.kind], instr.dst, instr.a, instr.b))
+        elif isinstance(instr, Bz):
+            code.append((OP_BZ, instr.cond, labels[instr.label]))
+        elif isinstance(instr, Bnz):
+            code.append((OP_BNZ, instr.cond, labels[instr.label]))
+        elif isinstance(instr, Jmp):
+            code.append((OP_JMP, labels[instr.label]))
+        elif isinstance(instr, Mov):
+            code.append((OP_MOV, instr.dst, instr.src))
+        elif isinstance(instr, Const):
+            code.append((OP_CONST, instr.dst, instr.value))
+        elif isinstance(instr, Check):
+            code.append((OP_CHECK, instr.backedge))
+        elif isinstance(instr, Call):
+            code.append((OP_CALL, instr.dst, instr.proc, instr.args))
+        elif isinstance(instr, Ret):
+            code.append((OP_RET, instr.src))
+        elif isinstance(instr, Alloc):
+            code.append((OP_ALLOC, instr.dst, instr.size_reg))
+        elif isinstance(instr, Prefetch):
+            code.append((OP_PREFETCH, instr.addrs))
+        elif isinstance(instr, Halt):
+            code.append((OP_HALT,))
+        elif isinstance(instr, Nop):
+            code.append((OP_NOP,))
+        else:
+            raise IRError(f"{proc_name}[{i}]: cannot lower {instr!r}")
+    return code
+
+
+def lower_procedure(proc: Procedure) -> tuple[list[tuple], list[tuple]]:
+    """Lower both versions of ``proc``; cache the result on the object.
+
+    Returns ``(checking_code, instrumented_code)``.  For procedures the static
+    editor never touched, both entries are the same list.
+    """
+    cached = getattr(proc, "_lowered", None)
+    if cached is not None:
+        return cached
+    checking = lower_body(proc.body, proc.labels, proc.name)
+    if proc.instrumented_body is not None:
+        if len(proc.instrumented_body) != len(proc.body):
+            raise IRError(f"{proc.name}: version bodies differ in length")
+        instrumented = lower_body(proc.instrumented_body, proc.labels, proc.name)
+    else:
+        instrumented = checking
+    lowered = (checking, instrumented)
+    proc._lowered = lowered  # type: ignore[attr-defined]
+    return lowered

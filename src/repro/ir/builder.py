@@ -1,0 +1,218 @@
+"""A small assembler DSL for writing procedures by hand.
+
+Workloads and tests author code through :class:`ProcedureBuilder` rather than
+instantiating instruction objects directly.  Registers are named; the builder
+assigns indices.  Memory operations receive their stable :class:`Pc` identity
+here, numbered in emission order within the procedure.
+
+Example::
+
+    b = ProcedureBuilder("sum_list", params=("head",))
+    total = b.reg("total")
+    node = b.reg("node")
+    b.const(total, 0)
+    b.mov(node, b.param("head"))
+    b.label("loop")
+    b.bz(node, "done")
+    value = b.load(None, node, 4)          # auto-allocates a register
+    b.add(total, total, value)
+    b.load(node, node, 0)                  # node = node->next
+    b.jmp("loop")
+    b.label("done")
+    b.ret(total)
+    proc = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    Alloc,
+    Alu,
+    AluImm,
+    Bnz,
+    Bz,
+    Call,
+    Cmp,
+    Const,
+    Halt,
+    Instr,
+    Jmp,
+    Load,
+    Mov,
+    Nop,
+    Pc,
+    Ret,
+    Store,
+)
+from repro.ir.program import Procedure, Program
+
+
+class ProcedureBuilder:
+    """Incrementally builds one :class:`~repro.ir.program.Procedure`."""
+
+    def __init__(self, name: str, params: Sequence[str] = ()) -> None:
+        self.name = name
+        self._regs: dict[str, int] = {}
+        self._num_params = len(params)
+        for param in params:
+            self._intern(param)
+        self._body: list[Instr] = []
+        self._labels: dict[str, int] = {}
+        self._next_pc = 0
+        self._next_temp = 0
+        self._built = False
+
+    # ------------------------------------------------------------------ regs
+
+    def _intern(self, name: str) -> int:
+        if name not in self._regs:
+            self._regs[name] = len(self._regs)
+        return self._regs[name]
+
+    def reg(self, name: Optional[str] = None) -> int:
+        """Return the register index for ``name``, allocating on first use."""
+        if name is None:
+            self._next_temp += 1
+            name = f"%t{self._next_temp}"
+        return self._intern(name)
+
+    def param(self, name: str) -> int:
+        """Register index of a declared parameter."""
+        if name not in self._regs or self._regs[name] >= self._num_params:
+            raise IRError(f"{self.name}: {name!r} is not a parameter")
+        return self._regs[name]
+
+    def _dst(self, dst: Optional[int]) -> int:
+        return self.reg() if dst is None else dst
+
+    # ------------------------------------------------------------- emission
+
+    def _emit(self, instr: Instr) -> None:
+        if self._built:
+            raise IRError(f"{self.name}: builder already finalized")
+        self._body.append(instr)
+
+    def label(self, name: str) -> None:
+        """Define ``name`` at the next instruction index."""
+        if name in self._labels:
+            raise IRError(f"{self.name}: duplicate label {name!r}")
+        self._labels[name] = len(self._body)
+
+    def const(self, dst: Optional[int], value: int) -> int:
+        dst = self._dst(dst)
+        self._emit(Const(dst, value))
+        return dst
+
+    def mov(self, dst: Optional[int], src: int) -> int:
+        dst = self._dst(dst)
+        self._emit(Mov(dst, src))
+        return dst
+
+    def alu(self, kind: str, dst: Optional[int], a: int, b: int) -> int:
+        dst = self._dst(dst)
+        self._emit(Alu(kind, dst, a, b))
+        return dst
+
+    def alui(self, kind: str, dst: Optional[int], a: int, imm: int) -> int:
+        dst = self._dst(dst)
+        self._emit(AluImm(kind, dst, a, imm))
+        return dst
+
+    def cmp(self, kind: str, dst: Optional[int], a: int, b: int) -> int:
+        dst = self._dst(dst)
+        self._emit(Cmp(kind, dst, a, b))
+        return dst
+
+    def load(self, dst: Optional[int], base: int, offset: int = 0) -> int:
+        """Emit a data-reference load; assigns the next pc ordinal."""
+        dst = self._dst(dst)
+        self._emit(Load(dst, base, offset, Pc(self.name, self._next_pc)))
+        self._next_pc += 1
+        return dst
+
+    def store(self, src: int, base: int, offset: int = 0) -> None:
+        """Emit a data-reference store; assigns the next pc ordinal."""
+        self._emit(Store(src, base, offset, Pc(self.name, self._next_pc)))
+        self._next_pc += 1
+
+    def jmp(self, label: str) -> None:
+        self._emit(Jmp(label))
+
+    def bz(self, cond: int, label: str) -> None:
+        self._emit(Bz(cond, label))
+
+    def bnz(self, cond: int, label: str) -> None:
+        self._emit(Bnz(cond, label))
+
+    def call(self, dst: Optional[int], proc: str, args: Sequence[int] = ()) -> Optional[int]:
+        self._emit(Call(dst, proc, tuple(args)))
+        return dst
+
+    def ret(self, src: Optional[int] = None) -> None:
+        self._emit(Ret(src))
+
+    def alloc(self, dst: Optional[int], size_reg: int) -> int:
+        dst = self._dst(dst)
+        self._emit(Alloc(dst, size_reg))
+        return dst
+
+    def halt(self) -> None:
+        self._emit(Halt())
+
+    def nop(self) -> None:
+        self._emit(Nop())
+
+    # ------------------------------------------- convenience ALU / compares
+
+    def add(self, dst: Optional[int], a: int, b: int) -> int:
+        return self.alu("add", dst, a, b)
+
+    def sub(self, dst: Optional[int], a: int, b: int) -> int:
+        return self.alu("sub", dst, a, b)
+
+    def mul(self, dst: Optional[int], a: int, b: int) -> int:
+        return self.alu("mul", dst, a, b)
+
+    def addi(self, dst: Optional[int], a: int, imm: int) -> int:
+        return self.alui("add", dst, a, imm)
+
+    def muli(self, dst: Optional[int], a: int, imm: int) -> int:
+        return self.alui("mul", dst, a, imm)
+
+    def modi(self, dst: Optional[int], a: int, imm: int) -> int:
+        return self.alui("mod", dst, a, imm)
+
+    def lt(self, dst: Optional[int], a: int, b: int) -> int:
+        return self.cmp("lt", dst, a, b)
+
+    def eq(self, dst: Optional[int], a: int, b: int) -> int:
+        return self.cmp("eq", dst, a, b)
+
+    def ne(self, dst: Optional[int], a: int, b: int) -> int:
+        return self.cmp("ne", dst, a, b)
+
+    # ---------------------------------------------------------------- build
+
+    def build(self) -> Procedure:
+        """Finalize and return the procedure (the builder becomes read-only)."""
+        self._built = True
+        return Procedure(
+            name=self.name,
+            num_params=self._num_params,
+            num_regs=len(self._regs),
+            body=list(self._body),
+            labels=dict(self._labels),
+        )
+
+
+def build_program(procedures: Sequence[Procedure | ProcedureBuilder], entry: str) -> Program:
+    """Assemble procedures (or still-open builders) into a validated program."""
+    from repro.ir.validate import validate_program
+
+    built = [p.build() if isinstance(p, ProcedureBuilder) else p for p in procedures]
+    program = Program(built, entry)
+    validate_program(program)
+    return program

@@ -1,0 +1,284 @@
+"""Instruction set of the simulated machine.
+
+The ISA is a small register machine, rich enough to express the pointer-
+chasing workloads the paper targets and the instrumentation its system
+injects:
+
+* arithmetic/compare over unlimited per-frame virtual registers,
+* ``LOAD``/``STORE`` — the *data references* of Section 2 (each carries a
+  stable ``pc`` identity that survives code duplication and patching),
+* control flow (``JMP``/``BZ``/``BNZ``/``CALL``/``RET``),
+* ``ALLOC`` — heap allocation,
+* ``CHECK`` — the bursty-tracing check of Figure 2 (inserted by the static
+  editor at procedure entries and loop back-edges),
+* ``PREFETCH`` — a ``prefetcht0`` analogue taking absolute addresses, and
+* a ``detect`` payload attached to loads/stores by the dynamic editor, which
+  drives the prefix-matching DFSM of Section 3.
+
+Program counters (``Pc``) are ``(procedure_name, ordinal)`` pairs handed out
+by the builder; they identify a *source* memory operation independently of
+where copies of it live after instrumentation.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+
+class Pc(NamedTuple):
+    """Stable identity of a memory instruction: procedure name + ordinal."""
+
+    proc: str
+    ordinal: int
+
+    def __str__(self) -> str:
+        return f"{self.proc}:{self.ordinal}"
+
+
+# Binary ALU operators, shared by the Alu instruction and the interpreter.
+ALU_OPS = ("add", "sub", "mul", "div", "mod", "and", "or", "xor", "shl", "shr")
+CMP_OPS = ("lt", "le", "eq", "ne", "gt", "ge")
+
+
+class Instr:
+    """Base class for all instructions."""
+
+    __slots__ = ()
+    op: str = "?"
+
+    def operands(self) -> tuple:
+        """Operand tuple, used by the disassembler and structural equality."""
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.operands() == other.operands()  # type: ignore[union-attr]
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.operands()))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{name}={getattr(self, name)!r}" for name in self.__slots__)
+        return f"{type(self).__name__}({parts})"
+
+
+class Const(Instr):
+    """``dst = value``"""
+
+    __slots__ = ("dst", "value")
+    op = "const"
+
+    def __init__(self, dst: int, value: int) -> None:
+        self.dst = dst
+        self.value = value
+
+
+class Mov(Instr):
+    """``dst = src``"""
+
+    __slots__ = ("dst", "src")
+    op = "mov"
+
+    def __init__(self, dst: int, src: int) -> None:
+        self.dst = dst
+        self.src = src
+
+
+class Alu(Instr):
+    """``dst = a <kind> b`` for kind in :data:`ALU_OPS`."""
+
+    __slots__ = ("kind", "dst", "a", "b")
+    op = "alu"
+
+    def __init__(self, kind: str, dst: int, a: int, b: int) -> None:
+        if kind not in ALU_OPS:
+            raise ValueError(f"unknown ALU op {kind!r}")
+        self.kind = kind
+        self.dst = dst
+        self.a = a
+        self.b = b
+
+
+class AluImm(Instr):
+    """``dst = a <kind> imm`` for kind in :data:`ALU_OPS`."""
+
+    __slots__ = ("kind", "dst", "a", "imm")
+    op = "alui"
+
+    def __init__(self, kind: str, dst: int, a: int, imm: int) -> None:
+        if kind not in ALU_OPS:
+            raise ValueError(f"unknown ALU op {kind!r}")
+        self.kind = kind
+        self.dst = dst
+        self.a = a
+        self.imm = imm
+
+
+class Cmp(Instr):
+    """``dst = (a <kind> b) ? 1 : 0`` for kind in :data:`CMP_OPS`."""
+
+    __slots__ = ("kind", "dst", "a", "b")
+    op = "cmp"
+
+    def __init__(self, kind: str, dst: int, a: int, b: int) -> None:
+        if kind not in CMP_OPS:
+            raise ValueError(f"unknown compare {kind!r}")
+        self.kind = kind
+        self.dst = dst
+        self.a = a
+        self.b = b
+
+
+class Load(Instr):
+    """``dst = mem[base + offset]`` — a data reference with identity ``pc``.
+
+    ``detect`` optionally holds a :class:`~repro.dfsm.codegen.DetectHandler`
+    attached by the dynamic editor; ``traced`` marks the copy living in the
+    instrumented code version produced by the static editor.
+    """
+
+    __slots__ = ("dst", "base", "offset", "pc", "traced", "detect")
+    op = "load"
+
+    def __init__(
+        self,
+        dst: int,
+        base: int,
+        offset: int,
+        pc: Pc,
+        traced: bool = False,
+        detect: Optional[object] = None,
+    ) -> None:
+        self.dst = dst
+        self.base = base
+        self.offset = offset
+        self.pc = pc
+        self.traced = traced
+        self.detect = detect
+
+
+class Store(Instr):
+    """``mem[base + offset] = src`` — a data reference with identity ``pc``."""
+
+    __slots__ = ("src", "base", "offset", "pc", "traced", "detect")
+    op = "store"
+
+    def __init__(
+        self,
+        src: int,
+        base: int,
+        offset: int,
+        pc: Pc,
+        traced: bool = False,
+        detect: Optional[object] = None,
+    ) -> None:
+        self.src = src
+        self.base = base
+        self.offset = offset
+        self.pc = pc
+        self.traced = traced
+        self.detect = detect
+
+
+class Jmp(Instr):
+    """Unconditional jump to ``label``."""
+
+    __slots__ = ("label",)
+    op = "jmp"
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+
+class Bz(Instr):
+    """Branch to ``label`` when ``cond == 0``."""
+
+    __slots__ = ("cond", "label")
+    op = "bz"
+
+    def __init__(self, cond: int, label: str) -> None:
+        self.cond = cond
+        self.label = label
+
+
+class Bnz(Instr):
+    """Branch to ``label`` when ``cond != 0``."""
+
+    __slots__ = ("cond", "label")
+    op = "bnz"
+
+    def __init__(self, cond: int, label: str) -> None:
+        self.cond = cond
+        self.label = label
+
+
+class Call(Instr):
+    """``dst = proc(args...)``; ``dst`` may be None for a void call."""
+
+    __slots__ = ("dst", "proc", "args")
+    op = "call"
+
+    def __init__(self, dst: Optional[int], proc: str, args: tuple[int, ...]) -> None:
+        self.dst = dst
+        self.proc = proc
+        self.args = tuple(args)
+
+
+class Ret(Instr):
+    """Return ``src`` (or 0 when ``src`` is None) to the caller."""
+
+    __slots__ = ("src",)
+    op = "ret"
+
+    def __init__(self, src: Optional[int] = None) -> None:
+        self.src = src
+
+
+class Alloc(Instr):
+    """``dst = heap.allocate(mem size taken from register size_reg)``."""
+
+    __slots__ = ("dst", "size_reg")
+    op = "alloc"
+
+    def __init__(self, dst: int, size_reg: int) -> None:
+        self.dst = dst
+        self.size_reg = size_reg
+
+
+class Halt(Instr):
+    """Stop the machine (valid only in the entry procedure)."""
+
+    __slots__ = ()
+    op = "halt"
+
+
+class Check(Instr):
+    """Bursty-tracing check point (Figure 2); ``backedge`` marks loop checks."""
+
+    __slots__ = ("backedge",)
+    op = "check"
+
+    def __init__(self, backedge: bool = False) -> None:
+        self.backedge = backedge
+
+
+class Prefetch(Instr):
+    """Issue prefetches for a tuple of absolute addresses (injected code)."""
+
+    __slots__ = ("addrs",)
+    op = "prefetch"
+
+    def __init__(self, addrs: tuple[int, ...]) -> None:
+        self.addrs = tuple(addrs)
+
+
+class Nop(Instr):
+    """No operation."""
+
+    __slots__ = ()
+    op = "nop"
+
+
+#: Instructions that reference a branch target label.
+BRANCHES = (Jmp, Bz, Bnz)
+#: Instructions that are data references in the paper's sense.
+MEMORY_OPS = (Load, Store)

@@ -1,0 +1,99 @@
+"""Disassembler: renders procedures and programs as readable text.
+
+Used by tests, examples, and debugging sessions; the output format is stable
+enough to assert against in tests but is not a parseable surface syntax.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    Alloc,
+    Alu,
+    AluImm,
+    Bnz,
+    Bz,
+    Call,
+    Check,
+    Cmp,
+    Const,
+    Halt,
+    Instr,
+    Jmp,
+    Load,
+    Mov,
+    Nop,
+    Prefetch,
+    Ret,
+    Store,
+)
+from repro.ir.program import Procedure, Program
+
+
+def format_instr(instr: Instr) -> str:
+    """One-line rendering of a single instruction."""
+    if isinstance(instr, Const):
+        return f"r{instr.dst} = {instr.value}"
+    if isinstance(instr, Mov):
+        return f"r{instr.dst} = r{instr.src}"
+    if isinstance(instr, Alu):
+        return f"r{instr.dst} = r{instr.a} {instr.kind} r{instr.b}"
+    if isinstance(instr, AluImm):
+        return f"r{instr.dst} = r{instr.a} {instr.kind} {instr.imm}"
+    if isinstance(instr, Cmp):
+        return f"r{instr.dst} = r{instr.a} {instr.kind} r{instr.b}"
+    if isinstance(instr, Load):
+        mark = " [traced]" if instr.traced else ""
+        det = " [detect]" if instr.detect is not None else ""
+        return f"r{instr.dst} = mem[r{instr.base}+{instr.offset}]  ; pc={instr.pc}{mark}{det}"
+    if isinstance(instr, Store):
+        mark = " [traced]" if instr.traced else ""
+        det = " [detect]" if instr.detect is not None else ""
+        return f"mem[r{instr.base}+{instr.offset}] = r{instr.src}  ; pc={instr.pc}{mark}{det}"
+    if isinstance(instr, Jmp):
+        return f"jmp {instr.label}"
+    if isinstance(instr, Bz):
+        return f"bz r{instr.cond}, {instr.label}"
+    if isinstance(instr, Bnz):
+        return f"bnz r{instr.cond}, {instr.label}"
+    if isinstance(instr, Call):
+        args = ", ".join(f"r{a}" for a in instr.args)
+        dst = f"r{instr.dst} = " if instr.dst is not None else ""
+        return f"{dst}call {instr.proc}({args})"
+    if isinstance(instr, Ret):
+        return "ret" if instr.src is None else f"ret r{instr.src}"
+    if isinstance(instr, Alloc):
+        return f"r{instr.dst} = alloc r{instr.size_reg}"
+    if isinstance(instr, Halt):
+        return "halt"
+    if isinstance(instr, Check):
+        return "check [backedge]" if instr.backedge else "check"
+    if isinstance(instr, Prefetch):
+        addrs = ", ".join(f"{a:#x}" for a in instr.addrs)
+        return f"prefetch {addrs}"
+    if isinstance(instr, Nop):
+        return "nop"
+    return repr(instr)
+
+
+def format_procedure(proc: Procedure, instrumented: bool = False) -> str:
+    """Multi-line rendering of a procedure body (optionally the traced copy)."""
+    body = proc.instrumented_body if instrumented else proc.body
+    if body is None:
+        raise ValueError(f"{proc.name} has no instrumented body")
+    by_index: dict[int, list[str]] = {}
+    for label, index in proc.labels.items():
+        by_index.setdefault(index, []).append(label)
+    lines = [f"proc {proc.name}(params={proc.num_params}, regs={proc.num_regs}):"]
+    for i, instr in enumerate(body):
+        for label in sorted(by_index.get(i, ())):
+            lines.append(f"{label}:")
+        lines.append(f"  {i:4d}  {format_instr(instr)}")
+    for label in sorted(by_index.get(len(body), ())):
+        lines.append(f"{label}:")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Render every procedure of a program."""
+    parts = [format_procedure(program.procedures[name]) for name in sorted(program.procedures)]
+    return "\n\n".join(parts)

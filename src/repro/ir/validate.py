@@ -1,0 +1,108 @@
+"""Structural validation of programs.
+
+The validator catches the mistakes that otherwise surface as confusing
+interpreter faults: dangling labels, out-of-range registers, calls to missing
+procedures, arity mismatches, falling off the end of a procedure, and
+duplicate pc identities (which would corrupt profiling).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    Alloc,
+    Alu,
+    AluImm,
+    Bnz,
+    Bz,
+    Call,
+    Cmp,
+    Const,
+    Halt,
+    Jmp,
+    Load,
+    Mov,
+    Pc,
+    Ret,
+    Store,
+)
+from repro.ir.program import Procedure, Program
+
+
+def _check_reg(proc: Procedure, reg: int, where: str) -> None:
+    if not 0 <= reg < proc.num_regs:
+        raise IRError(f"{proc.name}[{where}]: register {reg} out of range 0..{proc.num_regs - 1}")
+
+
+def _check_label(proc: Procedure, label: str, where: str) -> None:
+    if label not in proc.labels:
+        raise IRError(f"{proc.name}[{where}]: undefined label {label!r}")
+
+
+def validate_procedure(proc: Procedure) -> None:
+    """Validate one procedure in isolation (labels, registers, termination)."""
+    for label, index in proc.labels.items():
+        if not 0 <= index <= len(proc.body):
+            raise IRError(f"{proc.name}: label {label!r} points outside the body")
+    if not proc.body:
+        raise IRError(f"{proc.name}: empty body")
+    for i, instr in enumerate(proc.body):
+        where = str(i)
+        if isinstance(instr, Const):
+            _check_reg(proc, instr.dst, where)
+        elif isinstance(instr, Mov):
+            _check_reg(proc, instr.dst, where)
+            _check_reg(proc, instr.src, where)
+        elif isinstance(instr, (Alu, Cmp)):
+            _check_reg(proc, instr.dst, where)
+            _check_reg(proc, instr.a, where)
+            _check_reg(proc, instr.b, where)
+        elif isinstance(instr, AluImm):
+            _check_reg(proc, instr.dst, where)
+            _check_reg(proc, instr.a, where)
+        elif isinstance(instr, Load):
+            _check_reg(proc, instr.dst, where)
+            _check_reg(proc, instr.base, where)
+        elif isinstance(instr, Store):
+            _check_reg(proc, instr.src, where)
+            _check_reg(proc, instr.base, where)
+        elif isinstance(instr, Jmp):
+            _check_label(proc, instr.label, where)
+        elif isinstance(instr, (Bz, Bnz)):
+            _check_reg(proc, instr.cond, where)
+            _check_label(proc, instr.label, where)
+        elif isinstance(instr, Call):
+            if instr.dst is not None:
+                _check_reg(proc, instr.dst, where)
+            for arg in instr.args:
+                _check_reg(proc, arg, where)
+        elif isinstance(instr, Ret):
+            if instr.src is not None:
+                _check_reg(proc, instr.src, where)
+        elif isinstance(instr, Alloc):
+            _check_reg(proc, instr.dst, where)
+            _check_reg(proc, instr.size_reg, where)
+    last = proc.body[-1]
+    if not isinstance(last, (Ret, Halt, Jmp)):
+        raise IRError(f"{proc.name}: control can fall off the end (last instr is {last.op})")
+
+
+def validate_program(program: Program) -> None:
+    """Validate all procedures plus cross-procedure properties."""
+    seen_pcs: set[Pc] = set()
+    for proc in program.procedures.values():
+        validate_procedure(proc)
+        for pc in proc.pcs():
+            if pc in seen_pcs:
+                raise IRError(f"duplicate pc identity {pc}")
+            seen_pcs.add(pc)
+        for i, instr in enumerate(proc.body):
+            if isinstance(instr, Call):
+                if instr.proc not in program.procedures:
+                    raise IRError(f"{proc.name}[{i}]: call to undefined {instr.proc!r}")
+                callee = program.procedures[instr.proc]
+                if len(instr.args) != callee.num_params:
+                    raise IRError(
+                        f"{proc.name}[{i}]: {instr.proc!r} takes "
+                        f"{callee.num_params} args, got {len(instr.args)}"
+                    )

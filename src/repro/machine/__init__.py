@@ -1,0 +1,18 @@
+"""Simulated machine substrate: caches, memory, and the timing model."""
+
+from repro.machine.cache import Cache
+from repro.machine.config import PAPER_MACHINE, CacheGeometry, MachineConfig
+from repro.machine.hierarchy import MemoryHierarchy, PrefetchStats
+from repro.machine.memory import HEAP_BASE, WORD_BYTES, Memory
+
+__all__ = [
+    "Cache",
+    "CacheGeometry",
+    "MachineConfig",
+    "PAPER_MACHINE",
+    "MemoryHierarchy",
+    "PrefetchStats",
+    "Memory",
+    "WORD_BYTES",
+    "HEAP_BASE",
+]

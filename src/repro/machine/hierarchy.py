@@ -1,0 +1,151 @@
+"""Two-level memory hierarchy with software-prefetch modelling.
+
+This is the component that makes prefetching *mean something* in a Python
+reproduction of the paper: every simulated load/store is charged stall cycles
+according to where its block is found, and a ``prefetcht0``-style prefetch
+installs the block into both levels immediately (so a wrong prefetch pollutes
+the cache, the effect that sinks the Seq-pref baseline in Figure 12) with a
+*ready cycle*; a demand access that arrives before the ready cycle pays only
+the residual latency (the timeliness effect Section 1 calls out).
+
+The hierarchy also keeps the counters the evaluation needs: per-level
+hits/misses and the accuracy/timeliness/pollution breakdown of prefetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.cache import Cache
+from repro.machine.config import MachineConfig
+
+
+@dataclass
+class PrefetchStats:
+    """Outcome counters for issued prefetches."""
+
+    issued: int = 0
+    #: prefetched block was already cache-resident (no-op prefetch)
+    redundant: int = 0
+    #: a demand access hit a prefetched block after its data arrived
+    useful: int = 0
+    #: a demand access hit a prefetched block before arrival (partial stall)
+    late: int = 0
+    #: prefetched block evicted (or never touched) without a demand hit
+    wasted: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of non-redundant prefetches that served a demand access."""
+        used = self.useful + self.late
+        total = used + self.wasted
+        return used / total if total else 0.0
+
+
+class MemoryHierarchy:
+    """L1 + L2 + DRAM with LRU fill, demand misses and software prefetch."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.l1 = Cache(config.l1, "L1")
+        self.l2 = Cache(config.l2, "L2")
+        self._block_shift = config.block_bytes.bit_length() - 1
+        #: block -> cycle at which its in-flight prefetch completes
+        self._inflight: dict[int, int] = {}
+        #: blocks brought in by prefetch and not yet used by a demand access
+        self._prefetched_unused: set[int] = set()
+        self.prefetch = PrefetchStats()
+        self.demand_accesses = 0
+
+    def block_of(self, addr: int) -> int:
+        """Block number containing byte address ``addr``."""
+        return addr >> self._block_shift
+
+    def access(self, addr: int, now: int) -> int:
+        """Perform a demand access at cycle ``now``; return stall cycles."""
+        self.demand_accesses += 1
+        block = addr >> self._block_shift
+        stall = 0
+        inflight = self._inflight
+        if block in inflight:
+            ready = inflight.pop(block)
+            if ready > now:
+                stall = ready - now
+                self.prefetch.late += 1
+                self._prefetched_unused.discard(block)
+            # on-time arrivals are counted below when the L1 lookup hits
+        if self.l1.lookup(block):
+            if block in self._prefetched_unused:
+                self._prefetched_unused.discard(block)
+                self.prefetch.useful += 1
+            return stall
+        if self.l2.lookup(block):
+            stall += self.config.l2_latency
+            if block in self._prefetched_unused:
+                self._prefetched_unused.discard(block)
+                self.prefetch.useful += 1
+        else:
+            stall += self.config.memory_latency
+            self._install_l2(block)
+        self._install_l1(block)
+        return stall
+
+    def issue_prefetch(self, addr: int, now: int) -> None:
+        """Issue a ``prefetcht0``-style prefetch for the block of ``addr``.
+
+        The block is installed in both cache levels right away (it occupies a
+        frame and can evict useful data — pollution) and becomes *ready* after
+        the fetch latency; demand accesses before then pay the residual.
+        """
+        self.prefetch.issued += 1
+        block = addr >> self._block_shift
+        if self.l1.contains(block) or block in self._inflight:
+            self.prefetch.redundant += 1
+            return
+        if self.l2.contains(block):
+            # L2-resident: promote to L1 quickly.
+            self._inflight[block] = now + self.config.l2_latency
+        else:
+            self._inflight[block] = now + self.config.memory_latency
+            self._install_l2(block)
+        self._install_l1(block)
+        self._prefetched_unused.add(block)
+
+    def _install_l1(self, block: int) -> None:
+        victim = self.l1.install(block)
+        if victim is not None:
+            self._account_eviction(victim, l1_only=True)
+
+    def _install_l2(self, block: int) -> None:
+        victim = self.l2.install(block)
+        if victim is not None:
+            # Model inclusion: an L2 eviction also removes the L1 copy.
+            self.l1.invalidate(victim)
+            self._account_eviction(victim, l1_only=False)
+
+    def _account_eviction(self, victim: int, l1_only: bool) -> None:
+        if victim in self._prefetched_unused:
+            # A prefetched block that falls out of L2 (or out of L1 while
+            # absent from L2) without being used was pure pollution.
+            if not l1_only or not self.l2.contains(victim):
+                self._prefetched_unused.discard(victim)
+                self._inflight.pop(victim, None)
+                self.prefetch.wasted += 1
+
+    def finalize(self) -> None:
+        """Classify still-unused prefetched blocks as wasted (end of run)."""
+        self.prefetch.wasted += len(self._prefetched_unused)
+        self._prefetched_unused.clear()
+        self._inflight.clear()
+
+    def flush(self) -> None:
+        """Empty both cache levels and forget in-flight prefetches."""
+        self.l1.flush()
+        self.l2.flush()
+        self._inflight.clear()
+        self._prefetched_unused.clear()
+
+    @property
+    def l1_miss_rate(self) -> float:
+        """L1 miss rate over all demand accesses."""
+        return self.l1.misses / self.l1.accesses if self.l1.accesses else 0.0

@@ -1,0 +1,89 @@
+"""Flat word-granular memory with a bump allocator.
+
+Simulated memory stores one Python integer per *word* (4 bytes).  Addresses
+are byte addresses and must be word-aligned; the heap hands out aligned
+chunks.  Workload builders use :meth:`Memory.allocate` to lay out pointer
+structures before execution, and programs may also allocate at simulated run
+time through the ``ALLOC`` instruction.
+
+Allocation order matters to this reproduction: the Seq-pref baseline of
+Figure 12 only wins when hot data streams are *sequentially allocated*, so
+workloads control layout by choosing the order of ``allocate`` calls (and
+optionally padding between them).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemoryFault
+
+WORD_BYTES = 4
+
+#: Heap addresses start here; low memory is reserved for globals/statics.
+HEAP_BASE = 0x1000_0000
+#: Static/global data region base.
+STATIC_BASE = 0x0010_0000
+
+
+class Memory:
+    """Sparse word-addressed memory plus a bump allocator."""
+
+    def __init__(self, heap_base: int = HEAP_BASE) -> None:
+        self._words: dict[int, int] = {}
+        self._heap_base = heap_base
+        self._brk = heap_base
+        self._static_brk = STATIC_BASE
+
+    @property
+    def heap_break(self) -> int:
+        """Current top of the heap (next allocation address)."""
+        return self._brk
+
+    def allocate(self, size_bytes: int, align: int = WORD_BYTES) -> int:
+        """Allocate ``size_bytes`` from the heap; return the base address."""
+        if size_bytes <= 0:
+            raise MemoryFault(f"allocation size must be positive, got {size_bytes}")
+        if align < WORD_BYTES or align & (align - 1):
+            raise MemoryFault(f"bad alignment {align}")
+        base = (self._brk + align - 1) & ~(align - 1)
+        self._brk = base + ((size_bytes + WORD_BYTES - 1) & ~(WORD_BYTES - 1))
+        return base
+
+    def allocate_static(self, size_bytes: int) -> int:
+        """Allocate from the static region (for globals laid out at build time)."""
+        if size_bytes <= 0:
+            raise MemoryFault(f"allocation size must be positive, got {size_bytes}")
+        base = self._static_brk
+        self._static_brk = base + ((size_bytes + WORD_BYTES - 1) & ~(WORD_BYTES - 1))
+        if self._static_brk > self._heap_base:
+            raise MemoryFault("static region overflowed into the heap")
+        return base
+
+    def load(self, addr: int) -> int:
+        """Read the word at byte address ``addr`` (must be word-aligned)."""
+        if addr % WORD_BYTES:
+            raise MemoryFault(f"unaligned load at {addr:#x}")
+        if addr < 0:
+            raise MemoryFault(f"negative address {addr:#x}")
+        return self._words.get(addr, 0)
+
+    def store(self, addr: int, value: int) -> None:
+        """Write ``value`` to the word at byte address ``addr``."""
+        if addr % WORD_BYTES:
+            raise MemoryFault(f"unaligned store at {addr:#x}")
+        if addr < 0:
+            raise MemoryFault(f"negative address {addr:#x}")
+        self._words[addr] = value
+
+    def store_words(self, base: int, values: list[int]) -> None:
+        """Bulk-initialise consecutive words starting at ``base``."""
+        for i, value in enumerate(values):
+            self.store(base + i * WORD_BYTES, value)
+
+    def load_words(self, base: int, count: int) -> list[int]:
+        """Bulk-read ``count`` consecutive words starting at ``base``."""
+        return [self.load(base + i * WORD_BYTES) for i in range(count)]
+
+    @property
+    def footprint_words(self) -> int:
+        """Number of words ever written (for inspection)."""
+        return len(self._words)

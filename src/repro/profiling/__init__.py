@@ -1,0 +1,25 @@
+"""Low-overhead temporal profiling: bursty tracing counters, symbol interning."""
+
+from repro.profiling.offline import OfflineProfile, collect_offline_profile
+from repro.profiling.profiler import TemporalProfiler
+from repro.profiling.sampling import (
+    PAPER_COUNTERS,
+    PAPER_N_AWAKE,
+    PAPER_N_HIBERNATE,
+    BurstyCounters,
+    overall_sampling_rate,
+)
+from repro.profiling.trace import DataRef, SymbolTable
+
+__all__ = [
+    "DataRef",
+    "SymbolTable",
+    "TemporalProfiler",
+    "OfflineProfile",
+    "collect_offline_profile",
+    "BurstyCounters",
+    "overall_sampling_rate",
+    "PAPER_COUNTERS",
+    "PAPER_N_AWAKE",
+    "PAPER_N_HIBERNATE",
+]

@@ -1,0 +1,42 @@
+"""Temporal data-reference profiler: bursts straight into Sequitur.
+
+Per Section 2.4, traced references are "batched and sent to Sequitur as soon
+as they are collected" — the grammar is built online, not from a stored
+trace.  The profiler is the interpreter's ``trace_sink``; one
+:meth:`TemporalProfiler.record` call per traced reference interns the
+``(pc, addr)`` pair and appends it to the current grammar.
+
+``reset`` starts a fresh grammar for the next profiling period (hibernation
+references are never recorded because the phase controller turns the
+interpreter's ``tracing_enabled`` flag off — "ignored by Sequitur to avoid
+trace contamination").
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Pc
+from repro.profiling.trace import SymbolTable
+from repro.sequitur.sequitur import Sequitur
+
+
+class TemporalProfiler:
+    """Collects a temporal data reference profile as a Sequitur grammar."""
+
+    def __init__(self) -> None:
+        self.symbols = SymbolTable()
+        self.sequitur = Sequitur()
+        self.total_recorded = 0
+
+    def record(self, pc: Pc, addr: int) -> None:
+        """Trace one data reference (the interpreter's ``trace_sink``)."""
+        self.sequitur.append(self.symbols.intern(pc, addr))
+        self.total_recorded += 1
+
+    @property
+    def trace_length(self) -> int:
+        """References in the *current* profiling period."""
+        return self.sequitur.length
+
+    def reset(self) -> None:
+        """Drop the grammar for a new profiling period (symbol table kept)."""
+        self.sequitur = Sequitur()

@@ -1,0 +1,56 @@
+"""Data references and the symbol table interning them for Sequitur.
+
+A data reference is a ``(pc, addr)`` pair (Section 2).  Sequitur consumes
+non-negative integer terminals, so the profiler interns each distinct pair to
+a dense id; the analysis layer maps ids back to references when it turns hot
+non-terminals into prefetchable streams.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.ir.instructions import Pc
+
+
+class DataRef(NamedTuple):
+    """One data reference: the pc of the load/store and the byte address."""
+
+    pc: Pc
+    addr: int
+
+    def __str__(self) -> str:
+        return f"({self.pc}, {self.addr:#x})"
+
+
+class SymbolTable:
+    """Bijective interning of :class:`DataRef` pairs to dense integer ids."""
+
+    def __init__(self) -> None:
+        self._ids: dict[DataRef, int] = {}
+        self._refs: list[DataRef] = []
+
+    def intern(self, pc: Pc, addr: int) -> int:
+        """Id for ``(pc, addr)``, allocating on first sight."""
+        ref = DataRef(pc, addr)
+        sid = self._ids.get(ref)
+        if sid is None:
+            sid = len(self._refs)
+            self._ids[ref] = sid
+            self._refs.append(ref)
+        return sid
+
+    def lookup(self, sid: int) -> DataRef:
+        """The reference interned as ``sid``."""
+        return self._refs[sid]
+
+    def decode(self, sids: list[int] | tuple[int, ...]) -> list[DataRef]:
+        """Map a sequence of ids back to references."""
+        refs = self._refs
+        return [refs[s] for s in sids]
+
+    def __len__(self) -> int:
+        return len(self._refs)
+
+    def __contains__(self, ref: DataRef) -> bool:
+        return ref in self._ids

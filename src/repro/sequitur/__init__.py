@@ -1,0 +1,6 @@
+"""Incremental Sequitur grammar inference (Nevill-Manning & Witten)."""
+
+from repro.sequitur.grammar import Rule, Symbol
+from repro.sequitur.sequitur import Sequitur
+
+__all__ = ["Sequitur", "Rule", "Symbol"]

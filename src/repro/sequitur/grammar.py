@@ -1,0 +1,101 @@
+"""Grammar objects for Sequitur: symbols (doubly-linked) and rules.
+
+A rule's right-hand side is a circular doubly-linked list of
+:class:`Symbol` nodes headed by a *guard* node.  Terminals are non-negative
+integers; non-terminals hold a reference to their :class:`Rule`.  Digram keys
+encode terminals as themselves and rule ids as negative integers, so a digram
+is a plain ``(int, int)`` tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+
+class Symbol:
+    """One node in a rule body (or the rule's guard node)."""
+
+    __slots__ = ("next", "prev", "terminal", "rule", "owner")
+
+    def __init__(
+        self,
+        terminal: Optional[int] = None,
+        rule: Optional["Rule"] = None,
+        owner: Optional["Rule"] = None,
+    ) -> None:
+        self.next: Optional[Symbol] = None
+        self.prev: Optional[Symbol] = None
+        self.terminal = terminal
+        self.rule = rule
+        #: set only on guard nodes: the rule this guard heads
+        self.owner = owner
+        if rule is not None:
+            rule.refcount += 1
+
+    @property
+    def is_guard(self) -> bool:
+        return self.owner is not None
+
+    @property
+    def key(self) -> int:
+        """Digram key: terminals map to themselves, rules to negative ids."""
+        if self.rule is not None:
+            return -1 - self.rule.id
+        assert self.terminal is not None
+        return self.terminal
+
+    def value(self) -> Union[int, "Rule"]:
+        """The payload: a terminal int or a Rule."""
+        return self.rule if self.rule is not None else self.terminal  # type: ignore[return-value]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_guard:
+            return f"<guard R{self.owner.id}>"  # type: ignore[union-attr]
+        if self.rule is not None:
+            return f"<R{self.rule.id}>"
+        return f"<{self.terminal}>"
+
+
+class Rule:
+    """A grammar rule; its body hangs off the guard node."""
+
+    __slots__ = ("id", "refcount", "guard")
+
+    def __init__(self, rule_id: int) -> None:
+        self.id = rule_id
+        #: number of non-terminal symbols referring to this rule
+        self.refcount = 0
+        self.guard = Symbol(owner=self)
+        self.guard.next = self.guard
+        self.guard.prev = self.guard
+
+    def first(self) -> Symbol:
+        assert self.guard.next is not None
+        return self.guard.next
+
+    def last(self) -> Symbol:
+        assert self.guard.prev is not None
+        return self.guard.prev
+
+    @property
+    def is_empty(self) -> bool:
+        return self.guard.next is self.guard
+
+    def symbols(self) -> Iterator[Symbol]:
+        """Iterate the body symbols left to right (excluding the guard)."""
+        node = self.guard.next
+        while node is not self.guard:
+            assert node is not None
+            yield node
+            node = node.next
+
+    def rhs(self) -> list[Union[int, "Rule"]]:
+        """Body as a list of terminals and Rule references."""
+        return [sym.value() for sym in self.symbols()]
+
+    def rhs_length(self) -> int:
+        """Number of symbols on the right-hand side."""
+        return sum(1 for _ in self.symbols())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Rule(R{self.id}, refs={self.refcount})"

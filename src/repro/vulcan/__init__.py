@@ -1,0 +1,25 @@
+"""Binary-editing analogue of Vulcan: static instrumentation, dynamic patching."""
+
+from repro.vulcan.dynamic_edit import (
+    InjectionResult,
+    deoptimize,
+    inject_detection,
+    optimized_copy,
+)
+from repro.vulcan.static_edit import (
+    InstrumentationReport,
+    find_backedges,
+    instrument_procedure,
+    instrument_program,
+)
+
+__all__ = [
+    "InstrumentationReport",
+    "find_backedges",
+    "instrument_procedure",
+    "instrument_program",
+    "InjectionResult",
+    "inject_detection",
+    "optimized_copy",
+    "deoptimize",
+]

@@ -1,0 +1,103 @@
+"""Dynamic binary editing: inject / remove detection-and-prefetch code.
+
+This is the analogue of *dynamic* Vulcan (Section 3.2).  To optimize, for
+every procedure containing a pc the DFSM wants to watch, the editor
+
+1. makes a copy of the procedure,
+2. attaches the detection handler to the matching memory operations of the
+   copy (both code versions), and
+3. "overwrites the first instruction of the original with an unconditional
+   jump to the copy" — modelled by the program's patch table, which redirects
+   *new* calls while existing activation records keep returning into the
+   original (exactly the paper's stale-return-address caveat).
+
+Deoptimization removes the jumps (clears the patch table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import EditError
+from repro.ir.instructions import Instr, Load, Pc, Store
+from repro.ir.program import Procedure, Program
+
+
+@dataclass
+class InjectionResult:
+    """Summary of one dynamic injection (feeds Table 2)."""
+
+    patched_procedures: list[str] = field(default_factory=list)
+    instrumented_pcs: int = 0
+
+    @property
+    def num_procedures(self) -> int:
+        return len(self.patched_procedures)
+
+
+def _copy_with_handlers(body: list[Instr], handlers: Mapping[Pc, object]) -> tuple[list[Instr], int]:
+    """Copy ``body`` attaching handlers to matching memory ops."""
+    new_body: list[Instr] = []
+    attached = 0
+    for instr in body:
+        if isinstance(instr, Load) and instr.pc in handlers:
+            new_body.append(
+                Load(instr.dst, instr.base, instr.offset, instr.pc, instr.traced, handlers[instr.pc])
+            )
+            attached += 1
+        elif isinstance(instr, Store) and instr.pc in handlers:
+            new_body.append(
+                Store(instr.src, instr.base, instr.offset, instr.pc, instr.traced, handlers[instr.pc])
+            )
+            attached += 1
+        else:
+            new_body.append(instr)
+    return new_body, attached
+
+
+def optimized_copy(proc: Procedure, handlers: Mapping[Pc, object]) -> Procedure:
+    """Copy ``proc`` with detection handlers attached to both versions."""
+    body, attached = _copy_with_handlers(proc.body, handlers)
+    if attached == 0:
+        raise EditError(f"{proc.name}: no memory op matches any handler pc")
+    copy = Procedure(
+        name=proc.name,
+        num_params=proc.num_params,
+        num_regs=proc.num_regs,
+        body=body,
+        labels=dict(proc.labels),
+    )
+    if proc.instrumented_body is not None:
+        copy.instrumented_body, _ = _copy_with_handlers(proc.instrumented_body, handlers)
+    return copy
+
+
+def inject_detection(program: Program, handlers: Mapping[Pc, object]) -> InjectionResult:
+    """Patch every procedure containing a handled pc; return a summary.
+
+    Injection always starts from the registered (original, unpatched)
+    procedures, so repeated optimize/deoptimize cycles do not stack handlers.
+    """
+    result = InjectionResult()
+    if not handlers:
+        return result
+    by_proc: dict[str, dict[Pc, object]] = {}
+    for pc, handler in handlers.items():
+        by_proc.setdefault(pc.proc, {})[pc] = handler
+    for name, proc_handlers in sorted(by_proc.items()):
+        proc = program.procedures.get(name)
+        if proc is None:
+            raise EditError(f"handler targets unknown procedure {name!r}")
+        copy = optimized_copy(proc, proc_handlers)
+        program.patch(name, copy)
+        result.patched_procedures.append(name)
+        result.instrumented_pcs += len(proc_handlers)
+    return result
+
+
+def deoptimize(program: Program) -> list[str]:
+    """Remove all injected code (clear the patch table); return patched names."""
+    names = sorted(program.patched_names)
+    program.unpatch_all()
+    return names

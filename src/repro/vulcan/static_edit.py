@@ -1,0 +1,114 @@
+"""Static binary editing: the bursty-tracing instrumentation of Figure 2.
+
+Before execution, every procedure is rewritten so that:
+
+* a ``CHECK`` executes at the procedure entry,
+* a ``CHECK`` executes before every loop back-edge (a branch whose target
+  label precedes the branch), and
+* the whole body is duplicated into an *instrumented* version whose memory
+  operations carry ``traced=True`` so the interpreter records them.
+
+Both versions are structurally identical (same length, same label table,
+checks at the same indices), which is what lets a check transfer control
+between them by instruction index — the analogue of the original/duplicated
+code of the Arnold–Ryder/bursty-tracing schemes.
+
+This mirrors the paper's use of *static* Vulcan: "Before execution, static
+Vulcan modifies the x86 binary of the benchmark to implement the bursty
+tracing framework" (Section 4, Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EditError
+from repro.ir.instructions import Bnz, Bz, Check, Instr, Jmp, Load, Store
+from repro.ir.program import Procedure, Program
+
+
+@dataclass(frozen=True)
+class InstrumentationReport:
+    """What the static editor did to one program."""
+
+    procedures: int
+    entry_checks: int
+    backedge_checks: int
+
+    @property
+    def total_checks(self) -> int:
+        return self.entry_checks + self.backedge_checks
+
+
+def find_backedges(proc: Procedure) -> list[int]:
+    """Indices of branch instructions that jump backwards (loop back-edges)."""
+    backedges = []
+    for i, instr in enumerate(proc.body):
+        if isinstance(instr, (Jmp, Bz, Bnz)) and proc.labels.get(instr.label, len(proc.body)) <= i:
+            backedges.append(i)
+    return backedges
+
+
+def _traced_copy(body: list[Instr]) -> list[Instr]:
+    """Copy a body, recreating memory ops with ``traced=True``."""
+    copy: list[Instr] = []
+    for instr in body:
+        if isinstance(instr, Load):
+            copy.append(Load(instr.dst, instr.base, instr.offset, instr.pc, traced=True))
+        elif isinstance(instr, Store):
+            copy.append(Store(instr.src, instr.base, instr.offset, instr.pc, traced=True))
+        else:
+            copy.append(instr)
+    return copy
+
+
+def instrument_procedure(proc: Procedure) -> tuple[Procedure, int, int]:
+    """Return an instrumented copy of ``proc`` plus (entry, backedge) counts.
+
+    The input procedure is left untouched so unmodified baselines can still
+    run it.
+    """
+    if proc.is_instrumented:
+        raise EditError(f"{proc.name} is already instrumented")
+    insert_at = sorted([0] + find_backedges(proc))
+    new_body: list[Instr] = []
+    index_shift: list[int] = []  # old index -> new index
+    pending = list(insert_at)
+    for old_index, instr in enumerate(proc.body):
+        while pending and pending[0] == old_index:
+            pending.pop(0)
+            new_body.append(Check(backedge=old_index != 0))
+        index_shift.append(len(new_body))
+        new_body.append(instr)
+    new_labels = {
+        label: index_shift[index] if index < len(proc.body) else len(new_body)
+        for label, index in proc.labels.items()
+    }
+    instrumented = Procedure(
+        name=proc.name,
+        num_params=proc.num_params,
+        num_regs=proc.num_regs,
+        body=new_body,
+        labels=new_labels,
+    )
+    instrumented.instrumented_body = _traced_copy(new_body)
+    backedge_checks = len(insert_at) - 1
+    return instrumented, 1, backedge_checks
+
+
+def instrument_program(program: Program) -> tuple[Program, InstrumentationReport]:
+    """Instrument every procedure; return a new program plus a report."""
+    procs: list[Procedure] = []
+    entry_checks = 0
+    backedge_checks = 0
+    for proc in program.procedures.values():
+        new_proc, entries, backs = instrument_procedure(proc)
+        procs.append(new_proc)
+        entry_checks += entries
+        backedge_checks += backs
+    report = InstrumentationReport(
+        procedures=len(procs),
+        entry_checks=entry_checks,
+        backedge_checks=backedge_checks,
+    )
+    return Program(procs, program.entry), report

@@ -1,0 +1,35 @@
+"""Benchmark workloads: the chain-mix generator and the six paper analogues."""
+
+from repro.workloads.base import BuiltWorkload
+from repro.workloads.chainmix import (
+    NODE_BYTES,
+    ChainMixParams,
+    build_chainmix,
+)
+from repro.workloads.presets import (
+    ALL_PARAMS,
+    BOXSIM,
+    MCF,
+    PARSER,
+    TWOLF,
+    VORTEX,
+    VPR,
+    build,
+    names,
+)
+
+__all__ = [
+    "BuiltWorkload",
+    "ChainMixParams",
+    "build_chainmix",
+    "NODE_BYTES",
+    "ALL_PARAMS",
+    "VPR",
+    "MCF",
+    "TWOLF",
+    "PARSER",
+    "VORTEX",
+    "BOXSIM",
+    "build",
+    "names",
+]

@@ -1,0 +1,27 @@
+"""Workload plumbing: a built workload is a program plus a memory image.
+
+Workload builders lay out their pointer structures directly in simulated
+memory (the analogue of a process image after initialization) and return the
+program that traverses them.  Building in Python rather than in simulated
+code keeps experiment runs affordable; the *traversal* — the part the paper's
+system observes and optimizes — executes entirely in the simulated ISA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.program import Program
+from repro.machine.memory import Memory
+
+
+@dataclass
+class BuiltWorkload:
+    """A ready-to-run benchmark: code, initialized memory, entry arguments."""
+
+    name: str
+    program: Program
+    memory: Memory
+    args: tuple[int, ...] = ()
+    #: free-form facts about the build (footprints, chain counts, ...)
+    info: dict[str, int] = field(default_factory=dict)

@@ -1,0 +1,349 @@
+"""The chain-mix workload generator: pointer-chasing with hot data streams.
+
+All six benchmark analogues are instances of one template that captures the
+memory behaviour the paper exploits:
+
+* a population of linked chains (lists of 32-byte, block-aligned nodes),
+  a few of which are *hot* — revisited over and over in the same order —
+  and many of which are cold;
+* several distinct *walker* procedures (real programs traverse different
+  structures from different code), so stream-head pcs spread across the
+  program;
+* a driving schedule, replayed every pass, that interleaves hot and cold
+  chain visits — giving the trace the "small number of hot data streams
+  account for most references" shape reported in [8]; and
+* a cold-array scrubber between visits that provides cache pressure, so hot
+  chain nodes are usually not resident when revisited.
+
+Crucially, chain nodes are (by default) allocated in an order *decorrelated*
+from traversal order, which is why sequential prefetching fails on these
+workloads (Figure 12's Seq-pref bars); ``sequential_alloc=True`` reproduces
+the parser benchmark, whose hot streams are sequentially allocated and which
+is the one Seq-pref winner.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.ir.builder import ProcedureBuilder, build_program
+from repro.machine.memory import Memory
+from repro.workloads.base import BuiltWorkload
+
+NODE_BYTES = 32
+NODE_NEXT_OFF = 0
+NODE_VAL_OFF = 4
+#: One word per schedule slot: the chain head pointer with the walker-group
+#: id packed into the low bits (nodes are 32-byte aligned, so 5 bits free).
+SCHED_ENTRY_BYTES = 4
+GROUP_BITS_MASK = NODE_BYTES - 1
+
+
+@dataclass(frozen=True)
+class ChainMixParams:
+    """Shape of one chain-mix workload (see module docstring).
+
+    ``passes`` is the default number of schedule replays; the experiment
+    runner can override it through the program's entry argument.
+    """
+
+    name: str
+    groups: int = 4
+    hot_chains: int = 12
+    cold_chains: int = 120
+    chain_len: int = 21
+    hot_fraction: float = 0.8
+    schedule_len: int = 96
+    passes: int = 10
+    cold_refs_per_step: int = 16
+    cold_array_blocks: int = 2048
+    node_compute: int = 2
+    sequential_alloc: bool = False
+    unroll: int = 4
+    #: Number of program phases.  With ``phases > 1`` the workload owns
+    #: ``phases * hot_chains`` hot chains but only one group of
+    #: ``hot_chains`` is hot at a time; the active group advances every
+    #: ``passes / phases`` worth of steps.  This models the "distinct phase
+    #: behavior" of Section 1, where a dynamic scheme that re-profiles
+    #: should beat a static profile-once scheme.
+    phases: int = 1
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.groups <= NODE_BYTES:
+            raise ConfigError(f"groups must be in 1..{NODE_BYTES} (packed into pointer bits)")
+        if self.hot_chains < self.groups:
+            raise ConfigError("need at least one hot chain per group")
+        if self.chain_len < 2:
+            raise ConfigError("chains must have at least two nodes")
+        if self.unroll < 1 or (self.chain_len - 1) % self.unroll:
+            raise ConfigError("chain_len must be 1 + a multiple of unroll (peeled first node)")
+        if self.cold_chains == 0 and round(self.hot_fraction * 8) != 8:
+            raise ConfigError("hot_fraction must be 1.0 when there are no cold chains")
+        if self.cold_array_blocks & (self.cold_array_blocks - 1):
+            raise ConfigError("cold_array_blocks must be a power of two")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ConfigError("hot_fraction must be in [0, 1]")
+        if self.phases < 1:
+            raise ConfigError("phases must be >= 1")
+
+    @property
+    def hot_eighths(self) -> int:
+        """``hot_fraction`` quantized to eighths for the in-ISA pick logic."""
+        return max(0, min(8, round(self.hot_fraction * 8)))
+
+    @property
+    def total_chains(self) -> int:
+        return self.hot_chains * self.phases + self.cold_chains
+
+    @property
+    def node_footprint_bytes(self) -> int:
+        return self.total_chains * self.chain_len * NODE_BYTES
+
+
+def _build_walker(
+    group: int, node_compute: int, acc_addr: int, unroll: int
+) -> ProcedureBuilder:
+    """One chain-walking procedure; its pcs are unique to the group.
+
+    The first node is *peeled* out of the loop and the remaining loop is
+    unrolled ``unroll``-fold (chain lengths are ``1 + k*unroll``), as a
+    compiler would transform a hot traversal loop.  The peel matters for the
+    reproduction's overhead profile: a stream's second head reference is the
+    first node's value load, and peeling gives that reference a pc that
+    executes once per traversal instead of once per iteration — so the
+    injected prefix-match check is not re-scanned on every loop trip.
+    """
+    b = ProcedureBuilder(f"walk{group}", params=("head",))
+    node = b.reg("node")
+    total = b.reg("total")
+
+    def node_body() -> None:
+        value = b.load(None, node, NODE_VAL_OFF)
+        b.add(total, total, value)
+        for _ in range(node_compute):
+            b.muli(total, total, 3)
+            b.addi(total, total, 1)
+        b.load(node, node, NODE_NEXT_OFF)
+
+    b.mov(node, b.param("head"))
+    b.const(total, 0)
+    node_body()  # peeled first node: head-match pcs, executed once per visit
+    b.bz(node, "end")
+    b.label("loop")
+    for _ in range(unroll):
+        node_body()
+    b.bnz(node, "loop")
+    b.label("end")
+    base = b.reg("accbase")
+    b.const(base, acc_addr)
+    b.store(total, base, 0)
+    b.ret(total)
+    return b
+
+
+COLD_UNROLL = 4
+
+
+def _build_cold_walker(params: ChainMixParams, cold_base: int) -> ProcedureBuilder:
+    """Pseudo-random strider over the cold array (cache pressure, no streams).
+
+    The loop is unrolled ``COLD_UNROLL``-fold so a back-edge check guards a
+    realistically-sized loop body rather than a single reference (the paper
+    applies the check-reduction techniques of [15] for the same reason).
+    """
+    b = ProcedureBuilder("coldwalk", params=("idx",))
+    idx = b.reg("idx2")
+    b.mov(idx, b.param("idx"))
+    count = b.const(b.reg("count"), 0)
+    iters = max(1, params.cold_refs_per_step // COLD_UNROLL)
+    limit = b.const(b.reg("limit"), iters)
+    base = b.const(b.reg("base"), cold_base)
+    sink = b.reg("sink")
+    b.label("loop")
+    cond = b.cmp("lt", None, count, limit)
+    b.bz(cond, "end")
+    for _ in range(COLD_UNROLL):
+        b.muli(idx, idx, 5)
+        b.addi(idx, idx, 7)
+        b.alui("and", idx, idx, params.cold_array_blocks - 1)
+        off = b.muli(None, idx, NODE_BYTES)
+        addr = b.add(None, base, off)
+        b.load(sink, addr, 0)
+    b.addi(count, count, 1)
+    b.jmp("loop")
+    b.label("end")
+    b.ret(idx)
+    return b
+
+
+#: LCG constants for the schedule-index generator (mod 2**24).
+LCG_A = 1_103_515_245 & 0xFFFFFF
+LCG_C = 12_345
+LCG_MASK = (1 << 24) - 1
+
+
+def _build_dispatch(params: ChainMixParams, sched_base: int) -> ProcedureBuilder:
+    """Per-step worker: read a schedule slot, walk its chain, scrub cold data.
+
+    This indirection layer matters for the reproduction: hot data streams
+    begin with the slot loads here (or with the chain's first node in the
+    walkers), and ``dispatch`` is re-entered every step, so dynamically
+    injected detection code takes effect at the next call.  Code reached only
+    from never-returning frames (like ``main``'s loop) would never execute
+    its patches — the paper's stale-activation-record caveat (Section 3.2).
+    """
+    b = ProcedureBuilder("dispatch", params=("pick",))
+    base = b.const(b.reg("base"), sched_base)
+    off = b.muli(None, b.param("pick"), SCHED_ENTRY_BYTES)
+    entry = b.add(None, base, off)
+    tagged = b.load(None, entry, 0)
+    group = b.alui("and", None, tagged, GROUP_BITS_MASK)
+    head = b.alui("and", None, tagged, ~GROUP_BITS_MASK & 0xFFFFFFFF)
+    group_consts = [b.const(b.reg(f"g{k}"), k) for k in range(params.groups)]
+    result = b.const(b.reg("result"), 0)
+    for k in range(params.groups):
+        hit = b.cmp("eq", None, group, group_consts[k])
+        b.bnz(hit, f"dispatch{k}")
+    b.jmp("after_walk")
+    for k in range(params.groups):
+        b.label(f"dispatch{k}")
+        b.call(result, f"walk{k}", (head,))
+        b.jmp("after_walk")
+    b.label("after_walk")
+    b.ret(result)
+    return b
+
+
+def _build_main(params: ChainMixParams) -> ProcedureBuilder:
+    """Driver: ``passes * schedule_len`` steps picking chains by LCG.
+
+    Each step draws whether to visit a hot or a cold chain (probability
+    ``hot_eighths / 8``), then a uniform chain within the class.  Schedule
+    slots map 1:1 to chains (hot chains first), so every chain is entered
+    through exactly one slot — giving it exactly one hot data stream, whose
+    head is the pair of slot loads in ``dispatch``.
+
+    The pseudo-random visit order makes the *global* reference sequence
+    aperiodic, so the only subsequences that repeat exactly — and therefore
+    become hot data streams — are the per-chain dispatch+traversal windows.
+    """
+    b = ProcedureBuilder("main", params=("passes",))
+    step = b.const(b.reg("step"), 0)
+    steps = b.muli(None, b.param("passes"), params.schedule_len)
+    state = b.const(b.reg("state"), params.seed | 1)
+    idx = b.const(b.reg("idx"), 1)
+    acc = b.const(b.reg("acc"), 0)
+    n_hot = b.const(b.reg("n_hot"), params.hot_chains)
+    hot_eighths = b.const(b.reg("hot_eighths"), params.hot_eighths)
+    n_all_hot = b.const(b.reg("n_all_hot"), params.hot_chains * params.phases)
+    # Steps per phase (at least 1 to avoid division trouble on tiny runs).
+    spp = b.reg("spp")
+    b.alui("div", spp, steps, params.phases)
+    one = b.const(b.reg("one"), 1)
+    spp_ok = b.cmp("ge", None, spp, one)
+    b.bnz(spp_ok, "spp_done")
+    b.mov(spp, one)
+    b.label("spp_done")
+    result = b.reg("result")
+    pick = b.reg("pick")
+    b.label("step_loop")
+    more = b.cmp("lt", None, step, steps)
+    b.bz(more, "done")
+    # Class draw: hot with probability hot_eighths/8.
+    b.muli(state, state, LCG_A)
+    b.addi(state, state, LCG_C)
+    b.alui("and", state, state, LCG_MASK)
+    octant = b.alui("shr", None, state, 6)
+    b.alui("and", octant, octant, 7)
+    is_hot = b.cmp("lt", None, octant, hot_eighths)
+    # Index draw: uniform within the class.
+    b.muli(state, state, LCG_A)
+    b.addi(state, state, LCG_C)
+    b.alui("and", state, state, LCG_MASK)
+    draw = b.alui("shr", None, state, 6)
+    b.bnz(is_hot, "pick_hot")
+    b.alui("mod", pick, draw, max(1, params.cold_chains))
+    b.add(pick, pick, n_all_hot)
+    b.jmp("picked")
+    b.label("pick_hot")
+    b.alui("mod", pick, draw, params.hot_chains)
+    if params.phases > 1:
+        # The active hot group advances with the program phase.
+        phase = b.alu("div", None, step, spp)
+        b.alui("mod", phase, phase, params.phases)
+        base = b.mul(None, phase, n_hot)
+        b.add(pick, pick, base)
+    b.label("picked")
+    b.call(result, "dispatch", (pick,))
+    b.add(acc, acc, result)
+    b.call(idx, "coldwalk", (idx,))
+    b.addi(step, step, 1)
+    b.jmp("step_loop")
+    b.label("done")
+    b.ret(acc)
+    return b
+
+
+def build_chainmix(params: ChainMixParams, passes: int | None = None) -> BuiltWorkload:
+    """Materialize the workload: memory image + program + entry args."""
+    rng = random.Random(params.seed)
+    memory = Memory()
+
+    # Static data: schedule (one slot per chain), cold array, accumulators.
+    sched_base = memory.allocate_static(params.total_chains * SCHED_ENTRY_BYTES)
+    cold_base = memory.allocate_static(params.cold_array_blocks * NODE_BYTES)
+    acc_base = memory.allocate_static(params.groups * 4)
+
+    # Allocate chain nodes.  Hot streams are only sequentially allocated for
+    # the parser-style workload (sequential_alloc=True).
+    total = params.total_chains
+    slots = [(chain, pos) for chain in range(total) for pos in range(params.chain_len)]
+    if not params.sequential_alloc:
+        rng.shuffle(slots)
+    addr_of: dict[tuple[int, int], int] = {}
+    for chain, pos in slots:
+        addr_of[(chain, pos)] = memory.allocate(NODE_BYTES, align=NODE_BYTES)
+
+    # Link the chains and give every node a value.
+    for chain in range(total):
+        for pos in range(params.chain_len):
+            addr = addr_of[(chain, pos)]
+            is_last = pos == params.chain_len - 1
+            succ = 0 if is_last else addr_of[(chain, pos + 1)]
+            memory.store(addr + NODE_NEXT_OFF, succ)
+            memory.store(addr + NODE_VAL_OFF, chain * 131 + pos)
+
+    # Chains round-robin over walker groups; hot chains are ids [0, hot).
+    # Schedule slots map 1:1 to chains: slot i holds (group, head) of chain i.
+    group_of = {chain: chain % params.groups for chain in range(total)}
+    for chain in range(total):
+        entry_addr = sched_base + chain * SCHED_ENTRY_BYTES
+        memory.store(entry_addr, addr_of[(chain, 0)] | group_of[chain])
+
+    walkers = [
+        _build_walker(group, params.node_compute, acc_base + group * 4, params.unroll)
+        for group in range(params.groups)
+    ]
+    cold_walker = _build_cold_walker(params, cold_base)
+    dispatch = _build_dispatch(params, sched_base)
+    main = _build_main(params)
+    program = build_program([main, dispatch, cold_walker, *walkers], entry="main")
+
+    return BuiltWorkload(
+        name=params.name,
+        program=program,
+        memory=memory,
+        args=(passes if passes is not None else params.passes,),
+        info={
+            "hot_chains": params.hot_chains,
+            "phases": params.phases,
+            "cold_chains": params.cold_chains,
+            "chain_len": params.chain_len,
+            "node_footprint_bytes": params.node_footprint_bytes,
+            "cold_array_bytes": params.cold_array_blocks * NODE_BYTES,
+            "schedule_len": params.schedule_len,
+        },
+    )

@@ -1,0 +1,150 @@
+"""The six benchmark analogues (Section 4.1's program set).
+
+Each preset instantiates the chain-mix template with a shape chosen to echo
+the corresponding program's memory behaviour.  These are synthetic
+analogues, not the SPEC sources (see DESIGN.md's substitution table); what
+they preserve is the *trace structure* the paper's system consumes: a small
+set of hot data streams over pointer-chasing references, plus cold traffic.
+
+The shapes also steer the Table 2 characterization: the number of hot chains
+sets the detected stream count (paper: vpr 41, mcf 37, twolf 25, parser 21,
+vortex 14, boxsim 23), and ``groups + 2`` bounds the procedures the dynamic
+editor patches per cycle.
+
+Key contrasts between presets:
+
+* ``vpr`` — long net-like chains with a large hot visit share; the strongest
+  prefetching winner in Figure 12.
+* ``mcf`` — long network-simplex arc chains, few walker procedures.
+* ``twolf`` — shorter neighbour chains, many walkers, heavy cold pressure;
+  a strong Seq-pref victim.
+* ``parser`` — dictionary chains **allocated sequentially in traversal
+  order**: the single benchmark where the Seq-pref baseline wins.
+* ``vortex`` — many walker procedures (an OO database's spread-out code),
+  short chains, even hot/cold mix: the smallest Dyn-pref gain.
+* ``boxsim`` — the graphics sphere simulation: medium chains, moderate
+  pressure.
+
+``passes`` defaults are sized so the default optimizer completes multiple
+profile/optimize/hibernate cycles per run while keeping simulations fast;
+the relative cycle counts follow the paper's ordering (twolf > mcf > vpr ~
+boxsim > parser > vortex).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import BuiltWorkload
+from repro.workloads.chainmix import ChainMixParams, build_chainmix
+
+VPR = ChainMixParams(
+    name="vpr",
+    groups=6,
+    hot_chains=41,
+    cold_chains=200,
+    chain_len=81,
+    hot_fraction=0.875,
+    schedule_len=512,
+    passes=32,
+    cold_refs_per_step=4,
+    cold_array_blocks=2048,
+    node_compute=1,
+    unroll=4,
+    seed=11,
+)
+
+MCF = ChainMixParams(
+    name="mcf",
+    groups=5,
+    hot_chains=37,
+    cold_chains=400,
+    chain_len=65,
+    hot_fraction=0.75,
+    schedule_len=512,
+    passes=40,
+    cold_refs_per_step=8,
+    cold_array_blocks=4096,
+    node_compute=1,
+    unroll=4,
+    seed=22,
+)
+
+TWOLF = ChainMixParams(
+    name="twolf",
+    groups=10,
+    hot_chains=25,
+    cold_chains=480,
+    chain_len=49,
+    hot_fraction=0.875,
+    schedule_len=512,
+    passes=56,
+    cold_refs_per_step=4,
+    cold_array_blocks=4096,
+    node_compute=2,
+    unroll=4,
+    seed=33,
+)
+
+PARSER = ChainMixParams(
+    name="parser",
+    groups=8,
+    hot_chains=21,
+    cold_chains=360,
+    chain_len=49,
+    hot_fraction=0.75,
+    schedule_len=512,
+    passes=24,
+    cold_refs_per_step=8,
+    cold_array_blocks=4096,
+    node_compute=2,
+    sequential_alloc=True,
+    unroll=4,
+    seed=44,
+)
+
+VORTEX = ChainMixParams(
+    name="vortex",
+    groups=11,
+    hot_chains=14,
+    cold_chains=420,
+    chain_len=33,
+    hot_fraction=0.75,
+    schedule_len=512,
+    passes=28,
+    cold_refs_per_step=24,
+    cold_array_blocks=4096,
+    node_compute=2,
+    unroll=4,
+    seed=55,
+)
+
+BOXSIM = ChainMixParams(
+    name="boxsim",
+    groups=6,
+    hot_chains=23,
+    cold_chains=380,
+    chain_len=65,
+    hot_fraction=0.75,
+    schedule_len=512,
+    passes=32,
+    cold_refs_per_step=8,
+    cold_array_blocks=4096,
+    node_compute=1,
+    unroll=4,
+    seed=66,
+)
+
+ALL_PARAMS = (VPR, MCF, TWOLF, PARSER, VORTEX, BOXSIM)
+
+
+def build(name: str, passes: int | None = None) -> BuiltWorkload:
+    """Build a preset workload by benchmark name."""
+    for params in ALL_PARAMS:
+        if params.name == name:
+            return build_chainmix(params, passes=passes)
+    known = ", ".join(p.name for p in ALL_PARAMS)
+    raise KeyError(f"unknown workload {name!r}; known: {known}")
+
+
+def names() -> list[str]:
+    """The benchmark names in the paper's presentation order."""
+    return [p.name for p in ALL_PARAMS]

@@ -1,0 +1,62 @@
+"""Shared fixtures: small machines, workloads and optimizer configs.
+
+Tests run against deliberately tiny configurations so the whole suite stays
+fast; the full-size presets are exercised by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.hotstreams import AnalysisConfig
+from repro.core.config import OptimizerConfig
+from repro.machine.config import CacheGeometry, MachineConfig
+from repro.profiling.sampling import BurstyCounters
+from repro.workloads.chainmix import ChainMixParams
+
+
+@pytest.fixture
+def tiny_machine() -> MachineConfig:
+    """A very small cache hierarchy: easy to overflow in tests."""
+    return MachineConfig(
+        l1=CacheGeometry(512, 2),       # 16 blocks
+        l2=CacheGeometry(4096, 4),      # 128 blocks
+        l2_latency=10,
+        memory_latency=100,
+    )
+
+
+@pytest.fixture
+def small_params() -> ChainMixParams:
+    """A chain-mix workload that runs in well under a second."""
+    return ChainMixParams(
+        name="small",
+        groups=2,
+        hot_chains=6,
+        cold_chains=20,
+        chain_len=9,
+        hot_fraction=0.75,
+        schedule_len=32,
+        passes=8,
+        cold_refs_per_step=4,
+        cold_array_blocks=64,
+        node_compute=1,
+        unroll=4,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def small_opt() -> OptimizerConfig:
+    """An optimizer that completes several cycles on the small workload."""
+    return OptimizerConfig(
+        counters=BurstyCounters(16, 16),
+        n_awake=12,
+        n_hibernate=48,
+        head_len=2,
+        analysis=AnalysisConfig(
+            heat_ratio=0.002, min_length=4, max_length=64, min_unique=3, max_streams=16
+        ),
+        max_prefetches=32,
+        max_dfsm_states=512,
+    )

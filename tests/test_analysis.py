@@ -1,0 +1,184 @@
+"""Tests for hot-data-stream detection (Figure 5 / Table 1) and exact checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    AnalysisConfig,
+    analyze_grammar,
+    enumerate_hot_substrings,
+    exact_heat,
+    find_hot_streams,
+    non_overlapping_frequency,
+)
+from repro.analysis.stream import HotDataStream
+from repro.sequitur import Sequitur
+
+
+def build(tokens) -> Sequitur:
+    seq = Sequitur()
+    seq.extend(tokens)
+    return seq
+
+
+def encode(text: str) -> list[int]:
+    return [ord(ch) - ord("a") for ch in text]
+
+
+EXAMPLE = encode("abaabcabcabcabc")
+EXAMPLE_CONFIG = AnalysisConfig(heat_threshold=8, min_length=2, max_length=7)
+
+
+class TestTable1:
+    """The paper's worked example, value by value."""
+
+    @pytest.fixture
+    def facts(self):
+        return analyze_grammar(build(EXAMPLE), EXAMPLE_CONFIG)
+
+    def by_length(self, facts, length):
+        return next(f for f in facts.values() if f.length == length)
+
+    def test_start_rule_values(self, facts):
+        s = self.by_length(facts, 15)
+        assert (s.index, s.uses, s.cold_uses, s.heat, s.hot) == (0, 1, 1, 15, False)
+
+    def test_hot_rule_b(self, facts):
+        b = self.by_length(facts, 6)
+        assert (b.index, b.uses, b.cold_uses, b.heat, b.hot) == (1, 2, 2, 12, True)
+
+    def test_subsumed_rule_c(self, facts):
+        c = self.by_length(facts, 3)
+        assert (c.index, c.uses, c.cold_uses, c.heat, c.hot) == (2, 4, 0, 0, False)
+
+    def test_cold_rule_a(self, facts):
+        a = self.by_length(facts, 2)
+        assert (a.index, a.uses, a.cold_uses, a.heat, a.hot) == (3, 5, 1, 2, False)
+
+    def test_single_stream_abcabc(self):
+        streams = find_hot_streams(build(EXAMPLE), EXAMPLE_CONFIG)
+        assert len(streams) == 1
+        assert streams[0].symbols == tuple(encode("abcabc"))
+        assert streams[0].heat == 12
+
+    def test_stream_covers_80_percent(self):
+        streams = find_hot_streams(build(EXAMPLE), EXAMPLE_CONFIG)
+        assert streams[0].heat / len(EXAMPLE) == pytest.approx(0.8)
+
+
+class TestConfig:
+    def test_resolved_threshold_from_ratio(self):
+        config = AnalysisConfig(heat_ratio=0.01)
+        assert config.resolved_threshold(1000) == 10
+        assert config.resolved_threshold(50) == 1
+
+    def test_absolute_threshold_wins(self):
+        config = AnalysisConfig(heat_ratio=0.01, heat_threshold=77)
+        assert config.resolved_threshold(10_000) == 77
+
+    def test_higher_threshold_fewer_streams(self):
+        seq = build(EXAMPLE)
+        low = find_hot_streams(seq, AnalysisConfig(heat_threshold=8, min_length=2, max_length=7))
+        high = find_hot_streams(seq, AnalysisConfig(heat_threshold=13, min_length=2, max_length=7))
+        assert len(high) < len(low) or not high
+
+    def test_length_window_shifts_hotness_to_children(self):
+        # With maxLen=5 the length-6 rule (abcabc) is excluded, so its child
+        # abc is no longer subsumed: coldUses stays 4 and abc becomes hot.
+        seq = build(EXAMPLE)
+        narrow = find_hot_streams(seq, AnalysisConfig(heat_threshold=8, min_length=2, max_length=5))
+        assert [s.symbols for s in narrow] == [tuple(encode("abc"))]
+        assert narrow[0].heat == 12
+
+    def test_length_window_can_exclude_everything(self):
+        seq = build(EXAMPLE)
+        none = find_hot_streams(seq, AnalysisConfig(heat_threshold=8, min_length=4, max_length=5))
+        assert none == []
+
+    def test_min_unique_filter(self):
+        seq = build(EXAMPLE)
+        config = AnalysisConfig(heat_threshold=8, min_length=2, max_length=7, min_unique=3)
+        # abcabc has only 3 unique symbols; min_unique=3 demands strictly more
+        assert find_hot_streams(seq, config) == []
+
+    def test_max_streams_cap(self):
+        tokens = encode("ababab" + "cdcdcd" + "ababab" + "cdcdcd")
+        seq = build(tokens)
+        config = AnalysisConfig(heat_threshold=4, min_length=2, max_length=30, max_streams=1)
+        streams = find_hot_streams(seq, config)
+        assert len(streams) == 1
+
+
+class TestStreamType:
+    def test_head_tail_split(self):
+        stream = HotDataStream(symbols=(1, 2, 3, 4, 5), heat=10, rule_id=1)
+        assert stream.head(2) == (1, 2)
+        assert stream.tail(2) == (3, 4, 5)
+        assert stream.length == 5
+        assert stream.unique_refs == 5
+
+    def test_unique_refs_counts_distinct(self):
+        stream = HotDataStream(symbols=(1, 2, 1, 2), heat=8, rule_id=1)
+        assert stream.unique_refs == 2
+
+
+class TestExact:
+    def test_non_overlapping_frequency(self):
+        assert non_overlapping_frequency([1, 1], [1, 1, 1]) == 1
+        assert non_overlapping_frequency([1, 1], [1, 1, 1, 1]) == 2
+        assert non_overlapping_frequency([1, 2], [1, 2, 3, 1, 2]) == 2
+        assert non_overlapping_frequency([9], [1, 2, 3]) == 0
+
+    def test_empty_needle_rejected(self):
+        with pytest.raises(ValueError):
+            non_overlapping_frequency([], [1])
+
+    def test_exact_heat(self):
+        assert exact_heat(encode("abc"), EXAMPLE) == 3 * 4
+
+    def test_enumerate_hot_substrings(self):
+        hot = enumerate_hot_substrings(EXAMPLE, heat_threshold=8, min_length=2, max_length=7)
+        assert tuple(encode("abcabc")) in hot
+        assert hot[tuple(encode("abcabc"))] == 12
+        # "ab" occurs 5 times non-overlapping: heat 10, also (exactly) hot —
+        # the grammar-based algorithm misses it (A.coldUses=1), showing it is
+        # a conservative approximation of the exhaustive enumeration.
+        assert hot[tuple(encode("ab"))] == 10
+        assert tuple(encode("ba")) not in hot  # 2 occurrences: heat 4 < 8
+
+
+class TestConservativeness:
+    """The fast algorithm never overestimates a stream's true heat."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=4, max_size=120))
+    def test_reported_heat_never_exceeds_exact(self, tokens):
+        seq = build(tokens)
+        config = AnalysisConfig(heat_ratio=0.05, min_length=2, max_length=40)
+        for stream in find_hot_streams(seq, config):
+            assert stream.heat <= exact_heat(stream.symbols, tokens)
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=4, max_size=120))
+    def test_reported_streams_occur_in_trace(self, tokens):
+        seq = build(tokens)
+        config = AnalysisConfig(heat_ratio=0.05, min_length=2, max_length=40)
+        for stream in find_hot_streams(seq, config):
+            assert non_overlapping_frequency(stream.symbols, tokens) >= 1
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2), min_size=4, max_size=80))
+    def test_streams_are_deduplicated(self, tokens):
+        seq = build(tokens)
+        config = AnalysisConfig(heat_ratio=0.02, min_length=2, max_length=40)
+        streams = find_hot_streams(seq, config)
+        assert len({s.symbols for s in streams}) == len(streams)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2), min_size=4, max_size=80))
+    def test_ranking_is_by_heat(self, tokens):
+        seq = build(tokens)
+        config = AnalysisConfig(heat_ratio=0.02, min_length=2, max_length=40)
+        heats = [s.heat for s in find_hot_streams(seq, config)]
+        assert heats == sorted(heats, reverse=True)

@@ -1,0 +1,154 @@
+"""Tests for the CHECK counter machine and burst listener protocol."""
+
+from repro.interp.interpreter import Interpreter
+from repro.ir import ProcedureBuilder, build_program
+from repro.machine.config import CacheGeometry, MachineConfig
+from repro.machine.memory import Memory
+from repro.vulcan.static_edit import instrument_program
+
+MACHINE = MachineConfig(
+    l1=CacheGeometry(512, 2), l2=CacheGeometry(4096, 4), l2_latency=10, memory_latency=100
+)
+
+
+def looping_program(iters=200):
+    """A loop with one traced load per iteration."""
+    b = ProcedureBuilder("main")
+    base = b.const(None, 0x1000_0000)
+    i = b.const(None, 0)
+    n = b.const(None, iters)
+    b.label("loop")
+    cond = b.lt(None, i, n)
+    b.bz(cond, "end")
+    b.load(None, base, 0)
+    b.addi(i, i, 1)
+    b.jmp("loop")
+    b.label("end")
+    b.ret()
+    program, _ = instrument_program(build_program([b], entry="main"))
+    return program
+
+
+class Recorder:
+    """Listener that records burst boundaries and optionally mutates state."""
+
+    def __init__(self, interp, charge=0):
+        self.interp = interp
+        self.charge = charge
+        self.begins: list[int] = []
+        self.ends: list[int] = []
+
+    def burst_begin(self, now):
+        self.begins.append(now)
+        return 0
+
+    def burst_end(self, now):
+        self.ends.append(now)
+        return self.charge
+
+
+class TestCounterMachine:
+    def test_bursts_counted(self):
+        program = looping_program(iters=100)
+        interp = Interpreter(program, Memory(), MACHINE)
+        interp.set_counters(8, 2)  # burst period = 10 checks
+        stats = interp.run()
+        # ~101 loop checks + 1 entry check -> ~10 full burst periods
+        assert stats.bursts >= 9
+
+    def test_listener_sees_matching_boundaries(self):
+        program = looping_program(iters=100)
+        interp = Interpreter(program, Memory(), MACHINE)
+        interp.set_counters(8, 2)
+        recorder = Recorder(interp)
+        interp.check_listener = recorder
+        interp.run()
+        assert len(recorder.begins) - len(recorder.ends) in (0, 1)
+        assert all(b < e for b, e in zip(recorder.begins, recorder.ends))
+
+    def test_charge_added_to_cycles(self):
+        program = looping_program(iters=100)
+
+        def run(charge):
+            interp = Interpreter(program, Memory(), MACHINE)
+            interp.set_counters(8, 2)
+            recorder = Recorder(interp, charge=charge)
+            interp.check_listener = recorder
+            stats = interp.run()
+            return stats, len(recorder.ends)
+
+        base_stats, n_ends = run(0)
+        charged_stats, n_ends2 = run(1000)
+        assert n_ends == n_ends2
+        assert charged_stats.cycles == base_stats.cycles + 1000 * n_ends
+        assert charged_stats.charged_cycles == 1000 * n_ends
+
+    def test_tracing_only_in_instrumented_mode(self):
+        program = looping_program(iters=100)
+        interp = Interpreter(program, Memory(), MACHINE)
+        interp.set_counters(8, 2)
+        refs = []
+        interp.trace_sink = lambda pc, addr: refs.append((pc, addr))
+        interp.tracing_enabled = True
+        stats = interp.run()
+        # 2 instrumented checks per 10-check period -> roughly 20% traced
+        assert 0 < stats.traced_refs < stats.memory_refs
+        assert len(refs) == stats.traced_refs
+
+    def test_tracing_disabled_records_nothing(self):
+        program = looping_program(iters=100)
+        interp = Interpreter(program, Memory(), MACHINE)
+        interp.set_counters(8, 2)
+        refs = []
+        interp.trace_sink = lambda pc, addr: refs.append(1)
+        interp.tracing_enabled = False
+        stats = interp.run()
+        assert stats.traced_refs == 0
+        assert refs == []
+
+    def test_counter_change_at_burst_end_takes_effect(self):
+        """A listener switching to hibernation counters shrinks tracing."""
+        program = looping_program(iters=400)
+
+        class Hibernator(Recorder):
+            def burst_end(self, now):
+                super().burst_end(now)
+                # Hibernate: same burst period, nInstr = 1.
+                self.interp.set_counters(9, 1)
+                self.interp.tracing_enabled = False
+                return 0
+
+        interp = Interpreter(program, Memory(), MACHINE)
+        interp.set_counters(8, 2)
+        interp.tracing_enabled = True
+        refs = []
+        interp.trace_sink = lambda pc, addr: refs.append(1)
+        interp.check_listener = Hibernator(interp)
+        stats = interp.run()
+        # Only the first burst traces (2 instrumented checks' worth).
+        assert stats.traced_refs <= 4
+
+    def test_huge_ncheck_means_base_level(self):
+        program = looping_program(iters=100)
+        interp = Interpreter(program, Memory(), MACHINE)
+        interp.set_counters(1 << 40, 1)
+        stats = interp.run()
+        assert stats.bursts == 0
+        assert stats.checks_executed > 0
+
+    def test_check_cost_accounted(self):
+        program = looping_program(iters=100)
+        costly = MachineConfig(
+            l1=CacheGeometry(512, 2), l2=CacheGeometry(4096, 4),
+            l2_latency=10, memory_latency=100, check_cost=7,
+        )
+        cheap = MachineConfig(
+            l1=CacheGeometry(512, 2), l2=CacheGeometry(4096, 4),
+            l2_latency=10, memory_latency=100, check_cost=0,
+        )
+        run_costly = Interpreter(program, Memory(), costly)
+        run_costly.set_counters(1 << 40, 1)
+        run_cheap = Interpreter(program, Memory(), cheap)
+        run_cheap.set_counters(1 << 40, 1)
+        s1, s2 = run_costly.run(), run_cheap.run()
+        assert s1.cycles - s2.cycles == 7 * s1.checks_executed

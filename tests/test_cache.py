@@ -1,0 +1,130 @@
+"""Tests for the set-associative LRU cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cache import Cache
+from repro.machine.config import CacheGeometry
+
+
+def make_cache(size=512, ways=2, block=32) -> Cache:
+    return Cache(CacheGeometry(size, ways, block))
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.lookup(5)
+        cache.install(5)
+        assert cache.lookup(5)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_contains_does_not_count(self):
+        cache = make_cache()
+        cache.install(3)
+        assert cache.contains(3)
+        assert not cache.contains(4)
+        assert cache.accesses == 0
+
+    def test_install_returns_victim_when_set_full(self):
+        cache = make_cache(size=128, ways=2, block=32)  # 2 sets, 2 ways
+        # blocks 0, 2, 4 all map to set 0
+        assert cache.install(0) is None
+        assert cache.install(2) is None
+        victim = cache.install(4)
+        assert victim == 0  # LRU
+        assert cache.evictions == 1
+
+    def test_lru_order_updated_by_lookup(self):
+        cache = make_cache(size=128, ways=2, block=32)
+        cache.install(0)
+        cache.install(2)
+        cache.lookup(0)  # 0 becomes MRU, 2 is now LRU
+        assert cache.install(4) == 2
+
+    def test_reinstall_promotes_no_eviction(self):
+        cache = make_cache(size=128, ways=2, block=32)
+        cache.install(0)
+        cache.install(2)
+        assert cache.install(0) is None  # already present: promote
+        assert cache.install(4) == 2
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.install(7)
+        assert cache.invalidate(7)
+        assert not cache.invalidate(7)
+        assert not cache.contains(7)
+
+    def test_flush_preserves_counters(self):
+        cache = make_cache()
+        cache.install(1)
+        cache.lookup(1)
+        cache.flush()
+        assert not cache.contains(1)
+        assert cache.hits == 1
+
+    def test_blocks_in_different_sets_do_not_conflict(self):
+        cache = make_cache(size=128, ways=2, block=32)  # 2 sets
+        for block in (0, 1, 2, 3):  # sets 0,1,0,1
+            cache.install(block)
+        assert all(cache.contains(b) for b in (0, 1, 2, 3))
+
+    def test_resident_blocks(self):
+        cache = make_cache()
+        for block in (1, 2, 3):
+            cache.install(block)
+        assert cache.resident_blocks() == {1, 2, 3}
+
+
+class TestCapacity:
+    def test_never_exceeds_capacity(self):
+        cache = make_cache(size=256, ways=4, block=32)  # 8 blocks total
+        for block in range(100):
+            cache.install(block)
+        assert len(cache.resident_blocks()) <= 8
+
+    def test_direct_mapped_conflicts(self):
+        cache = Cache(CacheGeometry(128, 1, 32))  # 4 sets, direct-mapped
+        cache.install(0)
+        cache.install(4)  # same set
+        assert not cache.contains(0)
+        assert cache.contains(4)
+
+    def test_fully_scanned_working_set_evicts_everything(self):
+        cache = make_cache(size=512, ways=2, block=32)  # 16 blocks
+        for block in range(16):
+            cache.install(block)
+        for block in range(100, 132):  # 2x capacity of new blocks
+            cache.install(block)
+        assert not any(cache.contains(b) for b in range(16))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=300))
+def test_property_capacity_and_determinism(blocks):
+    """Capacity invariant holds and behaviour is deterministic."""
+    results = []
+    for _ in range(2):
+        cache = make_cache(size=256, ways=2, block=32)  # 8 blocks
+        hits = []
+        for block in blocks:
+            if not cache.lookup(block):
+                cache.install(block)
+            hits.append(cache.hits)
+        assert len(cache.resident_blocks()) <= 8
+        results.append(hits)
+    assert results[0] == results[1]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=100))
+def test_property_repeat_access_hits(blocks):
+    """Accessing the same block twice in a row always hits the second time."""
+    cache = make_cache(size=512, ways=4, block=32)
+    for block in blocks:
+        if not cache.lookup(block):
+            cache.install(block)
+        assert cache.lookup(block)

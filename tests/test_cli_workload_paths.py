@@ -1,0 +1,17 @@
+"""CLI smoke tests for the workload-driven artifacts at tiny scale."""
+
+import pytest
+
+from repro.bench.cli import main as cli_main
+
+
+@pytest.mark.parametrize("artifact", ["figure11", "figure12", "table2"])
+def test_workload_artifacts_run_at_small_scale(artifact, capsys):
+    code = cli_main([artifact, "--workloads", "vortex", "--scale", "0.1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "vortex" in out
+
+
+def test_scale_flag_parsed(capsys):
+    assert cli_main(["figure4", "--scale", "0.5"]) == 0

@@ -1,0 +1,233 @@
+"""Tests for the prefix-matching DFSM (Figure 8/9) and handler codegen."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stream import HotDataStream
+from repro.dfsm import DfsmTooLarge, build_dfsm, generate_handlers
+from repro.errors import AnalysisError
+from repro.ir.instructions import Pc
+from repro.profiling.trace import SymbolTable
+
+
+def make_streams(texts, heats=None):
+    alphabet = sorted({ch for t in texts for ch in t})
+    encode = {ch: i for i, ch in enumerate(alphabet)}
+    streams = [
+        HotDataStream(tuple(encode[c] for c in t), heat=(heats[i] if heats else 100 - i), rule_id=i)
+        for i, t in enumerate(texts)
+    ]
+    return streams, encode
+
+
+class TestFigure8:
+    """v = abacadae, w = bbghij, headLen = 3 (the paper's example)."""
+
+    @pytest.fixture
+    def dfsm(self):
+        streams, _ = make_streams(["abacadae", "bbghij"])
+        return build_dfsm(streams, head_len=3)
+
+    def test_state_count_is_headlen_n_plus_1(self, dfsm):
+        assert dfsm.num_states == 3 * 2 + 1
+
+    def test_exactly_two_completion_states(self, dfsm):
+        assert sorted(v for c in dfsm.completions.values() for v in c) == [0, 1]
+
+    def test_composite_states_exist(self, dfsm):
+        # {[v,2],[w,1]} after seeing "ab": a shares nothing, b starts w.
+        sets = [set(s) for s in dfsm.states]
+        assert {(0, 2), (1, 1)} in sets
+        # {[v,3],[v,1]} after "aba": the trailing a restarts v.
+        assert {(0, 3), (0, 1)} in sets
+
+    def test_full_head_match_reaches_completion(self, dfsm):
+        streams, encode = make_streams(["abacadae", "bbghij"])
+        state = 0
+        for ch in "aba":
+            state = dfsm.step(state, encode[ch])
+        assert 0 in dfsm.completions.get(state, ())
+
+    def test_failed_match_restarts(self, dfsm):
+        streams, encode = make_streams(["abacadae", "bbghij"])
+        state = dfsm.step(0, encode["a"])
+        state = dfsm.step(state, encode["g"])  # g continues nothing, starts nothing
+        assert state == 0
+
+    def test_failed_match_can_start_other_stream(self, dfsm):
+        streams, encode = make_streams(["abacadae", "bbghij"])
+        state = dfsm.step(0, encode["a"])   # [v,1]
+        state = dfsm.step(state, encode["a"])  # a again: restart [v,1]
+        assert set(dfsm.states[state]) == {(0, 1)}
+
+    def test_alphabet_is_head_symbols(self, dfsm):
+        streams, encode = make_streams(["abacadae", "bbghij"])
+        expected = {encode[c] for c in "ab"} | {encode[c] for c in "bbg"}
+        assert dfsm.alphabet() == expected
+
+
+class TestConstruction:
+    def test_single_stream_linear_chain(self):
+        streams, encode = make_streams(["abcdef"])
+        dfsm = build_dfsm(streams, head_len=2)
+        assert dfsm.num_states == 3
+
+    def test_rejects_stream_with_no_tail(self):
+        streams, _ = make_streams(["ab"])
+        with pytest.raises(AnalysisError):
+            build_dfsm(streams, head_len=2)
+
+    def test_rejects_bad_head_len(self):
+        streams, _ = make_streams(["abcdef"])
+        with pytest.raises(AnalysisError):
+            build_dfsm(streams, head_len=0)
+
+    def test_max_states_guard(self):
+        streams, _ = make_streams(["abcdef", "bcdefa", "cdefab"])
+        with pytest.raises(DfsmTooLarge):
+            build_dfsm(streams, head_len=3, max_states=2)
+
+    def test_shared_prefix_streams(self):
+        streams, encode = make_streams(["abx1", "aby2"])
+        dfsm = build_dfsm(streams, head_len=2)
+        state = dfsm.step(0, encode["a"])
+        state = dfsm.step(state, encode["b"])
+        # Both streams complete in the same state.
+        assert set(dfsm.completions.get(state, ())) == {0, 1}
+
+    def test_repeated_symbol_in_head(self):
+        streams, encode = make_streams(["aaab"])
+        dfsm = build_dfsm(streams, head_len=3)
+        state = 0
+        for _ in range(3):
+            state = dfsm.step(state, encode["a"])
+        assert 0 in dfsm.completions.get(state, ())
+        # A fourth 'a' keeps the partial prefixes alive but cannot re-complete
+        # more deeply than the construction allows.
+        assert dfsm.step(state, encode["a"]) in range(dfsm.num_states)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.text(alphabet="abcd", min_size=4, max_size=8),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        )
+    )
+    def test_property_state_count_reasonable(self, texts):
+        streams, _ = make_streams(texts)
+        dfsm = build_dfsm(streams, head_len=2)
+        # Paper: "we usually find close to headLen*n+1 states"; allow slack
+        # for shared prefixes but demand no blow-up.
+        assert dfsm.num_states <= 2 * len(texts) * 2 + 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.text(alphabet="abc", min_size=4, max_size=8), min_size=1, max_size=5, unique=True))
+    def test_property_head_match_always_completes(self, texts):
+        streams, encode = make_streams(texts)
+        head_len = 2
+        dfsm = build_dfsm(streams, head_len=head_len)
+        for v, text in enumerate(texts):
+            state = 0
+            for ch in text[:head_len]:
+                state = dfsm.step(state, encode[ch])
+            assert v in dfsm.completions.get(state, ())
+
+
+def interned_streams(table: SymbolTable, specs):
+    """specs: list of (list[(pc_name, ordinal, addr)]).  Returns streams."""
+    streams = []
+    for i, refs in enumerate(specs):
+        symbols = tuple(table.intern(Pc(p, o), a) for p, o, a in refs)
+        streams.append(HotDataStream(symbols, heat=100 - i, rule_id=i))
+    return streams
+
+
+class TestCodegen:
+    def setup_method(self):
+        self.table = SymbolTable()
+
+    def make(self, mode="dyn", head_len=2, **kwargs):
+        # One stream: head at f:0/f:1, tail addresses spread over blocks.
+        refs = [("f", 0, 0x1000), ("f", 1, 0x2000), ("f", 0, 0x3000),
+                ("f", 1, 0x3010), ("f", 0, 0x4000), ("f", 1, 0x5000)]
+        streams = interned_streams(self.table, [refs])
+        dfsm = build_dfsm(streams, head_len=head_len)
+        return generate_handlers(dfsm, self.table, mode=mode, **kwargs)
+
+    def test_handlers_grouped_by_pc(self):
+        handlers = self.make()
+        assert set(handlers) == {Pc("f", 0), Pc("f", 1)}
+
+    def test_dyn_prefetches_tail_blocks_deduped(self):
+        handlers = self.make()
+        state, prefetches, _ = handlers[Pc("f", 0)].step(0, 0x1000)
+        assert prefetches == ()
+        state, prefetches, _ = handlers[Pc("f", 1)].step(state, 0x2000)
+        # Tail: 0x3000, 0x3010 (same block), 0x4000, 0x5000 -> 3 blocks.
+        assert prefetches == (0x3000, 0x4000, 0x5000)
+
+    def test_seq_prefetches_sequential_blocks(self):
+        handlers = self.make(mode="seq")
+        state, _, _ = handlers[Pc("f", 0)].step(0, 0x1000)
+        _, prefetches, _ = handlers[Pc("f", 1)].step(state, 0x2000)
+        assert prefetches == (0x2020, 0x2040, 0x2060)  # 3 blocks after match
+
+    def test_nopref_prefetches_nothing(self):
+        handlers = self.make(mode="nopref")
+        state, _, _ = handlers[Pc("f", 0)].step(0, 0x1000)
+        _, prefetches, _ = handlers[Pc("f", 1)].step(state, 0x2000)
+        assert prefetches == ()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(AnalysisError):
+            self.make(mode="magic")
+
+    def test_max_prefetches_cap(self):
+        refs = [("f", 0, 0x1000), ("f", 1, 0x2000)] + [
+            ("f", 0, 0x10000 + 0x40 * k) for k in range(20)
+        ]
+        streams = interned_streams(self.table, [refs])
+        dfsm = build_dfsm(streams, head_len=2)
+        handlers = generate_handlers(dfsm, self.table, max_prefetches=5)
+        state, _, _ = handlers[Pc("f", 0)].step(0, 0x1000)
+        _, prefetches, _ = handlers[Pc("f", 1)].step(state, 0x2000)
+        assert len(prefetches) == 5
+
+    def test_failed_match_resets_state(self):
+        handlers = self.make()
+        state, prefetches, cost = handlers[Pc("f", 0)].step(0, 0xDEAD00)
+        assert (state, prefetches) == (0, ())
+        assert cost >= 1
+
+    def test_cost_counts_arms_examined(self):
+        handlers = self.make()
+        handler = handlers[Pc("f", 0)]
+        _, _, cost_match = handler.step(0, 0x1000)
+        _, _, cost_miss = handler.step(0, 0xDEAD00)
+        assert cost_match == handler.num_cases + 1 or cost_match <= handler.num_cases + 1
+        assert cost_miss == handler.num_cases
+
+    def test_head_blocks_excluded_from_prefetch(self):
+        # Tail revisits the head's block: it must not be prefetched.
+        refs = [("f", 0, 0x1000), ("f", 1, 0x2000), ("f", 0, 0x1010), ("f", 1, 0x7000)]
+        streams = interned_streams(self.table, [refs])
+        dfsm = build_dfsm(streams, head_len=2)
+        handlers = generate_handlers(dfsm, self.table)
+        state, _, _ = handlers[Pc("f", 0)].step(0, 0x1000)
+        _, prefetches, _ = handlers[Pc("f", 1)].step(state, 0x2000)
+        assert prefetches == (0x7000,)
+
+    def test_arms_sorted_hottest_first(self):
+        refs_hot = [("f", 0, 0x1000), ("f", 1, 0x2000), ("f", 0, 0x9000)]
+        refs_cold = [("f", 0, 0x3000), ("f", 1, 0x4000), ("f", 0, 0xA000)]
+        streams = []
+        for i, (refs, heat) in enumerate([(refs_cold, 10), (refs_hot, 999)]):
+            symbols = tuple(self.table.intern(Pc(p, o), a) for p, o, a in refs)
+            streams.append(HotDataStream(symbols, heat=heat, rule_id=i))
+        dfsm = build_dfsm(streams, head_len=2)
+        handlers = generate_handlers(dfsm, self.table)
+        arms = handlers[Pc("f", 0)].arms
+        assert arms[0][0] == 0x1000  # the hot stream's head address first

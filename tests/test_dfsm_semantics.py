@@ -1,0 +1,94 @@
+"""Property tests for the DFSM's runtime semantics against a suffix oracle.
+
+The joint prefix-matching DFSM must satisfy an exact invariant: after
+feeding any symbol sequence, its current state contains the element
+``[v, n]`` **iff** the last ``n`` symbols of the input equal the first
+``n`` references of stream ``v`` (for ``1 <= n <= headLen``).  In
+particular a stream's head completes exactly when the input's suffix is
+that head.  This pins down Figure 9's transition function — including the
+initial/failed-match special cases of Figure 7 — against a brute-force
+oracle.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stream import HotDataStream
+from repro.dfsm import build_dfsm
+
+HEAD_LEN = 3
+
+
+def oracle_state(history, heads):
+    """The exact element set implied by the input's suffixes."""
+    elements = set()
+    for v, head in enumerate(heads):
+        for n in range(1, min(HEAD_LEN, len(history)) + 1):
+            if tuple(history[-n:]) == head[:n]:
+                elements.add((v, n))
+    return frozenset(elements)
+
+
+streams_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=4), min_size=HEAD_LEN + 1, max_size=7)
+    .map(tuple),
+    min_size=1,
+    max_size=5,
+    unique=True,
+)
+inputs_strategy = st.lists(st.integers(min_value=0, max_value=5), min_size=0, max_size=40)
+
+
+@settings(max_examples=200, deadline=None)
+@given(streams_strategy, inputs_strategy)
+def test_dfsm_state_matches_suffix_oracle(stream_symbols, inputs):
+    streams = [
+        HotDataStream(symbols, heat=100 - i, rule_id=i)
+        for i, symbols in enumerate(stream_symbols)
+    ]
+    heads = [s.head(HEAD_LEN) for s in streams]
+    dfsm = build_dfsm(streams, head_len=HEAD_LEN)
+
+    state = 0
+    history: list[int] = []
+    for symbol in inputs:
+        state = dfsm.step(state, symbol)
+        history.append(symbol)
+        assert dfsm.states[state] == oracle_state(history, heads)
+
+
+@settings(max_examples=100, deadline=None)
+@given(streams_strategy)
+def test_feeding_a_head_always_completes_it(stream_symbols):
+    streams = [
+        HotDataStream(symbols, heat=100 - i, rule_id=i)
+        for i, symbols in enumerate(stream_symbols)
+    ]
+    dfsm = build_dfsm(streams, head_len=HEAD_LEN)
+    for v, stream in enumerate(streams):
+        state = 0
+        for symbol in stream.head(HEAD_LEN):
+            state = dfsm.step(state, symbol)
+        assert v in dfsm.completions.get(state, ())
+
+
+@settings(max_examples=100, deadline=None)
+@given(streams_strategy, inputs_strategy)
+def test_completions_fire_exactly_on_head_suffixes(stream_symbols, inputs):
+    streams = [
+        HotDataStream(symbols, heat=100 - i, rule_id=i)
+        for i, symbols in enumerate(stream_symbols)
+    ]
+    heads = [s.head(HEAD_LEN) for s in streams]
+    dfsm = build_dfsm(streams, head_len=HEAD_LEN)
+    state = 0
+    history: list[int] = []
+    for symbol in inputs:
+        state = dfsm.step(state, symbol)
+        history.append(symbol)
+        completed = set(dfsm.completions.get(state, ()))
+        expected = {
+            v for v, head in enumerate(heads)
+            if len(history) >= HEAD_LEN and tuple(history[-HEAD_LEN:]) == head
+        }
+        assert completed == expected

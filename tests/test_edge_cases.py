@@ -1,0 +1,133 @@
+"""Edge-case tests across modules: frame isolation, tiny workloads, bounds."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.interp.interpreter import Interpreter
+from repro.ir import ProcedureBuilder, build_program
+from repro.machine.config import CacheGeometry, MachineConfig
+from repro.machine.memory import Memory
+from repro.workloads.chainmix import ChainMixParams, build_chainmix
+
+SMALL_MACHINE = MachineConfig(
+    l1=CacheGeometry(512, 2), l2=CacheGeometry(4096, 4), l2_latency=10, memory_latency=100
+)
+
+
+class TestFrameIsolation:
+    def test_callee_registers_do_not_leak(self):
+        callee = ProcedureBuilder("clobber", params=("x",))
+        r = callee.const(None, 999)
+        callee.ret(r)
+        main = ProcedureBuilder("main")
+        a = main.const(None, 7)
+        out = main.reg("out")
+        main.call(out, "clobber", (a,))
+        # `a` must still be 7 after the call even though the callee wrote
+        # its own registers with the same indices.
+        total = main.add(None, a, a)
+        main.ret(total)
+        program = build_program([main, callee], entry="main")
+        assert Interpreter(program, Memory(), SMALL_MACHINE).run().return_value == 14
+
+    def test_deep_call_chain(self):
+        down = ProcedureBuilder("down", params=("n",))
+        zero = down.const(None, 0)
+        cond = down.cmp("le", None, down.param("n"), zero)
+        down.bnz(cond, "base")
+        n1 = down.addi(None, down.param("n"), -1)
+        sub = down.reg("sub")
+        down.call(sub, "down", (n1,))
+        out = down.addi(None, sub, 1)
+        down.ret(out)
+        down.label("base")
+        down.ret(zero)
+        main = ProcedureBuilder("main")
+        n = main.const(None, 400)
+        r = main.reg("r")
+        main.call(r, "down", (n,))
+        main.ret(r)
+        program = build_program([main, down], entry="main")
+        assert Interpreter(program, Memory(), SMALL_MACHINE).run().return_value == 400
+
+    def test_void_call_discards_value(self):
+        callee = ProcedureBuilder("noisy")
+        r = callee.const(None, 5)
+        callee.ret(r)
+        main = ProcedureBuilder("main")
+        keep = main.const(None, 3)
+        main.call(None, "noisy", ())
+        main.ret(keep)
+        program = build_program([main, callee], entry="main")
+        assert Interpreter(program, Memory(), SMALL_MACHINE).run().return_value == 3
+
+
+class TestTinyWorkloads:
+    def test_single_group(self):
+        params = ChainMixParams(
+            name="t", groups=1, hot_chains=2, cold_chains=2, chain_len=5,
+            hot_fraction=0.75, schedule_len=8, passes=2, cold_refs_per_step=4,
+            cold_array_blocks=16, node_compute=0, unroll=4, seed=1,
+        )
+        wl = build_chainmix(params)
+        stats = Interpreter(wl.program, wl.memory, SMALL_MACHINE).run(wl.args)
+        assert stats.memory_refs > 0
+
+    def test_all_hot_no_cold_chains(self):
+        params = ChainMixParams(
+            name="t", groups=2, hot_chains=4, cold_chains=0, chain_len=5,
+            hot_fraction=1.0, schedule_len=8, passes=2, cold_refs_per_step=4,
+            cold_array_blocks=16, node_compute=0, unroll=4, seed=1,
+        )
+        wl = build_chainmix(params)
+        stats = Interpreter(wl.program, wl.memory, SMALL_MACHINE).run(wl.args)
+        assert stats.return_value != 0
+
+    def test_zero_passes_runs_nothing(self):
+        params = ChainMixParams(
+            name="t", groups=1, hot_chains=1, cold_chains=1, chain_len=5,
+            hot_fraction=0.75, schedule_len=4, passes=0, cold_refs_per_step=4,
+            cold_array_blocks=16, unroll=4,
+        )
+        wl = build_chainmix(params)
+        stats = Interpreter(wl.program, wl.memory, SMALL_MACHINE).run(wl.args)
+        assert stats.memory_refs == 0
+
+    def test_minimal_chain_length(self):
+        params = ChainMixParams(
+            name="t", groups=1, hot_chains=1, cold_chains=1, chain_len=5,
+            hot_fraction=0.75, schedule_len=4, passes=1, cold_refs_per_step=4,
+            cold_array_blocks=16, unroll=4,
+        )
+        wl = build_chainmix(params)
+        Interpreter(wl.program, wl.memory, SMALL_MACHINE).run(wl.args)
+
+    def test_unroll_one(self):
+        params = ChainMixParams(
+            name="t", groups=1, hot_chains=1, cold_chains=1, chain_len=3,
+            hot_fraction=0.75, schedule_len=4, passes=1, cold_refs_per_step=4,
+            cold_array_blocks=16, unroll=1,
+        )
+        wl = build_chainmix(params)
+        Interpreter(wl.program, wl.memory, SMALL_MACHINE).run(wl.args)
+
+    def test_phases_with_tiny_run(self):
+        params = ChainMixParams(
+            name="t", groups=1, hot_chains=2, cold_chains=2, chain_len=5,
+            hot_fraction=0.75, schedule_len=4, passes=1, cold_refs_per_step=4,
+            cold_array_blocks=16, unroll=4, phases=4,
+        )
+        wl = build_chainmix(params)
+        Interpreter(wl.program, wl.memory, SMALL_MACHINE).run(wl.args)
+
+
+class TestParamBounds:
+    def test_more_groups_than_hot_chains_rejected(self):
+        with pytest.raises(ConfigError):
+            ChainMixParams(name="t", groups=4, hot_chains=3)
+
+    def test_chain_len_one_rejected(self):
+        with pytest.raises(ConfigError):
+            ChainMixParams(name="t", chain_len=1, unroll=1)

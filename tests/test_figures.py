@@ -1,0 +1,108 @@
+"""Tests for figure/table regeneration and the CLI (small-scale runs)."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.cli import main as cli_main
+from repro.bench.figures import ResultCache
+from repro.bench.reporting import format_table
+from repro.core.config import OptimizerConfig
+
+
+class TestSmallArtifacts:
+    def test_figure4_text(self):
+        text = figures.figure4_grammar()
+        assert text.splitlines()[0] == "S -> R1 a R3 R3"
+        assert "R1 -> a b" in text
+
+    def test_table1_matches_paper(self):
+        rows = {r["word"]: r for r in figures.table1_rows()}
+        assert rows["abcabc"]["hot"] is True
+        assert rows["abcabc"]["heat"] == 12
+        assert rows["abc"]["coldUses"] == 0
+        assert rows["ab"]["uses"] == 5
+        assert rows["abaabcabcabcabc"]["index"] == 0
+
+    def test_figure8_shape(self):
+        dfsm = figures.figure8_dfsm()
+        assert dfsm.num_states == 7
+        assert len(dfsm.completions) == 2
+
+
+@pytest.fixture(scope="module")
+def small_cache():
+    """Runs the small ladder for one benchmark at a fraction of the passes."""
+    opt = OptimizerConfig(
+        n_awake=30,
+        n_hibernate=200,
+    )
+    return ResultCache(opt=opt, passes_scale=0.15)
+
+
+class TestWorkloadFigures:
+    def test_figure11_rows(self, small_cache):
+        rows = figures.figure11_rows(small_cache, names=["mcf"])
+        row = rows[0]
+        assert row["benchmark"] == "mcf"
+        assert 0 < row["base_pct"] < 25
+        assert row["prof_pct"] >= row["base_pct"]
+        assert row["hds_pct"] >= row["prof_pct"]
+
+    def test_figure12_rows(self, small_cache):
+        rows = figures.figure12_rows(small_cache, names=["mcf"])
+        row = rows[0]
+        assert row["nopref_pct"] > 0
+        assert row["dynpref_pct"] < row["nopref_pct"]
+        assert row["seqpref_pct"] > row["dynpref_pct"]
+
+    def test_table2_rows(self, small_cache):
+        rows = figures.table2_rows(small_cache, names=["mcf"])
+        row = rows[0]
+        assert row["opt_cycles"] >= 1
+        assert row["traced_refs_per_cycle"] > 0
+        assert row["hds_per_cycle"] > 0
+        assert row["dfsm_states"] >= 2 * row["hds_per_cycle"]
+        assert row["procs_modified"] >= 1
+
+    def test_cache_reuses_results(self, small_cache):
+        first = small_cache.get("mcf", "orig")
+        second = small_cache.get("mcf", "orig")
+        assert first is second
+
+    def test_passes_scaling(self, small_cache):
+        assert small_cache.passes_for("mcf") < 40
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, -4.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "+2.5" in text
+        assert "-4.0" in text
+        assert len({len(line) for line in lines[1:]}) <= 2  # consistent width
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestCli:
+    def test_small_artifacts_exit_zero(self, capsys):
+        assert cli_main(["figure4"]) == 0
+        assert cli_main(["table1"]) == 0
+        assert cli_main(["figure8"]) == 0
+        out = capsys.readouterr().out
+        assert "S -> R1 a R3 R3" in out
+        assert "abcabc" in out
+        assert "states=7" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["figure11", "--workloads", "gcc"])
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["figure99"])

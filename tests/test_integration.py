@@ -1,0 +1,144 @@
+"""Cross-module integration tests, including the paper's subtle behaviours."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.runner import run_workload
+from repro.core.config import OptimizerConfig
+from repro.errors import (
+    AnalysisError,
+    ConfigError,
+    EditError,
+    ExecutionError,
+    IRError,
+    MemoryFault,
+    ReproError,
+)
+from repro.interp.interpreter import Interpreter
+from repro.ir import ProcedureBuilder, build_program
+from repro.machine.config import CacheGeometry, MachineConfig
+from repro.machine.memory import Memory
+from repro.workloads.chainmix import build_chainmix
+
+SMALL_MACHINE = MachineConfig(
+    l1=CacheGeometry(512, 2), l2=CacheGeometry(4096, 4), l2_latency=10, memory_latency=100
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [IRError, ExecutionError, MemoryFault, EditError, AnalysisError, ConfigError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_memory_fault_is_execution_error(self):
+        assert issubclass(MemoryFault, ExecutionError)
+
+
+class TestStaleActivationRecords:
+    """Section 3.2: returns land in the original, un-patched procedure."""
+
+    def test_active_frame_keeps_running_original(self):
+        # callee patches 'leaf' *while leaf is on the stack below main*:
+        # we simulate by patching between two calls and checking both behave
+        # according to patch time.
+        counter = {"calls": 0}
+
+        leaf = ProcedureBuilder("leaf")
+        r = leaf.const(None, 1)
+        leaf.ret(r)
+
+        main = ProcedureBuilder("main")
+        out1 = main.reg("o1")
+        main.call(out1, "leaf", ())
+        out2 = main.reg("o2")
+        main.call(out2, "leaf", ())
+        s = main.add(None, out1, out2)
+        main.ret(s)
+
+        program = build_program([main, leaf], entry="main")
+
+        # Patch after the program is built but before running: both calls see
+        # the patched version (new calls follow the jump).
+        patched = ProcedureBuilder("leaf")
+        r2 = patched.const(None, 10)
+        patched.ret(r2)
+        program.patch("leaf", patched.build())
+        result = Interpreter(program, Memory(), SMALL_MACHINE).run()
+        assert result.return_value == 20
+
+        # Deoptimized: calls return to the original.
+        program.unpatch_all()
+        result = Interpreter(program, Memory(), SMALL_MACHINE).run()
+        assert result.return_value == 2
+
+    def test_optimizer_never_patches_the_running_main(self, small_params, small_opt):
+        """main's frame never re-enters; its patches would be dead code.
+
+        The workload design keeps stream heads out of main, so the optimizer
+        should never patch it.
+        """
+        wl = build_chainmix(small_params, passes=16)
+        result = run_workload(wl, "dyn", SMALL_MACHINE, small_opt)
+        assert result.stats.detects_executed > 0
+
+
+class TestEndToEndContrast:
+    """The headline qualitative results on the small workload."""
+
+    @pytest.fixture(scope="class")
+    def ladder(self):
+        # Rebuild the small fixtures locally (a class-scoped fixture cannot
+        # depend on the function-scoped ones from conftest).
+        from repro.workloads.chainmix import ChainMixParams
+
+        params = ChainMixParams(
+            name="small", groups=2, hot_chains=6, cold_chains=20, chain_len=9,
+            hot_fraction=0.75, schedule_len=32, passes=20, cold_refs_per_step=4,
+            cold_array_blocks=64, node_compute=1, unroll=4, seed=7,
+        )
+        from repro.analysis.hotstreams import AnalysisConfig
+        from repro.profiling.sampling import BurstyCounters
+
+        opt = OptimizerConfig(
+            counters=BurstyCounters(16, 16), n_awake=12, n_hibernate=48, head_len=2,
+            analysis=AnalysisConfig(heat_ratio=0.002, min_length=4, max_length=64,
+                                    min_unique=3, max_streams=16),
+            max_prefetches=32, max_dfsm_states=512,
+        )
+        results = {}
+        for level in ("orig", "nopref", "seq", "dyn"):
+            wl = build_chainmix(params)
+            results[level] = run_workload(wl, level, SMALL_MACHINE, opt)
+        return results
+
+    def test_dyn_prefetching_speeds_up_or_breaks_even_with_matching(self, ladder):
+        gross = ladder["nopref"].cycles - ladder["dyn"].cycles
+        assert gross > 0
+
+    def test_seq_prefetching_is_worse_than_dyn(self, ladder):
+        assert ladder["seq"].cycles > ladder["dyn"].cycles
+
+    def test_memory_stall_reduction_is_the_mechanism(self, ladder):
+        assert ladder["dyn"].stats.mem_stall_cycles < ladder["nopref"].stats.mem_stall_cycles
+
+    def test_detect_costs_identical_across_prefetch_modes(self, ladder):
+        assert ladder["dyn"].stats.detect_cycles == ladder["nopref"].stats.detect_cycles
+
+    def test_instruction_counts_identical_across_prefetch_modes(self, ladder):
+        assert ladder["dyn"].stats.instructions == ladder["nopref"].stats.instructions
+
+
+class TestSequentialAllocContrast:
+    def test_seq_pref_works_when_streams_sequentially_allocated(self, small_params, small_opt):
+        params = dataclasses.replace(small_params, sequential_alloc=True, passes=20)
+        results = {}
+        for level in ("orig", "seq", "dyn"):
+            wl = build_chainmix(params)
+            results[level] = run_workload(wl, level, SMALL_MACHINE, small_opt)
+        # With sequential allocation the two schemes fetch the same blocks.
+        seq_over_dyn = abs(results["seq"].cycles - results["dyn"].cycles)
+        assert seq_over_dyn / results["dyn"].cycles < 0.02
+        assert results["seq"].hierarchy.prefetch.useful > 0

@@ -1,0 +1,119 @@
+"""Focused tests for detection-handler execution inside the interpreter."""
+
+from repro.interp.interpreter import Interpreter
+from repro.ir import ProcedureBuilder, build_program
+from repro.machine.config import CacheGeometry, MachineConfig
+from repro.machine.memory import Memory
+from repro.vulcan.dynamic_edit import inject_detection
+
+MACHINE = MachineConfig(
+    l1=CacheGeometry(512, 2), l2=CacheGeometry(4096, 4),
+    l2_latency=10, memory_latency=100,
+    detect_base=2, detect_per_case=3, prefetch_issue_cost=1,
+)
+
+
+class CountingHandler:
+    """Detect payload with scripted transitions and observable calls."""
+
+    def __init__(self, prefetch_at=None, cases=1):
+        self.calls = []
+        self.prefetch_at = prefetch_at or {}
+        self.cases = cases
+
+    def step(self, state, addr):
+        self.calls.append((state, addr))
+        next_state = state + 1
+        prefetches = self.prefetch_at.get(next_state, ())
+        return next_state, prefetches, self.cases
+
+
+def program_with_loads(n_loads=3):
+    b = ProcedureBuilder("main")
+    base = b.const(None, 0x1000_0000)
+    for k in range(n_loads):
+        b.load(None, base, 32 * k)
+    b.ret()
+    return build_program([b], entry="main")
+
+
+class TestDetectExecution:
+    def test_handler_called_per_load_with_running_state(self):
+        program = program_with_loads(3)
+        handler = CountingHandler()
+        handlers = {pc: handler for pc in program.original("main").pcs()}
+        inject_detection(program, handlers)
+        interp = Interpreter(program, Memory(), MACHINE)
+        stats = interp.run()
+        assert handler.calls == [
+            (0, 0x1000_0000),
+            (1, 0x1000_0020),
+            (2, 0x1000_0040),
+        ]
+        assert stats.detects_executed == 3
+        assert interp.dfsm_state == 3
+
+    def test_detect_cycle_cost_model(self):
+        program = program_with_loads(2)
+        handler = CountingHandler(cases=4)
+        handlers = {pc: handler for pc in program.original("main").pcs()}
+        inject_detection(program, handlers)
+        stats = Interpreter(program, Memory(), MACHINE).run()
+        # detect_base + detect_per_case * cases, per execution.
+        assert stats.detect_cycles == 2 * (2 + 3 * 4)
+
+    def test_prefetches_issued_on_completion(self):
+        program = program_with_loads(2)
+        handler = CountingHandler(prefetch_at={2: (0x2000_0000, 0x2000_0040)})
+        handlers = {pc: handler for pc in program.original("main").pcs()}
+        inject_detection(program, handlers)
+        interp = Interpreter(program, Memory(), MACHINE)
+        stats = interp.run()
+        assert stats.prefetches_issued == 2
+        assert interp.hierarchy.prefetch.issued == 2
+
+    def test_prefetched_block_is_resident_afterwards(self):
+        b = ProcedureBuilder("main")
+        base = b.const(None, 0x1000_0000)
+        b.load(None, base, 0)        # triggers handler -> prefetch
+        other = b.const(None, 0x2000_0000)
+        filler = b.reg("f")
+        for _ in range(300):          # give the prefetch time to land
+            b.addi(filler, filler, 1)
+        b.load(None, other, 0)        # should hit the prefetched block
+        b.ret()
+        program = build_program([b], entry="main")
+        pcs = program.original("main").pcs()
+        handler = CountingHandler(prefetch_at={1: (0x2000_0000,)})
+        inject_detection(program, {pcs[0]: handler})
+        interp = Interpreter(program, Memory(), MACHINE)
+        stats = interp.run()
+        assert interp.hierarchy.prefetch.useful == 1
+        # Only the first (demand) load stalled.
+        assert stats.mem_stall_cycles == 100
+
+    def test_uninjected_loads_have_no_detect_cost(self):
+        program = program_with_loads(3)
+        pcs = program.original("main").pcs()
+        handler = CountingHandler()
+        inject_detection(program, {pcs[1]: handler})
+        stats = Interpreter(program, Memory(), MACHINE).run()
+        assert stats.detects_executed == 1
+        assert handler.calls == [(0, 0x1000_0020)]
+
+    def test_dfsm_state_persists_across_calls(self):
+        callee = ProcedureBuilder("touch", params=("base",))
+        callee.load(None, callee.param("base"), 0)
+        callee.ret()
+        main = ProcedureBuilder("main")
+        base = main.const(None, 0x1000_0000)
+        main.call(None, "touch", (base,))
+        main.call(None, "touch", (base,))
+        main.ret()
+        program = build_program([main, callee], entry="main")
+        handler = CountingHandler()
+        inject_detection(program, {program.original("touch").pcs()[0]: handler})
+        interp = Interpreter(program, Memory(), MACHINE)
+        interp.run()
+        # The state variable is global: second call sees state 1.
+        assert handler.calls == [(0, 0x1000_0000), (1, 0x1000_0000)]

@@ -1,0 +1,194 @@
+"""Tests for the instruction set, builder DSL, program containers."""
+
+import pytest
+
+from repro.errors import EditError, IRError
+from repro.ir import (
+    Alu,
+    Check,
+    Cmp,
+    Jmp,
+    Load,
+    Pc,
+    ProcedureBuilder,
+    Program,
+    Store,
+    build_program,
+    format_instr,
+    format_procedure,
+)
+
+
+def simple_proc(name="f", ret_value=7):
+    b = ProcedureBuilder(name)
+    r = b.const(None, ret_value)
+    b.ret(r)
+    return b.build()
+
+
+class TestInstructions:
+    def test_alu_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Alu("pow", 0, 1, 2)
+
+    def test_cmp_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Cmp("almost", 0, 1, 2)
+
+    def test_structural_equality(self):
+        pc = Pc("f", 0)
+        assert Load(0, 1, 4, pc) == Load(0, 1, 4, pc)
+        assert Load(0, 1, 4, pc) != Load(0, 1, 8, pc)
+        assert Load(0, 1, 4, pc) != Store(0, 1, 4, pc)
+
+    def test_pc_str(self):
+        assert str(Pc("walk", 3)) == "walk:3"
+
+
+class TestBuilder:
+    def test_params_get_first_registers(self):
+        b = ProcedureBuilder("f", params=("x", "y"))
+        assert b.param("x") == 0
+        assert b.param("y") == 1
+
+    def test_param_lookup_rejects_non_params(self):
+        b = ProcedureBuilder("f", params=("x",))
+        b.reg("t")
+        with pytest.raises(IRError):
+            b.param("t")
+
+    def test_auto_register_allocation(self):
+        b = ProcedureBuilder("f")
+        r1 = b.const(None, 1)
+        r2 = b.const(None, 2)
+        assert r1 != r2
+
+    def test_named_register_reuse(self):
+        b = ProcedureBuilder("f")
+        assert b.reg("acc") == b.reg("acc")
+
+    def test_pcs_assigned_in_emission_order(self):
+        b = ProcedureBuilder("f", params=("p",))
+        b.load(None, b.param("p"), 0)
+        b.store(b.param("p"), b.param("p"), 4)
+        b.load(None, b.param("p"), 8)
+        b.ret()
+        proc = b.build()
+        assert proc.pcs() == [Pc("f", 0), Pc("f", 1), Pc("f", 2)]
+
+    def test_duplicate_label_rejected(self):
+        b = ProcedureBuilder("f")
+        b.label("x")
+        with pytest.raises(IRError):
+            b.label("x")
+
+    def test_build_finalizes(self):
+        b = ProcedureBuilder("f")
+        b.ret()
+        b.build()
+        with pytest.raises(IRError):
+            b.ret()
+
+    def test_convenience_ops_return_dst(self):
+        b = ProcedureBuilder("f")
+        a = b.const(None, 1)
+        c = b.add(None, a, a)
+        d = b.lt(None, a, c)
+        assert c != d
+        b.ret(d)
+        proc = b.build()
+        assert proc.num_regs == 3
+
+
+class TestValidation:
+    def test_undefined_label(self):
+        b = ProcedureBuilder("f")
+        b.jmp("nowhere")
+        with pytest.raises(IRError, match="nowhere"):
+            build_program([b], entry="f")
+
+    def test_fall_off_end(self):
+        b = ProcedureBuilder("f")
+        b.const(None, 1)
+        with pytest.raises(IRError, match="fall off"):
+            build_program([b], entry="f")
+
+    def test_call_to_undefined_procedure(self):
+        b = ProcedureBuilder("f")
+        b.call(None, "ghost", ())
+        b.ret()
+        with pytest.raises(IRError, match="ghost"):
+            build_program([b], entry="f")
+
+    def test_call_arity_mismatch(self):
+        callee = ProcedureBuilder("g", params=("a", "b"))
+        callee.ret(callee.param("a"))
+        b = ProcedureBuilder("f")
+        r = b.const(None, 1)
+        b.call(None, "g", (r,))
+        b.ret()
+        with pytest.raises(IRError, match="takes 2 args"):
+            build_program([b, callee], entry="f")
+
+    def test_missing_entry(self):
+        with pytest.raises(IRError, match="entry"):
+            build_program([simple_proc("f")], entry="main")
+
+    def test_duplicate_procedure_names(self):
+        with pytest.raises(IRError, match="duplicate"):
+            Program([simple_proc("f"), simple_proc("f")], entry="f")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(IRError, match="empty"):
+            build_program([ProcedureBuilder("f")], entry="f")
+
+
+class TestProgram:
+    def test_resolve_follows_patch(self):
+        prog = build_program([simple_proc("f", 1)], entry="f")
+        replacement = simple_proc("f", 2)
+        prog.patch("f", replacement)
+        assert prog.resolve("f") is replacement
+        assert prog.original("f") is not replacement
+
+    def test_unpatch(self):
+        prog = build_program([simple_proc("f")], entry="f")
+        prog.patch("f", simple_proc("f", 9))
+        prog.unpatch("f")
+        assert prog.resolve("f") is prog.original("f")
+
+    def test_patch_unknown_name_rejected(self):
+        prog = build_program([simple_proc("f")], entry="f")
+        with pytest.raises(EditError):
+            prog.patch("ghost", simple_proc("ghost"))
+
+    def test_resolve_unknown_raises(self):
+        prog = build_program([simple_proc("f")], entry="f")
+        with pytest.raises(IRError):
+            prog.resolve("ghost")
+
+
+class TestPrinter:
+    def test_format_instr_covers_all_shapes(self):
+        pc = Pc("f", 0)
+        samples = [
+            Load(0, 1, 4, pc),
+            Store(0, 1, 4, pc, traced=True),
+            Jmp("loop"),
+            Check(backedge=True),
+        ]
+        rendered = [format_instr(i) for i in samples]
+        assert "pc=f:0" in rendered[0]
+        assert "[traced]" in rendered[1]
+        assert rendered[2] == "jmp loop"
+        assert "backedge" in rendered[3]
+
+    def test_format_procedure_includes_labels(self):
+        b = ProcedureBuilder("f")
+        b.label("top")
+        r = b.const(None, 0)
+        b.jmp("top")
+        proc = b.build()
+        text = format_procedure(proc)
+        assert "top:" in text
+        assert "proc f" in text

@@ -1,0 +1,85 @@
+"""Tests for IR-to-tuple lowering and its caching behaviour."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.interp.lowering import (
+    OP_CHECK,
+    OP_JMP,
+    OP_LOAD,
+    lower_body,
+    lower_procedure,
+)
+from repro.ir import Check, ProcedureBuilder
+from repro.ir.instructions import Instr
+from repro.vulcan.static_edit import instrument_procedure
+
+
+def sample_proc():
+    b = ProcedureBuilder("f", params=("p",))
+    b.label("top")
+    v = b.load(None, b.param("p"), 4)
+    b.add(v, v, v)
+    b.jmp("top")
+    return b.build()
+
+
+class TestLowerBody:
+    def test_labels_resolved_to_indices(self):
+        proc = sample_proc()
+        code = lower_body(proc.body, proc.labels, proc.name)
+        jmp = code[-1]
+        assert jmp[0] == OP_JMP
+        assert jmp[1] == 0
+
+    def test_load_tuple_shape(self):
+        proc = sample_proc()
+        code = lower_body(proc.body, proc.labels, proc.name)
+        load = code[0]
+        assert load[0] == OP_LOAD
+        # (op, dst, base, offset, pc, traced, detect)
+        assert load[3] == 4
+        assert load[5] is False
+        assert load[6] is None
+
+    def test_alu_kinds_become_callables(self):
+        proc = sample_proc()
+        code = lower_body(proc.body, proc.labels, proc.name)
+        alu = code[1]
+        assert callable(alu[1])
+        assert alu[1](2, 3) == 5
+
+    def test_unknown_instruction_rejected(self):
+        class Alien(Instr):
+            op = "alien"
+
+        with pytest.raises(IRError, match="cannot lower"):
+            lower_body([Alien()], {}, "f")
+
+
+class TestLowerProcedure:
+    def test_cache_returns_same_object(self):
+        proc = sample_proc()
+        assert lower_procedure(proc) is lower_procedure(proc)
+
+    def test_uninstrumented_shares_both_versions(self):
+        proc = sample_proc()
+        checking, instrumented = lower_procedure(proc)
+        assert checking is instrumented
+
+    def test_instrumented_versions_differ_only_in_tracing(self):
+        proc, _, _ = instrument_procedure(sample_proc())
+        checking, instrumented = lower_procedure(proc)
+        assert checking is not instrumented
+        assert len(checking) == len(instrumented)
+        for a, b in zip(checking, instrumented):
+            if a[0] == OP_LOAD:
+                assert a[5] is False and b[5] is True
+            elif a[0] == OP_CHECK:
+                assert a == b
+
+    def test_mismatched_version_lengths_rejected(self):
+        proc = sample_proc()
+        proc.instrumented_body = proc.body[:-1]
+        with pytest.raises(IRError, match="differ in length"):
+            lower_procedure(proc)

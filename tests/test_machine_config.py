@@ -1,0 +1,65 @@
+"""Tests for cache geometry and the machine cost model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.config import PAPER_MACHINE, CacheGeometry, MachineConfig
+
+
+class TestCacheGeometry:
+    def test_paper_l1_geometry(self):
+        l1 = PAPER_MACHINE.l1
+        assert l1.size_bytes == 16 * 1024
+        assert l1.associativity == 4
+        assert l1.block_bytes == 32
+        assert l1.num_sets == 128
+        assert l1.num_blocks == 512
+
+    def test_paper_l2_geometry(self):
+        l2 = PAPER_MACHINE.l2
+        assert l2.size_bytes == 256 * 1024
+        assert l2.associativity == 8
+        assert l2.num_sets == 1024
+        assert l2.num_blocks == 8192
+
+    def test_num_sets_times_ways_times_block_is_size(self):
+        geo = CacheGeometry(8192, 2, 64)
+        assert geo.num_sets * geo.associativity * geo.block_bytes == geo.size_bytes
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(1024, 2, 48)
+
+    def test_rejects_zero_associativity(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(1024, 0)
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(1000, 4, 32)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(3 * 32 * 2, 2, 32)
+
+
+class TestMachineConfig:
+    def test_defaults_are_valid(self):
+        config = MachineConfig()
+        assert config.block_bytes == 32
+
+    def test_rejects_mismatched_block_sizes(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(l1=CacheGeometry(1024, 2, 32), l2=CacheGeometry(4096, 4, 64))
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(check_cost=-1)
+
+    def test_rejects_memory_faster_than_l2(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(l2_latency=50, memory_latency=20)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PAPER_MACHINE.check_cost = 5  # type: ignore[misc]

@@ -1,0 +1,83 @@
+"""Tests for the flat simulated memory and bump allocator."""
+
+import pytest
+
+from repro.errors import MemoryFault
+from repro.machine.memory import HEAP_BASE, STATIC_BASE, WORD_BYTES, Memory
+
+
+class TestAllocation:
+    def test_heap_starts_at_base(self):
+        mem = Memory()
+        assert mem.allocate(8) == HEAP_BASE
+
+    def test_allocations_do_not_overlap(self):
+        mem = Memory()
+        a = mem.allocate(12)
+        b = mem.allocate(8)
+        assert b >= a + 12
+
+    def test_alignment(self):
+        mem = Memory()
+        mem.allocate(4)
+        addr = mem.allocate(8, align=32)
+        assert addr % 32 == 0
+
+    def test_size_rounded_to_words(self):
+        mem = Memory()
+        a = mem.allocate(5)
+        b = mem.allocate(4)
+        assert (b - a) % WORD_BYTES == 0
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(MemoryFault):
+            Memory().allocate(0)
+
+    def test_rejects_bad_alignment(self):
+        with pytest.raises(MemoryFault):
+            Memory().allocate(8, align=3)
+
+    def test_static_region_below_heap(self):
+        mem = Memory()
+        addr = mem.allocate_static(64)
+        assert STATIC_BASE <= addr < HEAP_BASE
+
+    def test_static_overflow_detected(self):
+        mem = Memory()
+        with pytest.raises(MemoryFault):
+            mem.allocate_static(HEAP_BASE)  # larger than the whole region
+
+
+class TestLoadStore:
+    def test_default_value_is_zero(self):
+        assert Memory().load(HEAP_BASE) == 0
+
+    def test_store_then_load(self):
+        mem = Memory()
+        mem.store(HEAP_BASE, 42)
+        assert mem.load(HEAP_BASE) == 42
+
+    def test_unaligned_load_faults(self):
+        with pytest.raises(MemoryFault):
+            Memory().load(HEAP_BASE + 2)
+
+    def test_unaligned_store_faults(self):
+        with pytest.raises(MemoryFault):
+            Memory().store(HEAP_BASE + 1, 1)
+
+    def test_negative_address_faults(self):
+        with pytest.raises(MemoryFault):
+            Memory().load(-4)
+
+    def test_bulk_roundtrip(self):
+        mem = Memory()
+        base = mem.allocate(16)
+        mem.store_words(base, [1, 2, 3, 4])
+        assert mem.load_words(base, 4) == [1, 2, 3, 4]
+
+    def test_footprint_counts_written_words(self):
+        mem = Memory()
+        mem.store(HEAP_BASE, 1)
+        mem.store(HEAP_BASE, 2)  # overwrite: still one word
+        mem.store(HEAP_BASE + 4, 3)
+        assert mem.footprint_words == 2

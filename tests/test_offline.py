@@ -1,0 +1,86 @@
+"""Tests for the offline full-trace profiling workflow (prior work [8])."""
+
+import pytest
+
+from repro.analysis.hotstreams import AnalysisConfig
+from repro.machine.config import CacheGeometry, MachineConfig
+from repro.profiling.offline import collect_offline_profile
+from repro.workloads.chainmix import build_chainmix
+
+SMALL_MACHINE = MachineConfig(
+    l1=CacheGeometry(512, 2), l2=CacheGeometry(4096, 4), l2_latency=10, memory_latency=100
+)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    from repro.workloads.chainmix import ChainMixParams
+
+    params = ChainMixParams(
+        name="small", groups=2, hot_chains=6, cold_chains=20, chain_len=9,
+        hot_fraction=0.75, schedule_len=32, passes=6, cold_refs_per_step=4,
+        cold_array_blocks=64, node_compute=1, unroll=4, seed=7,
+    )
+    wl = build_chainmix(params)
+    return collect_offline_profile(wl, SMALL_MACHINE)
+
+
+class TestCollection:
+    def test_every_reference_traced(self, profile):
+        assert profile.trace_length == profile.stats.memory_refs
+        assert profile.stats.traced_refs == profile.stats.memory_refs
+
+    def test_grammar_compresses_repetitive_trace(self, profile):
+        assert profile.compression_ratio > 2.0
+
+    def test_hot_streams_found(self, profile):
+        config = AnalysisConfig(heat_ratio=0.002, min_length=4, max_length=64, min_unique=3)
+        streams = profile.hot_streams(config)
+        assert streams
+        assert all(s.length >= 4 for s in streams)
+
+    def test_hot_streams_cover_most_references(self, profile):
+        """The [8] statistic: hot streams account for most of the trace."""
+        config = AnalysisConfig(heat_ratio=0.002, min_length=4, max_length=64, min_unique=3)
+        assert profile.coverage(config) > 0.5
+
+    def test_full_tracing_is_expensive(self):
+        """The overhead the online framework avoids: full tracing costs a lot."""
+        from repro.workloads.chainmix import ChainMixParams
+        from repro.interp.interpreter import Interpreter
+
+        params = ChainMixParams(
+            name="small", groups=2, hot_chains=6, cold_chains=20, chain_len=9,
+            hot_fraction=0.75, schedule_len=32, passes=3, cold_refs_per_step=4,
+            cold_array_blocks=64, node_compute=1, unroll=4, seed=7,
+        )
+        wl = build_chainmix(params)
+        plain = Interpreter(wl.program, wl.memory, SMALL_MACHINE).run(wl.args)
+        wl2 = build_chainmix(params)
+        traced = collect_offline_profile(wl2, SMALL_MACHINE)
+        overhead = (traced.stats.cycles - plain.cycles) / plain.cycles
+        assert overhead > 0.10
+
+
+class TestBounding:
+    def test_max_refs_bounds_recording_not_execution(self):
+        from repro.workloads.chainmix import ChainMixParams
+
+        params = ChainMixParams(
+            name="small", groups=2, hot_chains=6, cold_chains=20, chain_len=9,
+            hot_fraction=0.75, schedule_len=32, passes=4, cold_refs_per_step=4,
+            cold_array_blocks=64, node_compute=1, unroll=4, seed=7,
+        )
+        wl = build_chainmix(params)
+        profile = collect_offline_profile(wl, SMALL_MACHINE, max_refs=500)
+        assert profile.trace_length == 500
+        assert profile.stats.memory_refs > 500
+
+    def test_empty_profile_coverage_zero(self):
+        from repro.profiling.offline import OfflineProfile
+        from repro.profiling.profiler import TemporalProfiler
+        from repro.interp.interpreter import ExecStats
+
+        empty = OfflineProfile(profiler=TemporalProfiler(), stats=ExecStats())
+        assert empty.coverage() == 0.0
+        assert empty.compression_ratio == 0.0

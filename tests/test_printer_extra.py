@@ -1,0 +1,77 @@
+"""Printer coverage for the remaining instruction shapes and whole programs."""
+
+import pytest
+
+from repro.ir import (
+    Alloc,
+    Alu,
+    AluImm,
+    Bnz,
+    Call,
+    Cmp,
+    Const,
+    Halt,
+    Mov,
+    Nop,
+    Prefetch,
+    ProcedureBuilder,
+    Ret,
+    build_program,
+    format_instr,
+    format_program,
+)
+from repro.ir.printer import format_procedure
+
+
+class TestFormatInstr:
+    @pytest.mark.parametrize(
+        "instr,expected",
+        [
+            (Const(1, 42), "r1 = 42"),
+            (Mov(1, 2), "r1 = r2"),
+            (Alu("add", 0, 1, 2), "r0 = r1 add r2"),
+            (AluImm("mul", 0, 1, 3), "r0 = r1 mul 3"),
+            (Cmp("lt", 0, 1, 2), "r0 = r1 lt r2"),
+            (Bnz(3, "loop"), "bnz r3, loop"),
+            (Call(0, "f", (1, 2)), "r0 = call f(r1, r2)"),
+            (Call(None, "f", ()), "call f()"),
+            (Ret(None), "ret"),
+            (Ret(5), "ret r5"),
+            (Alloc(0, 1), "r0 = alloc r1"),
+            (Halt(), "halt"),
+            (Nop(), "nop"),
+        ],
+    )
+    def test_rendering(self, instr, expected):
+        assert format_instr(instr) == expected
+
+    def test_prefetch_renders_hex(self):
+        text = format_instr(Prefetch((0x1000, 0x2000)))
+        assert text == "prefetch 0x1000, 0x2000"
+
+
+class TestFormatProgram:
+    def test_renders_all_procedures_sorted(self):
+        a = ProcedureBuilder("alpha")
+        a.ret()
+        b = ProcedureBuilder("beta")
+        b.ret()
+        program = build_program([b, a], entry="alpha")
+        text = format_program(program)
+        assert text.index("proc alpha") < text.index("proc beta")
+
+    def test_instrumented_view_requires_instrumentation(self):
+        a = ProcedureBuilder("alpha")
+        a.ret()
+        with pytest.raises(ValueError):
+            format_procedure(a.build(), instrumented=True)
+
+    def test_instrumented_view_marks_traced(self):
+        from repro.vulcan.static_edit import instrument_procedure
+
+        b = ProcedureBuilder("f", params=("p",))
+        b.load(None, b.param("p"), 0)
+        b.ret()
+        proc, _, _ = instrument_procedure(b.build())
+        assert "[traced]" in format_procedure(proc, instrumented=True)
+        assert "[traced]" not in format_procedure(proc)

@@ -1,0 +1,106 @@
+"""Tests for the experiment runner and its measurement levels."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.runner import LEVELS, configure_level, run_workload
+from repro.core.config import OptimizerConfig
+from repro.errors import ConfigError
+from repro.machine.config import CacheGeometry, MachineConfig
+from repro.workloads.chainmix import build_chainmix
+
+SMALL_MACHINE = MachineConfig(
+    l1=CacheGeometry(512, 2), l2=CacheGeometry(4096, 4), l2_latency=10, memory_latency=100
+)
+
+
+@pytest.fixture
+def ladder(small_params, small_opt):
+    """Run the full measurement ladder once on the small workload."""
+    results = {}
+    for level in ("orig", "base", "prof", "hds", "nopref", "seq", "dyn"):
+        wl = build_chainmix(small_params, passes=16)
+        results[level] = run_workload(wl, level, SMALL_MACHINE, small_opt)
+    return results
+
+
+class TestConfigureLevel:
+    def test_prof_disables_analysis(self):
+        config = configure_level("prof", OptimizerConfig())
+        assert not config.analyze and not config.inject
+
+    def test_hds_analyzes_only(self):
+        config = configure_level("hds", OptimizerConfig())
+        assert config.analyze and not config.inject
+
+    @pytest.mark.parametrize("level,mode", [("nopref", "nopref"), ("seq", "seq"), ("dyn", "dyn")])
+    def test_injecting_levels(self, level, mode):
+        config = configure_level(level, OptimizerConfig())
+        assert config.inject and config.mode == mode
+
+    def test_orig_has_no_optimizer_config(self):
+        with pytest.raises(ConfigError):
+            configure_level("orig", OptimizerConfig())
+
+
+class TestLadder:
+    def test_unknown_level_rejected(self, small_params):
+        wl = build_chainmix(small_params, passes=2)
+        with pytest.raises(ConfigError):
+            run_workload(wl, "warp-speed")
+
+    def test_all_levels_execute(self, ladder):
+        assert set(ladder) == {"orig", "base", "prof", "hds", "nopref", "seq", "dyn"}
+        for result in ladder.values():
+            assert result.cycles > 0
+
+    def test_instrumentation_never_changes_results(self, ladder):
+        returns = {level: r.stats.return_value for level, r in ladder.items()}
+        assert len(set(returns.values())) == 1
+
+    def test_overhead_ladder_ordering(self, ladder):
+        """base <= prof <= hds <= nopref in cycles (each adds work)."""
+        assert ladder["orig"].cycles < ladder["base"].cycles
+        assert ladder["base"].cycles <= ladder["prof"].cycles
+        assert ladder["prof"].cycles <= ladder["hds"].cycles
+        assert ladder["hds"].cycles <= ladder["nopref"].cycles
+
+    def test_dyn_beats_nopref(self, ladder):
+        """Prefetching must recover more than its own matching cost."""
+        assert ladder["dyn"].cycles < ladder["nopref"].cycles
+
+    def test_dyn_prefetches_accurately(self, ladder):
+        prefetch = ladder["dyn"].hierarchy.prefetch
+        assert prefetch.accuracy > 0.9
+
+    def test_seq_prefetches_poorly_on_shuffled_heap(self, ladder):
+        dyn = ladder["dyn"].hierarchy.prefetch
+        seq = ladder["seq"].hierarchy.prefetch
+        assert seq.useful < dyn.useful
+        assert seq.wasted > dyn.wasted
+
+    def test_summary_only_for_optimizer_levels(self, ladder):
+        assert ladder["orig"].summary is None
+        assert ladder["base"].summary is None
+        assert ladder["dyn"].summary is not None
+
+    def test_overhead_vs_is_percent(self, ladder):
+        overhead = ladder["base"].overhead_vs(ladder["orig"])
+        expected = 100 * (ladder["base"].cycles - ladder["orig"].cycles) / ladder["orig"].cycles
+        assert overhead == pytest.approx(expected)
+
+
+class TestHardwareLevels:
+    def test_stride_level_runs(self, small_params):
+        wl = build_chainmix(small_params, passes=4)
+        result = run_workload(wl, "stride", SMALL_MACHINE)
+        assert result.summary is None
+
+    def test_markov_level_issues_prefetches(self, small_params):
+        wl = build_chainmix(small_params, passes=4)
+        result = run_workload(wl, "markov", SMALL_MACHINE)
+        assert result.hierarchy.prefetch.issued > 0
+
+    def test_levels_tuple_is_complete(self):
+        assert "stride" in LEVELS and "markov" in LEVELS

@@ -1,0 +1,187 @@
+"""Tests for incremental Sequitur: Figure 4, invariants, round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.sequitur import Sequitur
+
+
+def encode(text: str) -> list[int]:
+    return [ord(ch) - ord("a") for ch in text]
+
+
+def build(text: str) -> Sequitur:
+    seq = Sequitur()
+    seq.extend(encode(text))
+    return seq
+
+
+class TestFigure4:
+    """The paper's worked example: w = abaabcabcabcabc."""
+
+    def test_grammar_structure(self):
+        seq = build("abaabcabcabcabc")
+        names = {0: "a", 1: "b", 2: "c"}
+        text = seq.to_text(names)
+        assert text == "S -> R1 a R3 R3\nR1 -> a b\nR2 -> R1 c\nR3 -> R2 R2"
+
+    def test_expansion_lengths_match_figure6(self):
+        seq = build("abaabcabcabcabc")
+        lengths = seq.expansion_lengths()
+        by_len = sorted(lengths.values())
+        assert by_len == [2, 3, 6, 15]
+
+    def test_roundtrip(self):
+        seq = build("abaabcabcabcabc")
+        assert seq.expand() == encode("abaabcabcabcabc")
+
+    def test_invariants_hold(self):
+        build("abaabcabcabcabc").verify_invariants()
+
+
+class TestBasics:
+    def test_empty_grammar(self):
+        seq = Sequitur()
+        assert seq.length == 0
+        assert seq.expand() == []
+        assert seq.grammar_size() == 0
+
+    def test_single_symbol(self):
+        seq = Sequitur()
+        seq.append(5)
+        assert seq.expand() == [5]
+        assert seq.length == 1
+
+    def test_negative_terminal_rejected(self):
+        with pytest.raises(AnalysisError):
+            Sequitur().append(-1)
+
+    def test_no_rule_for_unique_symbols(self):
+        seq = Sequitur()
+        seq.extend([1, 2, 3, 4, 5])
+        assert len(seq.rules) == 1  # just the start rule
+
+    def test_repeated_pair_creates_rule(self):
+        seq = Sequitur()
+        seq.extend([1, 2, 3, 1, 2])
+        assert len(seq.rules) == 2
+        seq.verify_invariants()
+
+    def test_rule_reuse_not_duplicate(self):
+        seq = build("abcdbc")
+        # digram bc appears twice -> one rule
+        assert len(seq.rules) == 2
+
+    @pytest.mark.parametrize("text", ["aa", "aaa", "aaaa", "aaaaaaaa", "aaaaaaaaa"])
+    def test_runs_of_one_symbol(self, text):
+        seq = build(text)
+        assert seq.expand() == encode(text)
+        seq.verify_invariants()
+
+    @pytest.mark.parametrize(
+        "text",
+        ["abab", "ababab", "abcabcabc", "aabbaabb", "abcddcba", "xyxyxyxyzz"
+         .replace("x", "a").replace("y", "b").replace("z", "c")],
+    )
+    def test_repetitive_patterns_roundtrip(self, text):
+        seq = build(text)
+        assert seq.expand() == encode(text)
+        seq.verify_invariants()
+
+    def test_compression_on_repetitive_input(self):
+        seq = build("abcabc" * 32)
+        assert seq.grammar_size() < len("abcabc" * 32) // 4
+
+    def test_incremental_matches_batch(self):
+        text = encode("abaabcabcabcabc")
+        batch = Sequitur()
+        batch.extend(text)
+        incremental = Sequitur()
+        for token in text:
+            incremental.append(token)
+        assert batch.to_text() == incremental.to_text()
+
+    def test_children_with_repetition(self):
+        seq = build("abaabcabcabcabc")
+        # B -> C C: the same child twice
+        by_len = {seq.expansion_lengths()[r.id]: r for r in seq.rules.values()}
+        rule_b = by_len[6]
+        assert len(seq.children(rule_b)) == 2
+
+    def test_expand_with_limit(self):
+        seq = build("abcabcabcabc")
+        assert seq.expand(limit=5) == encode("abcab")
+
+
+class TestInvariantChecker:
+    def test_detects_manual_corruption(self):
+        seq = build("abcabcabc")
+        # Manually corrupt a refcount.
+        victim = next(r for r in seq.rules.values() if r is not seq.start)
+        victim.refcount += 1
+        with pytest.raises(AnalysisError):
+            seq.verify_invariants()
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=0, max_size=200))
+def test_property_roundtrip_small_alphabet(tokens):
+    """Grammar expansion always reproduces the input exactly."""
+    seq = Sequitur()
+    seq.extend(tokens)
+    assert seq.expand() == tokens
+    assert seq.length == len(tokens)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=0, max_size=150))
+def test_property_invariants_small_alphabet(tokens):
+    """Digram uniqueness, rule utility and refcounts always hold."""
+    seq = Sequitur()
+    seq.extend(tokens)
+    seq.verify_invariants()
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=0, max_size=150))
+def test_property_roundtrip_large_alphabet(tokens):
+    seq = Sequitur()
+    seq.extend(tokens)
+    assert seq.expand() == tokens
+    seq.verify_invariants()
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=120))
+def test_property_grammar_never_larger_than_input_plus_constant(tokens):
+    """Sequitur never inflates: grammar size <= input length + small slack."""
+    seq = Sequitur()
+    seq.extend(tokens)
+    assert seq.grammar_size() <= len(tokens) + 2
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=60),
+    st.integers(min_value=2, max_value=8),
+)
+def test_property_repetition_compresses(unit, reps):
+    """Repeating a unit many times yields a grammar sub-linear in reps."""
+    seq = Sequitur()
+    seq.extend(unit * reps)
+    assert seq.expand() == unit * reps
+    if reps >= 4 and len(unit) >= 2:
+        assert seq.grammar_size() < len(unit) * reps
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=5), min_size=0, max_size=100))
+def test_property_expansion_lengths_consistent(tokens):
+    """Every rule's recorded expansion length matches its actual expansion."""
+    seq = Sequitur()
+    seq.extend(tokens)
+    lengths = seq.expansion_lengths()
+    for rule_id, rule in seq.rules.items():
+        assert lengths[rule_id] == len(seq.expand(rule))

@@ -1,0 +1,99 @@
+"""Tests for the static (profile-once) prefetching extension."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.runner import run_workload
+from repro.core.config import OptimizerConfig
+from repro.core.static_pref import StaticPrefetcher
+from repro.core.optimizer import HIBERNATING
+from repro.interp.interpreter import Interpreter
+from repro.machine.config import CacheGeometry, MachineConfig
+from repro.vulcan.static_edit import instrument_program
+from repro.workloads.chainmix import ChainMixParams, build_chainmix
+
+SMALL_MACHINE = MachineConfig(
+    l1=CacheGeometry(512, 2), l2=CacheGeometry(4096, 4), l2_latency=10, memory_latency=100
+)
+
+
+def run_static(params, opt, passes=None):
+    wl = build_chainmix(params, passes=passes)
+    program, _ = instrument_program(wl.program)
+    interp = Interpreter(program, wl.memory, SMALL_MACHINE)
+    optimizer = StaticPrefetcher(program, interp, SMALL_MACHINE, opt)
+    stats = interp.run(wl.args)
+    return stats, optimizer, program
+
+
+class TestStaticPrefetcher:
+    def test_optimizes_exactly_once(self, small_params, small_opt):
+        stats, optimizer, _ = run_static(small_params, small_opt, passes=16)
+        assert optimizer.summary.num_cycles == 1
+        assert optimizer.phase == HIBERNATING
+
+    def test_never_deoptimizes(self, small_params, small_opt):
+        _, optimizer, program = run_static(small_params, small_opt, passes=16)
+        assert program.patched_names, "injected code should remain patched"
+
+    def test_prefetches_whole_run(self, small_params, small_opt):
+        stats, optimizer, _ = run_static(small_params, small_opt, passes=16)
+        assert stats.prefetches_issued > 0
+
+    def test_runner_level(self, small_params, small_opt):
+        wl = build_chainmix(small_params, passes=16)
+        result = run_workload(wl, "static", SMALL_MACHINE, small_opt)
+        assert result.summary is not None
+        assert result.summary.num_cycles == 1
+
+
+class TestPhasedWorkload:
+    def test_phases_param_validated(self):
+        with pytest.raises(Exception):
+            ChainMixParams(name="x", phases=0)
+
+    def test_phased_build_has_more_chains(self, small_params):
+        phased = dataclasses.replace(small_params, phases=3)
+        assert phased.total_chains == 3 * small_params.hot_chains + small_params.cold_chains
+        wl = build_chainmix(phased, passes=2)
+        interp = Interpreter(wl.program, wl.memory, SMALL_MACHINE)
+        stats = interp.run(wl.args)
+        assert stats.memory_refs > 0
+
+    def test_phase_shift_changes_touched_chains(self, small_params):
+        """Different phases touch different hot node sets."""
+        phased = dataclasses.replace(small_params, phases=2, cold_chains=0,
+                                     hot_fraction=1.0, passes=8)
+        wl = build_chainmix(phased)
+        program, _ = instrument_program(wl.program)
+        interp = Interpreter(program, wl.memory, SMALL_MACHINE)
+        interp.set_counters(1, 1)  # trace everything
+        first_half: set[int] = set()
+        second_half: set[int] = set()
+        half_marker = []
+
+        refs = []
+        interp.trace_sink = lambda pc, addr: refs.append(addr)
+        interp.tracing_enabled = True
+        interp.run(wl.args)
+        heap_refs = [a for a in refs if a >= 0x1000_0000]
+        mid = len(heap_refs) // 2
+        first_half = {a >> 5 for a in heap_refs[: mid // 2]}   # early quarter
+        second_half = {a >> 5 for a in heap_refs[-mid // 2 :]}  # late quarter
+        overlap = len(first_half & second_half) / max(1, len(first_half))
+        assert overlap < 0.5, "phases should touch mostly different chains"
+
+    def test_dynamic_adapts_better_than_static_on_phased(self, small_params, small_opt):
+        phased = dataclasses.replace(
+            small_params, phases=2, hot_fraction=0.875, passes=48
+        )
+        results = {}
+        for level in ("dyn", "static"):
+            wl = build_chainmix(phased)
+            results[level] = run_workload(wl, level, SMALL_MACHINE, small_opt)
+        assert results["dyn"].cycles < results["static"].cycles
+        assert (
+            results["dyn"].hierarchy.prefetch.useful
+            > results["static"].hierarchy.prefetch.useful
+        )

@@ -1,0 +1,67 @@
+"""Tests for statistics containers (optimizer summaries, exec stats)."""
+
+import pytest
+
+from repro.core.stats import OptCycleStats, OptimizerSummary
+from repro.interp.interpreter import ExecStats
+from repro.machine.hierarchy import PrefetchStats
+
+
+def cycle(n, traced=1000, streams=10, states=21, checks=20, procs=3, lengths=()):
+    return OptCycleStats(
+        cycle=n,
+        traced_refs=traced,
+        num_streams=streams,
+        dfsm_states=states,
+        dfsm_transitions=states - 1,
+        injected_checks=checks,
+        procs_modified=procs,
+        stream_lengths=list(lengths),
+    )
+
+
+class TestOptCycleStats:
+    def test_mean_stream_length(self):
+        assert cycle(1, lengths=[10, 20, 30]).mean_stream_length == 20
+        assert cycle(1).mean_stream_length == 0.0
+
+
+class TestOptimizerSummary:
+    def test_empty_summary_means_are_zero(self):
+        summary = OptimizerSummary()
+        assert summary.num_cycles == 0
+        assert summary.mean_traced_refs == 0.0
+        assert summary.mean_streams == 0.0
+        assert summary.mean_dfsm_states == 0.0
+        assert summary.mean_injected_checks == 0.0
+        assert summary.mean_procs_modified == 0.0
+
+    def test_means_over_cycles(self):
+        summary = OptimizerSummary(cycles=[cycle(1, traced=100), cycle(2, traced=300)])
+        assert summary.num_cycles == 2
+        assert summary.mean_traced_refs == 200
+
+    def test_mixed_values(self):
+        summary = OptimizerSummary(
+            cycles=[cycle(1, streams=10, procs=4), cycle(2, streams=20, procs=6)]
+        )
+        assert summary.mean_streams == 15
+        assert summary.mean_procs_modified == 5
+
+
+class TestExecStats:
+    def test_cpi(self):
+        stats = ExecStats(cycles=500, instructions=100)
+        assert stats.cpi == 5.0
+
+    def test_cpi_zero_instructions(self):
+        assert ExecStats().cpi == 0.0
+
+
+class TestPrefetchStats:
+    def test_accuracy_counts_useful_and_late(self):
+        stats = PrefetchStats(issued=10, useful=6, late=2, wasted=2)
+        assert stats.accuracy == pytest.approx(0.8)
+
+    def test_accuracy_without_outcomes(self):
+        assert PrefetchStats(issued=5, redundant=5).accuracy == 0.0

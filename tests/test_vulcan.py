@@ -1,0 +1,186 @@
+"""Tests for static instrumentation and dynamic injection (the Vulcan layer)."""
+
+import pytest
+
+from repro.errors import EditError
+from repro.interp.interpreter import Interpreter
+from repro.ir import Check, Load, ProcedureBuilder, build_program, validate_procedure
+from repro.machine.memory import Memory
+from repro.vulcan.dynamic_edit import deoptimize, inject_detection, optimized_copy
+from repro.vulcan.static_edit import find_backedges, instrument_procedure, instrument_program
+
+
+def loop_proc(name="main", iters=5):
+    """A procedure with one loop (one back-edge) and two memory refs."""
+    b = ProcedureBuilder(name)
+    base = b.const(None, 0x1000_0000)
+    i = b.const(None, 0)
+    n = b.const(None, iters)
+    total = b.const(None, 0)
+    b.label("loop")
+    cond = b.lt(None, i, n)
+    b.bz(cond, "end")
+    v = b.load(None, base, 0)
+    b.add(total, total, v)
+    b.store(total, base, 4)
+    b.addi(i, i, 1)
+    b.jmp("loop")
+    b.label("end")
+    b.ret(total)
+    return b.build()
+
+
+class TestBackedges:
+    def test_finds_loop_backedge(self):
+        proc = loop_proc()
+        backedges = find_backedges(proc)
+        assert len(backedges) == 1
+
+    def test_straightline_has_none(self):
+        b = ProcedureBuilder("f")
+        b.const(None, 1)
+        b.ret()
+        assert find_backedges(b.build()) == []
+
+    def test_forward_branch_not_backedge(self):
+        b = ProcedureBuilder("f")
+        r = b.const(None, 1)
+        b.bz(r, "skip")
+        b.const(None, 2)
+        b.label("skip")
+        b.ret()
+        assert find_backedges(b.build()) == []
+
+
+class TestStaticInstrumentation:
+    def test_check_at_entry_and_backedge(self):
+        proc, entries, backs = instrument_procedure(loop_proc())
+        assert entries == 1
+        assert backs == 1
+        assert isinstance(proc.body[0], Check)
+        checks = [i for i, ins in enumerate(proc.body) if isinstance(ins, Check)]
+        assert len(checks) == 2
+
+    def test_bodies_structurally_identical(self):
+        proc, _, _ = instrument_procedure(loop_proc())
+        assert proc.instrumented_body is not None
+        assert len(proc.instrumented_body) == len(proc.body)
+        for a, b in zip(proc.body, proc.instrumented_body):
+            assert type(a) is type(b)
+
+    def test_only_instrumented_version_traces(self):
+        proc, _, _ = instrument_procedure(loop_proc())
+        plain = [i for i in proc.body if isinstance(i, Load)]
+        traced = [i for i in proc.instrumented_body if isinstance(i, Load)]
+        assert all(not i.traced for i in plain)
+        assert all(i.traced for i in traced)
+
+    def test_pcs_preserved(self):
+        original = loop_proc()
+        proc, _, _ = instrument_procedure(original)
+        assert proc.pcs() == original.pcs()
+
+    def test_labels_remapped_and_valid(self):
+        proc, _, _ = instrument_procedure(loop_proc())
+        validate_procedure(proc)
+
+    def test_double_instrumentation_rejected(self):
+        proc, _, _ = instrument_procedure(loop_proc())
+        with pytest.raises(EditError):
+            instrument_procedure(proc)
+
+    def test_program_report(self):
+        program = build_program([loop_proc()], entry="main")
+        instrumented, report = instrument_program(program)
+        assert report.procedures == 1
+        assert report.entry_checks == 1
+        assert report.backedge_checks == 1
+        assert report.total_checks == 2
+
+    def test_execution_equivalence(self):
+        """Instrumentation must not change program results."""
+        program = build_program([loop_proc(iters=7)], entry="main")
+        plain = Interpreter(program, Memory()).run()
+        instrumented, _ = instrument_program(build_program([loop_proc(iters=7)], entry="main"))
+        interp = Interpreter(instrumented, Memory())
+        interp.set_counters(3, 2)  # force frequent version switching
+        result = interp.run()
+        assert result.return_value == plain.return_value
+        assert result.checks_executed > 0
+
+
+class FakeHandler:
+    """Minimal detect payload for injection tests."""
+
+    def step(self, state, addr):
+        return state, (), 1
+
+
+class TestDynamicInjection:
+    def test_inject_patches_and_attaches(self):
+        program = build_program([loop_proc()], entry="main")
+        pc = program.original("main").pcs()[0]
+        result = inject_detection(program, {pc: FakeHandler()})
+        assert result.patched_procedures == ["main"]
+        assert result.instrumented_pcs == 1
+        patched = program.resolve("main")
+        attached = [i for i in patched.body if isinstance(i, Load) and i.detect is not None]
+        assert len(attached) == 1
+
+    def test_original_untouched(self):
+        program = build_program([loop_proc()], entry="main")
+        pc = program.original("main").pcs()[0]
+        inject_detection(program, {pc: FakeHandler()})
+        original = program.original("main")
+        assert all(
+            i.detect is None for i in original.body if isinstance(i, Load)
+        )
+
+    def test_inject_both_versions(self):
+        program, _ = instrument_program(build_program([loop_proc()], entry="main"))
+        pc = program.original("main").pcs()[0]
+        inject_detection(program, {pc: FakeHandler()})
+        patched = program.resolve("main")
+        assert patched.instrumented_body is not None
+        attached = [
+            i for i in patched.instrumented_body if isinstance(i, Load) and i.detect is not None
+        ]
+        assert len(attached) == 1
+
+    def test_unknown_pc_procedure_rejected(self):
+        from repro.ir.instructions import Pc
+
+        program = build_program([loop_proc()], entry="main")
+        with pytest.raises(EditError):
+            inject_detection(program, {Pc("ghost", 0): FakeHandler()})
+
+    def test_handler_must_match_a_memory_op(self):
+        from repro.ir.instructions import Pc
+
+        program = build_program([loop_proc()], entry="main")
+        with pytest.raises(EditError):
+            optimized_copy(program.original("main"), {Pc("main", 99): FakeHandler()})
+
+    def test_deoptimize_removes_patches(self):
+        program = build_program([loop_proc()], entry="main")
+        pc = program.original("main").pcs()[0]
+        inject_detection(program, {pc: FakeHandler()})
+        removed = deoptimize(program)
+        assert removed == ["main"]
+        assert program.resolve("main") is program.original("main")
+
+    def test_empty_handlers_noop(self):
+        program = build_program([loop_proc()], entry="main")
+        result = inject_detection(program, {})
+        assert result.num_procedures == 0
+
+    def test_repeated_cycles_do_not_stack(self):
+        program = build_program([loop_proc()], entry="main")
+        pc = program.original("main").pcs()[0]
+        for _ in range(3):
+            inject_detection(program, {pc: FakeHandler()})
+            deoptimize(program)
+        inject_detection(program, {pc: FakeHandler()})
+        patched = program.resolve("main")
+        attached = [i for i in patched.body if isinstance(i, Load) and i.detect is not None]
+        assert len(attached) == 1

@@ -1,0 +1,157 @@
+"""Tests for the chain-mix workload generator and the six presets."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.interp.interpreter import Interpreter
+from repro.machine.memory import Memory
+from repro.workloads import presets
+from repro.workloads.chainmix import (
+    NODE_BYTES,
+    NODE_NEXT_OFF,
+    NODE_VAL_OFF,
+    SCHED_ENTRY_BYTES,
+    ChainMixParams,
+    build_chainmix,
+)
+
+
+class TestParamsValidation:
+    def test_valid_defaults(self, small_params):
+        assert small_params.total_chains == 26
+
+    def test_chain_len_must_fit_peel_and_unroll(self):
+        with pytest.raises(ConfigError):
+            ChainMixParams(name="x", chain_len=10, unroll=4)
+
+    def test_groups_bounded_by_pointer_bits(self):
+        with pytest.raises(ConfigError):
+            ChainMixParams(name="x", groups=64)
+
+    def test_cold_array_power_of_two(self):
+        with pytest.raises(ConfigError):
+            ChainMixParams(name="x", cold_array_blocks=1000)
+
+    def test_hot_fraction_range(self):
+        with pytest.raises(ConfigError):
+            ChainMixParams(name="x", hot_fraction=1.5)
+
+    def test_no_cold_chains_requires_full_hot(self):
+        with pytest.raises(ConfigError):
+            ChainMixParams(name="x", cold_chains=0, hot_fraction=0.5)
+
+    def test_hot_eighths_quantization(self):
+        assert ChainMixParams(name="x", hot_fraction=0.75).hot_eighths == 6
+        assert ChainMixParams(name="x", hot_fraction=1.0, cold_chains=0).hot_eighths == 8
+
+
+class TestBuild:
+    def test_build_is_deterministic(self, small_params):
+        a = build_chainmix(small_params)
+        b = build_chainmix(small_params)
+        assert a.memory._words == b.memory._words
+        assert a.args == b.args
+
+    def test_info_footprints(self, small_params):
+        wl = build_chainmix(small_params)
+        expected = small_params.total_chains * small_params.chain_len * NODE_BYTES
+        assert wl.info["node_footprint_bytes"] == expected
+
+    def test_chains_linked_and_terminated(self, small_params):
+        wl = build_chainmix(small_params)
+        mem = wl.memory
+        sched_base = None
+        # Recover slot 0's head from the schedule (static region).
+        from repro.machine.memory import STATIC_BASE
+        tagged = mem.load(STATIC_BASE)
+        head = tagged & ~(NODE_BYTES - 1)
+        node, hops = head, 0
+        while node and hops < small_params.chain_len + 1:
+            node = mem.load(node + NODE_NEXT_OFF)
+            hops += 1
+        assert hops == small_params.chain_len
+
+    def test_nodes_block_aligned(self, small_params):
+        wl = build_chainmix(small_params)
+        from repro.machine.memory import STATIC_BASE
+        for slot in range(small_params.total_chains):
+            tagged = wl.memory.load(STATIC_BASE + slot * SCHED_ENTRY_BYTES)
+            head = tagged & ~(NODE_BYTES - 1)
+            assert head % NODE_BYTES == 0
+
+    def test_group_tags_valid(self, small_params):
+        wl = build_chainmix(small_params)
+        from repro.machine.memory import STATIC_BASE
+        for slot in range(small_params.total_chains):
+            tagged = wl.memory.load(STATIC_BASE + slot * SCHED_ENTRY_BYTES)
+            assert 0 <= (tagged & (NODE_BYTES - 1)) < small_params.groups
+
+    def test_sequential_alloc_orders_nodes(self, small_params):
+        import dataclasses
+
+        params = dataclasses.replace(small_params, sequential_alloc=True)
+        wl = build_chainmix(params)
+        from repro.machine.memory import STATIC_BASE
+        tagged = wl.memory.load(STATIC_BASE)
+        head = tagged & ~(NODE_BYTES - 1)
+        nxt = wl.memory.load(head + NODE_NEXT_OFF)
+        assert nxt == head + NODE_BYTES
+
+    def test_shuffled_alloc_is_not_sequential(self, small_params):
+        wl = build_chainmix(small_params)
+        from repro.machine.memory import STATIC_BASE
+        sequential = 0
+        for slot in range(small_params.total_chains):
+            tagged = wl.memory.load(STATIC_BASE + slot * SCHED_ENTRY_BYTES)
+            head = tagged & ~(NODE_BYTES - 1)
+            if wl.memory.load(head + NODE_NEXT_OFF) == head + NODE_BYTES:
+                sequential += 1
+        assert sequential < small_params.total_chains // 2
+
+    def test_passes_override(self, small_params):
+        wl = build_chainmix(small_params, passes=3)
+        assert wl.args == (3,)
+
+    def test_program_executes_and_touches_chains(self, small_params):
+        wl = build_chainmix(small_params, passes=2)
+        interp = Interpreter(wl.program, wl.memory)
+        stats = interp.run(wl.args)
+        steps = 2 * small_params.schedule_len
+        # At least one chain traversal's worth of refs per step.
+        assert stats.memory_refs > steps * small_params.chain_len
+
+    def test_node_values_summed(self, small_params):
+        wl = build_chainmix(small_params, passes=1)
+        interp = Interpreter(wl.program, wl.memory)
+        stats = interp.run(wl.args)
+        assert stats.return_value != 0
+
+
+class TestPresets:
+    def test_names_match_paper_order(self):
+        assert presets.names() == ["vpr", "mcf", "twolf", "parser", "vortex", "boxsim"]
+
+    @pytest.mark.parametrize("name", ["vpr", "mcf", "twolf", "parser", "vortex", "boxsim"])
+    def test_presets_build(self, name):
+        wl = presets.build(name, passes=1)
+        assert wl.name == name
+        assert wl.program.resolve("main") is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            presets.build("gcc")
+
+    def test_parser_is_the_sequential_one(self):
+        assert presets.PARSER.sequential_alloc
+        assert not presets.VPR.sequential_alloc
+
+    def test_hot_chain_counts_follow_table2(self):
+        counts = {p.name: p.hot_chains for p in presets.ALL_PARAMS}
+        assert counts == {
+            "vpr": 41, "mcf": 37, "twolf": 25, "parser": 21, "vortex": 14, "boxsim": 23,
+        }
+
+    def test_footprints_exceed_l2(self):
+        """Every preset's chain population overflows the 256 KB L2."""
+        for params in presets.ALL_PARAMS:
+            assert params.node_footprint_bytes > 256 * 1024
