@@ -22,6 +22,7 @@ Sub-packages:
 - :mod:`repro.core`      — the dynamic prefetching optimizer (Figure 1)
 - :mod:`repro.workloads` — the six benchmark analogues
 - :mod:`repro.bench`     — experiment runner and figure/table regeneration
+- :mod:`repro.telemetry` — structured events, metrics and exporters
 """
 
 from repro.analysis import AnalysisConfig, HotDataStream, analyze_grammar, find_hot_streams
@@ -33,6 +34,7 @@ from repro.ir import ProcedureBuilder, Program, build_program
 from repro.machine import MachineConfig, Memory, MemoryHierarchy, PAPER_MACHINE
 from repro.profiling import BurstyCounters, TemporalProfiler, overall_sampling_rate
 from repro.sequitur import Sequitur
+from repro.telemetry import MetricsRegistry, TelemetryRecorder, TelemetrySession
 from repro.vulcan import deoptimize, inject_detection, instrument_program
 from repro.workloads import ChainMixParams, build_chainmix
 
@@ -65,6 +67,9 @@ __all__ = [
     "TemporalProfiler",
     "overall_sampling_rate",
     "Sequitur",
+    "MetricsRegistry",
+    "TelemetryRecorder",
+    "TelemetrySession",
     "deoptimize",
     "inject_detection",
     "instrument_program",

@@ -14,6 +14,12 @@ Regenerates the paper's figures and tables as text::
 
 ``--scale 0.5`` shrinks every workload's pass count for quick smoke runs;
 ``--workloads vpr,mcf`` restricts the set.
+
+Telemetry: ``--telemetry run.jsonl`` streams every simulated run's event log
+(``RunBegin``/``RunEnd`` delimit runs) and ``--metrics run.json`` writes one
+metrics snapshot per (workload, level), keyed ``workload/level`` and carrying
+the serialized optimizer summary.  Both files round-trip through
+:mod:`repro.telemetry.export`.
 """
 
 from __future__ import annotations
@@ -24,7 +30,8 @@ from typing import Optional, Sequence
 
 from repro.bench import figures
 from repro.bench.figures import ResultCache
-from repro.bench.reporting import format_table
+from repro.bench.reporting import Ratio, format_table
+from repro.telemetry.session import TelemetryRecorder
 from repro.workloads import presets
 
 
@@ -76,13 +83,41 @@ def _print_figure12(cache: ResultCache, names: Sequence[str]) -> None:
             "(negative = speedup)",
         )
     )
+    quality = figures.figure12_quality_rows(cache, names, levels=("seq", "dyn"))
+    print(
+        format_table(
+            ["benchmark", "level", "issued", "accuracy", "timeliness", "pollution"],
+            [
+                [
+                    r["benchmark"],
+                    r["level"],
+                    r["issued"],
+                    Ratio(r["accuracy"]),
+                    Ratio(r["timeliness"]),
+                    Ratio(r["pollution"]),
+                ]
+                for r in quality
+            ],
+            title="Figure 12 companion: prefetch quality per level "
+            "(accuracy / timeliness / pollution)",
+        )
+    )
 
 
 def _print_table2(cache: ResultCache, names: Sequence[str]) -> None:
     rows = figures.table2_rows(cache, names)
     print(
         format_table(
-            ["benchmark", "#opt cycles", "#traced refs", "#hds", "DFSM states", "checks", "#procs"],
+            [
+                "benchmark",
+                "#opt cycles",
+                "#traced refs",
+                "#hds",
+                "DFSM states",
+                "DFSM trans",
+                "checks",
+                "#procs",
+            ],
             [
                 [
                     r["benchmark"],
@@ -90,6 +125,7 @@ def _print_table2(cache: ResultCache, names: Sequence[str]) -> None:
                     r["traced_refs_per_cycle"],
                     r["hds_per_cycle"],
                     r["dfsm_states"],
+                    r["dfsm_transitions"],
                     r["dfsm_checks"],
                     r["procs_modified"],
                 ]
@@ -143,13 +179,54 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--scale", type=float, default=1.0, help="workload pass-count scale")
     parser.add_argument("--workloads", default="", help="comma-separated subset of benchmarks")
+    parser.add_argument(
+        "--telemetry",
+        metavar="OUT.JSONL",
+        default=None,
+        help="stream every run's telemetry events to this JSONL file",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="OUT.JSON",
+        default=None,
+        help="write per-run metrics snapshots (keyed workload/level) to this JSON file",
+    )
+    parser.add_argument(
+        "--miss-sample",
+        type=int,
+        default=64,
+        metavar="N",
+        help="emit one CacheMiss event per N demand misses (default 64)",
+    )
+    parser.add_argument(
+        "--prefetch-sample",
+        type=int,
+        default=32,
+        metavar="N",
+        help="emit one prefetch life-cycle event per N occurrences (default 32; 1 = all)",
+    )
     args = parser.parse_args(argv)
 
     names = [n for n in args.workloads.split(",") if n] or presets.names()
     unknown = set(names) - set(presets.names())
     if unknown:
         parser.error(f"unknown workloads: {sorted(unknown)}")
-    cache = ResultCache(passes_scale=args.scale)
+    for path in (args.telemetry, args.metrics):
+        if path:
+            try:
+                # Fail fast: a bad path should not surface minutes into a run.
+                open(path, "a", encoding="utf-8").close()
+            except OSError as exc:
+                parser.error(f"cannot write {path}: {exc}")
+    recorder = None
+    if args.telemetry or args.metrics:
+        recorder = TelemetryRecorder(
+            events_path=args.telemetry,
+            metrics_path=args.metrics,
+            miss_sample_every=args.miss_sample,
+            prefetch_sample_every=args.prefetch_sample,
+        )
+    cache = ResultCache(passes_scale=args.scale, recorder=recorder)
 
     if args.artifact in ("figure4", "all"):
         _print_figure4()
@@ -167,6 +244,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _print_ablation_headlen(names, cache)
     if args.artifact in ("ablation-hwpref", "all"):
         _print_ablation_hwpref(names, cache)
+    if recorder is not None:
+        recorder.close()
+        if args.telemetry:
+            print(f"telemetry events written to {args.telemetry}")
+        if args.metrics:
+            print(f"metrics snapshots written to {args.metrics}")
     return 0
 
 

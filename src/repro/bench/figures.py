@@ -24,13 +24,14 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional, Sequence
 
-from repro.analysis.hotstreams import AnalysisConfig, analyze_grammar, find_hot_streams
+from repro.analysis.hotstreams import AnalysisConfig, analyze_grammar
 from repro.analysis.stream import HotDataStream
 from repro.bench.runner import RunResult, run_level
 from repro.core.config import OptimizerConfig
 from repro.dfsm.build import build_dfsm
 from repro.dfsm.machine import PrefixDFSM
 from repro.sequitur.sequitur import Sequitur
+from repro.telemetry.session import TelemetryRecorder
 from repro.workloads import presets
 
 #: The paper's worked-example string (Figure 4/6, Table 1).
@@ -98,15 +99,22 @@ def figure8_dfsm(head_len: int = 3) -> PrefixDFSM:
 
 
 class ResultCache:
-    """Memoizes (workload, level, passes, config-ish) executions."""
+    """Memoizes (workload, level, passes, config-ish) executions.
+
+    When a :class:`~repro.telemetry.session.TelemetryRecorder` is attached,
+    every fresh execution streams its events into the recorder's shared JSONL
+    log and contributes a ``workload/level`` metrics snapshot.
+    """
 
     def __init__(
         self,
         opt: Optional[OptimizerConfig] = None,
         passes_scale: float = 1.0,
+        recorder: Optional[TelemetryRecorder] = None,
     ) -> None:
         self.opt = opt if opt is not None else OptimizerConfig()
         self.passes_scale = passes_scale
+        self.recorder = recorder
         self._results: dict[tuple[str, str], RunResult] = {}
 
     def passes_for(self, name: str) -> Optional[int]:
@@ -120,9 +128,12 @@ class ResultCache:
     def get(self, name: str, level: str) -> RunResult:
         key = (name, level)
         if key not in self._results:
+            session = self.recorder.session_for(name, level) if self.recorder else None
             self._results[key] = run_level(
-                name, level, opt=self.opt, passes=self.passes_for(name)
+                name, level, opt=self.opt, passes=self.passes_for(name), telemetry=session
             )
+            if session is not None:
+                self.recorder.record(name, level, session)
         return self._results[key]
 
 
@@ -158,6 +169,37 @@ def figure12_rows(cache: ResultCache, names: Optional[Sequence[str]] = None) -> 
     return rows
 
 
+def figure12_quality_rows(
+    cache: ResultCache,
+    names: Optional[Sequence[str]] = None,
+    levels: Sequence[str] = ("nopref", "seq", "dyn"),
+) -> list[dict]:
+    """Figure 12 companion: prefetch accuracy/timeliness/pollution per level.
+
+    Values come from each run's metrics registry (reconciled against the
+    hierarchy's :class:`~repro.machine.hierarchy.PrefetchStats` at finalize),
+    so they are exactly the paper's quality axes: accuracy = used / issued
+    (non-redundant), timeliness = in-time / used, pollution = evicted-unused /
+    issued (non-redundant).
+    """
+    rows = []
+    for name in names or presets.names():
+        for level in levels:
+            metrics = cache.get(name, level).metrics
+            assert metrics is not None
+            rows.append(
+                {
+                    "benchmark": name,
+                    "level": level,
+                    "issued": metrics.counter("prefetch.issued").value,
+                    "accuracy": metrics.gauge("prefetch.accuracy").value,
+                    "timeliness": metrics.gauge("prefetch.timeliness").value,
+                    "pollution": metrics.gauge("prefetch.pollution").value,
+                }
+            )
+    return rows
+
+
 def table2_rows(cache: ResultCache, names: Optional[Sequence[str]] = None) -> list[dict]:
     """Table 2: per-optimization-cycle characterization of the dyn runs."""
     rows = []
@@ -172,6 +214,7 @@ def table2_rows(cache: ResultCache, names: Optional[Sequence[str]] = None) -> li
                 "traced_refs_per_cycle": round(summary.mean_traced_refs),
                 "hds_per_cycle": round(summary.mean_streams, 1),
                 "dfsm_states": round(summary.mean_dfsm_states),
+                "dfsm_transitions": round(summary.mean_dfsm_transitions),
                 "dfsm_checks": round(summary.mean_injected_checks),
                 "procs_modified": round(summary.mean_procs_modified, 1),
             }

@@ -7,7 +7,19 @@ artifacts.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Ratio:
+    """A 0..1 quality value (accuracy/timeliness/pollution).
+
+    Bare floats render as signed overhead percentages (``+3.1``), which is
+    wrong for ratios; wrapping a cell in :class:`Ratio` formats it ``0.853``.
+    """
+
+    value: float
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
@@ -26,6 +38,8 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title
 
 
 def _fmt(value: object) -> str:
+    if isinstance(value, Ratio):
+        return f"{value.value:.3f}"
     if isinstance(value, float):
         return f"{value:+.1f}" if value < 1000 else f"{value:.0f}"
     return str(value)

@@ -32,6 +32,8 @@ from repro.errors import ConfigError
 from repro.interp.interpreter import ExecStats, Interpreter
 from repro.machine.config import MachineConfig, PAPER_MACHINE
 from repro.machine.hierarchy import MemoryHierarchy
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.session import TelemetrySession
 from repro.vulcan.static_edit import instrument_program
 from repro.workloads import presets
 from repro.workloads.base import BuiltWorkload
@@ -52,6 +54,9 @@ class RunResult:
     stats: ExecStats
     hierarchy: MemoryHierarchy
     summary: Optional[OptimizerSummary]
+    #: run-level metrics registry, always populated (exact, reconciled from
+    #: the simulation counters at finalize time)
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def cycles(self) -> int:
@@ -82,23 +87,34 @@ def run_workload(
     level: str,
     machine: MachineConfig = PAPER_MACHINE,
     opt: Optional[OptimizerConfig] = None,
+    telemetry: Optional[TelemetrySession] = None,
 ) -> RunResult:
-    """Execute an already-built workload at one measurement level."""
+    """Execute an already-built workload at one measurement level.
+
+    ``telemetry`` attaches an existing session (event sinks and all); without
+    one, a metrics-only session is created so the returned result still
+    carries an exact metrics registry.  Telemetry never alters simulated
+    cycle counts.
+    """
     if level not in LEVELS:
         raise ConfigError(f"unknown level {level!r}; known: {LEVELS}")
     opt = opt if opt is not None else OptimizerConfig()
+    session = telemetry if telemetry is not None else TelemetrySession()
     program = workload.program
     summary: Optional[OptimizerSummary] = None
     if level == "orig":
         interp = Interpreter(program, workload.memory, machine)
+        session.wire(interp)
     elif level in _HW_LEVELS:
         from repro.core.hwpref import MarkovPrefetcher, StridePrefetcher
 
         interp = Interpreter(program, workload.memory, machine)
+        session.wire(interp)
         interp.hw_prefetcher = StridePrefetcher() if level == "stride" else MarkovPrefetcher()
     else:
         program, _report = instrument_program(program)
         interp = Interpreter(program, workload.memory, machine)
+        session.wire(interp)
         if level == "base":
             # Checks execute, instrumented code (virtually) never does.
             interp.set_counters(1 << 40, 1)
@@ -110,14 +126,18 @@ def run_workload(
         else:
             optimizer = DynamicPrefetcher(program, interp, machine, configure_level(level, opt))
             summary = optimizer.summary
+    if not session.context:
+        session.begin_run(workload.name, level)
     stats = interp.run(workload.args)
-    interp.hierarchy.finalize()
+    interp.hierarchy.finalize(now=stats.cycles)
+    session.finalize_run(stats, interp.hierarchy, summary)
     return RunResult(
         workload=workload.name,
         level=level,
         stats=stats,
         hierarchy=interp.hierarchy,
         summary=summary,
+        metrics=session.registry,
     )
 
 
@@ -127,6 +147,7 @@ def run_level(
     machine: MachineConfig = PAPER_MACHINE,
     opt: Optional[OptimizerConfig] = None,
     passes: Optional[int] = None,
+    telemetry: Optional[TelemetrySession] = None,
 ) -> RunResult:
     """Build the named preset workload and execute it at ``level``."""
-    return run_workload(presets.build(name, passes=passes), level, machine, opt)
+    return run_workload(presets.build(name, passes=passes), level, machine, opt, telemetry)

@@ -14,7 +14,9 @@ scheme" and positions its technique against correlation/Markov prefetchers
 
 Both are "free" (no instruction overhead), which makes them an *optimistic*
 hardware baseline; the comparison in the bench is about coverage/accuracy,
-not instruction cost.
+not instruction cost.  Their prefetches carry a telemetry ``source`` tag
+("stride"/"markov") so event logs can separate them from the injected
+software handlers ("sw").
 """
 
 from __future__ import annotations
@@ -57,7 +59,7 @@ class StridePrefetcher:
             for k in range(1, self.degree + 1):
                 target = addr + step * k
                 if target >= 0:
-                    hierarchy.issue_prefetch(target, now)
+                    hierarchy.issue_prefetch(target, now, source="stride")
 
 
 class MarkovPrefetcher:
@@ -88,5 +90,5 @@ class MarkovPrefetcher:
             if predicted:
                 ranked = sorted(predicted.items(), key=lambda kv: -kv[1])[: self.fanout]
                 for successor, _count in ranked:
-                    hierarchy.issue_prefetch(successor << shift, now)
+                    hierarchy.issue_prefetch(successor << shift, now, source="markov")
         self._last_block = block

@@ -31,6 +31,13 @@ from repro.interp.interpreter import Interpreter
 from repro.ir.program import Program
 from repro.machine.config import MachineConfig
 from repro.profiling.profiler import TemporalProfiler
+from repro.telemetry.events import (
+    AnalysisCharged,
+    DfsmBackoff,
+    DfsmBuilt,
+    OptimizeCycle,
+    PhaseTransition,
+)
 from repro.vulcan.dynamic_edit import deoptimize, inject_detection
 
 AWAKE, HIBERNATING = "awake", "hibernating"
@@ -102,18 +109,19 @@ class DynamicPrefetcher:
         if self.phase == AWAKE:
             self._awake_bursts += 1
             if self._awake_bursts >= self.config.n_awake:
-                return self._optimize()
+                return self._optimize(now)
         else:
             self._hibernate_bursts += 1
             if self._hibernate_bursts >= self.config.n_hibernate:
-                self._wake()
+                self._wake(now)
         return 0
 
     # ------------------------------------------------------- phase changes
 
-    def _optimize(self) -> int:
+    def _optimize(self, now: int = 0) -> int:
         """End of awake phase: analyze, inject, enter hibernation."""
         config = self.config
+        telem = self.interp.telemetry
         traced = self.profiler.trace_length
         charge = 0
         streams: list[HotDataStream] = []
@@ -122,10 +130,12 @@ class DynamicPrefetcher:
             streams = find_hot_streams(self.profiler.sequitur, config.analysis)
             streams = [s for s in streams if s.length > config.head_len]
             streams = _dedupe_streams(streams, config.head_len)
+            if telem.enabled:
+                telem.emit(AnalysisCharged(now, traced, charge))
 
         dfsm_states = dfsm_transitions = injected_checks = procs_modified = 0
         if config.inject and streams:
-            dfsm, streams = self._build_dfsm_with_backoff(streams)
+            dfsm, streams = self._build_dfsm_with_backoff(streams, now)
             handlers = generate_handlers(
                 dfsm,
                 self.profiler.symbols,
@@ -140,6 +150,8 @@ class DynamicPrefetcher:
             dfsm_transitions = dfsm.num_transitions
             injected_checks = sum(h.num_cases for h in handlers.values())
             procs_modified = result.num_procedures
+            if telem.enabled:
+                telem.emit(DfsmBuilt(now, dfsm_states, dfsm_transitions, len(streams)))
 
         self.summary.cycles.append(
             OptCycleStats(
@@ -153,6 +165,20 @@ class DynamicPrefetcher:
                 stream_lengths=[s.length for s in streams],
             )
         )
+        if telem.enabled:
+            telem.emit(
+                OptimizeCycle(
+                    now,
+                    index=len(self.summary.cycles),
+                    traced_refs=traced,
+                    num_streams=len(streams),
+                    dfsm_states=dfsm_states,
+                    dfsm_transitions=dfsm_transitions,
+                    injected_checks=injected_checks,
+                    procs_modified=procs_modified,
+                )
+            )
+            telem.emit(PhaseTransition(now, AWAKE, HIBERNATING))
 
         hibernating = config.counters.hibernating()
         self.interp.tracing_enabled = False
@@ -161,7 +187,7 @@ class DynamicPrefetcher:
         self._hibernate_bursts = 0
         return charge
 
-    def _build_dfsm_with_backoff(self, streams: list[HotDataStream]):
+    def _build_dfsm_with_backoff(self, streams: list[HotDataStream], now: int = 0):
         """Build the DFSM, halving the stream set on pathological blow-up."""
         while True:
             try:
@@ -169,9 +195,13 @@ class DynamicPrefetcher:
             except DfsmTooLarge:
                 if len(streams) <= 1:
                     raise
-                streams = streams[: len(streams) // 2]
+                kept = streams[: len(streams) // 2]
+                telem = self.interp.telemetry
+                if telem.enabled:
+                    telem.emit(DfsmBackoff(now, len(streams), len(kept)))
+                streams = kept
 
-    def _wake(self) -> None:
+    def _wake(self, now: int = 0) -> None:
         """End of hibernation: deoptimize and return to profiling."""
         deoptimize(self.program)
         self.interp.dfsm_state = 0
@@ -180,3 +210,6 @@ class DynamicPrefetcher:
         self.interp.set_counters(self.config.counters.n_check0, self.config.counters.n_instr0)
         self.phase = AWAKE
         self._awake_bursts = 0
+        telem = self.interp.telemetry
+        if telem.enabled:
+            telem.emit(PhaseTransition(now, HIBERNATING, AWAKE))

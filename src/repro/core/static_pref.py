@@ -31,5 +31,5 @@ class StaticPrefetcher(DynamicPrefetcher):
             return 0
         self._awake_bursts += 1
         if self._awake_bursts >= self.config.n_awake:
-            return self._optimize()
+            return self._optimize(now)
         return 0

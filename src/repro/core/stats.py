@@ -24,6 +24,20 @@ class OptCycleStats:
             return 0.0
         return sum(self.stream_lengths) / len(self.stream_lengths)
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable view (field values plus the derived mean)."""
+        return {
+            "cycle": self.cycle,
+            "traced_refs": self.traced_refs,
+            "num_streams": self.num_streams,
+            "dfsm_states": self.dfsm_states,
+            "dfsm_transitions": self.dfsm_transitions,
+            "injected_checks": self.injected_checks,
+            "procs_modified": self.procs_modified,
+            "stream_lengths": list(self.stream_lengths),
+            "mean_stream_length": self.mean_stream_length,
+        }
+
 
 @dataclass
 class OptimizerSummary:
@@ -53,9 +67,30 @@ class OptimizerSummary:
         return self._mean("dfsm_states")
 
     @property
+    def mean_dfsm_transitions(self) -> float:
+        return self._mean("dfsm_transitions")
+
+    @property
     def mean_injected_checks(self) -> float:
         return self._mean("injected_checks")
 
     @property
     def mean_procs_modified(self) -> float:
         return self._mean("procs_modified")
+
+    def to_dict(self) -> dict[str, object]:
+        """Serializable Table 2 row: aggregates plus every per-cycle record.
+
+        This is the shape the telemetry metrics exporter embeds, so consumers
+        never reach into dataclass internals.
+        """
+        return {
+            "num_cycles": self.num_cycles,
+            "mean_traced_refs": self.mean_traced_refs,
+            "mean_streams": self.mean_streams,
+            "mean_dfsm_states": self.mean_dfsm_states,
+            "mean_dfsm_transitions": self.mean_dfsm_transitions,
+            "mean_injected_checks": self.mean_injected_checks,
+            "mean_procs_modified": self.mean_procs_modified,
+            "cycles": [c.to_dict() for c in self.cycles],
+        }

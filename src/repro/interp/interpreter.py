@@ -17,7 +17,7 @@ this is the hot path of every experiment in the repository.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Protocol
 
 from repro.errors import ExecutionError, MemoryFault
@@ -46,6 +46,8 @@ from repro.ir.program import Program
 from repro.machine.config import MachineConfig, PAPER_MACHINE
 from repro.machine.hierarchy import MemoryHierarchy
 from repro.machine.memory import Memory
+from repro.telemetry.events import BurstBegin, BurstEnd
+from repro.telemetry.sinks import NULL_SINK
 
 #: Version indices for the dual-version bodies (Figure 2).
 CHECKING, INSTRUMENTED = 0, 1
@@ -120,6 +122,10 @@ class Interpreter:
         self.hw_prefetcher: Optional[HardwarePrefetcher] = None
         #: Current DFSM prefix-matcher state (the injected `state` variable).
         self.dfsm_state: int = 0
+        #: Telemetry bus (``.enabled``/``.emit``); NULL_SINK = off.  Events
+        #: never charge simulated cycles — only burst transitions emit, so
+        #: the hot dispatch loop is untouched.
+        self.telemetry = NULL_SINK
 
     def set_counters(self, n_check0: int, n_instr0: int) -> None:
         """Set the counter reload values (profiling rate, Section 2.1)."""
@@ -189,6 +195,7 @@ class Interpreter:
         sink = self.trace_sink
         listener = self.check_listener
         hwpref = self.hw_prefetcher
+        telem = self.telemetry
         dstate = self.dfsm_state
         limit = max_instructions if max_instructions is not None else (1 << 62)
 
@@ -287,6 +294,8 @@ class Interpreter:
                         mode = INSTRUMENTED
                         n_instr = self.n_instr0
                         code = code_pair[INSTRUMENTED]
+                        if telem.enabled:
+                            telem.emit(BurstBegin(cycles))
                         if listener is not None:
                             self.dfsm_state = dstate
                             extra = listener.burst_begin(cycles)
@@ -303,6 +312,8 @@ class Interpreter:
                         n_check = self.n_check0
                         code = code_pair[CHECKING]
                         bursts += 1
+                        if telem.enabled:
+                            telem.emit(BurstEnd(cycles, bursts))
                         if listener is not None:
                             self.dfsm_state = dstate
                             extra = listener.burst_end(cycles)

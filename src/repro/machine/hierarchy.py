@@ -10,6 +10,18 @@ the residual latency (the timeliness effect Section 1 calls out).
 
 The hierarchy also keeps the counters the evaluation needs: per-level
 hits/misses and the accuracy/timeliness/pollution breakdown of prefetches.
+
+Telemetry: the hierarchy emits :class:`~repro.telemetry.events.PrefetchIssued`,
+``PrefetchUsed`` (with the issue-to-use lead distance), ``PrefetchEvicted``
+(pollution), ``CacheMiss`` and ``CacheFlushed`` events into the bus assigned
+to :attr:`MemoryHierarchy.telemetry`.  The high-rate kinds (misses and the
+prefetch life cycle) are *sampled* — one event per ``miss_sample_every`` /
+``prefetch_sample_every`` occurrences, deterministic counters, so a run's
+event log is reproducible and ``emitted == occurrences // period`` exactly;
+set the periods to 1 for exhaustive logs.  Exact totals always come from the
+:class:`PrefetchStats`/cache counters, which the telemetry session reconciles
+into its metrics registry.  Emission never changes stall accounting — runs
+are cycle-identical with telemetry on or off.
 """
 
 from __future__ import annotations
@@ -18,6 +30,14 @@ from dataclasses import dataclass
 
 from repro.machine.cache import Cache
 from repro.machine.config import MachineConfig
+from repro.telemetry.events import (
+    CacheFlushed,
+    CacheMiss,
+    PrefetchEvicted,
+    PrefetchIssued,
+    PrefetchUsed,
+)
+from repro.telemetry.sinks import NULL_SINK
 
 
 @dataclass
@@ -41,6 +61,18 @@ class PrefetchStats:
         total = used + self.wasted
         return used / total if total else 0.0
 
+    @property
+    def timeliness(self) -> float:
+        """Fraction of *used* prefetches whose data arrived in time."""
+        used = self.useful + self.late
+        return self.useful / used if used else 0.0
+
+    @property
+    def pollution(self) -> float:
+        """Fraction of non-redundant prefetches that only displaced data."""
+        total = self.useful + self.late + self.wasted
+        return self.wasted / total if total else 0.0
+
 
 class MemoryHierarchy:
     """L1 + L2 + DRAM with LRU fill, demand misses and software prefetch."""
@@ -52,10 +84,21 @@ class MemoryHierarchy:
         self._block_shift = config.block_bytes.bit_length() - 1
         #: block -> cycle at which its in-flight prefetch completes
         self._inflight: dict[int, int] = {}
-        #: blocks brought in by prefetch and not yet used by a demand access
-        self._prefetched_unused: set[int] = set()
+        #: blocks brought in by prefetch and not yet used by a demand access,
+        #: mapped to their issue cycle (for lead-time telemetry)
+        self._prefetched_unused: dict[int, int] = {}
         self.prefetch = PrefetchStats()
         self.demand_accesses = 0
+        #: telemetry bus (``.enabled``/``.emit``); NULL_SINK = off
+        self.telemetry = NULL_SINK
+        #: emit one CacheMiss event per this many demand misses
+        self.miss_sample_every = 64
+        #: emit one PrefetchIssued/Used/Evicted event per this many occurrences
+        self.prefetch_sample_every = 32
+        self._misses_since_sample = 0
+        self._issued_since_sample = 0
+        self._used_since_sample = 0
+        self._evicted_since_sample = 0
 
     def block_of(self, addr: int) -> int:
         """Block number containing byte address ``addr``."""
@@ -66,80 +109,160 @@ class MemoryHierarchy:
         self.demand_accesses += 1
         block = addr >> self._block_shift
         stall = 0
+        telem = self.telemetry
         inflight = self._inflight
         if block in inflight:
             ready = inflight.pop(block)
             if ready > now:
                 stall = ready - now
                 self.prefetch.late += 1
-                self._prefetched_unused.discard(block)
+                issued_at = self._prefetched_unused.pop(block, now)
+                if telem.enabled:
+                    # Sampling countdown is inlined at the hot sites: a helper
+                    # call per occurrence alone costs measurable wall-clock.
+                    n = self._used_since_sample + 1
+                    if n >= self.prefetch_sample_every:
+                        n = 0
+                        telem.emit(PrefetchUsed(now, block, True, now - issued_at))
+                    self._used_since_sample = n
             # on-time arrivals are counted below when the L1 lookup hits
         if self.l1.lookup(block):
             if block in self._prefetched_unused:
-                self._prefetched_unused.discard(block)
+                issued_at = self._prefetched_unused.pop(block)
                 self.prefetch.useful += 1
+                if telem.enabled:
+                    n = self._used_since_sample + 1
+                    if n >= self.prefetch_sample_every:
+                        n = 0
+                        telem.emit(PrefetchUsed(now, block, False, now - issued_at))
+                    self._used_since_sample = n
             return stall
         if self.l2.lookup(block):
             stall += self.config.l2_latency
             if block in self._prefetched_unused:
-                self._prefetched_unused.discard(block)
+                issued_at = self._prefetched_unused.pop(block)
                 self.prefetch.useful += 1
+                if telem.enabled:
+                    n = self._used_since_sample + 1
+                    if n >= self.prefetch_sample_every:
+                        n = 0
+                        telem.emit(PrefetchUsed(now, block, False, now - issued_at))
+                    self._used_since_sample = n
+            level = "L1"
         else:
             stall += self.config.memory_latency
-            self._install_l2(block)
-        self._install_l1(block)
+            self._install_l2(block, now)
+            level = "L2"
+        if telem.enabled:
+            self._misses_since_sample += 1
+            if self._misses_since_sample >= self.miss_sample_every:
+                self._misses_since_sample = 0
+                telem.emit(CacheMiss(now, level, block, stall))
+        self._install_l1(block, now)
         return stall
 
-    def issue_prefetch(self, addr: int, now: int) -> None:
+    def issue_prefetch(self, addr: int, now: int, source: str = "sw") -> None:
         """Issue a ``prefetcht0``-style prefetch for the block of ``addr``.
 
         The block is installed in both cache levels right away (it occupies a
         frame and can evict useful data — pollution) and becomes *ready* after
         the fetch latency; demand accesses before then pay the residual.
+        ``source`` tags the telemetry event ("sw" for injected handlers,
+        "stride"/"markov" for the hardware baselines).
         """
         self.prefetch.issued += 1
         block = addr >> self._block_shift
+        telem = self.telemetry
         if self.l1.contains(block) or block in self._inflight:
             self.prefetch.redundant += 1
+            if telem.enabled:
+                n = self._issued_since_sample + 1
+                if n >= self.prefetch_sample_every:
+                    n = 0
+                    telem.emit(PrefetchIssued(now, block, source, True))
+                self._issued_since_sample = n
             return
+        if telem.enabled:
+            n = self._issued_since_sample + 1
+            if n >= self.prefetch_sample_every:
+                n = 0
+                telem.emit(PrefetchIssued(now, block, source, False))
+            self._issued_since_sample = n
         if self.l2.contains(block):
             # L2-resident: promote to L1 quickly.
             self._inflight[block] = now + self.config.l2_latency
         else:
             self._inflight[block] = now + self.config.memory_latency
-            self._install_l2(block)
-        self._install_l1(block)
-        self._prefetched_unused.add(block)
+            self._install_l2(block, now)
+        self._install_l1(block, now)
+        self._prefetched_unused[block] = now
 
-    def _install_l1(self, block: int) -> None:
+    # ------------------------------------------------- sampled event emission
+    # The issued/used countdowns are inlined at their hot call sites in
+    # ``access``/``issue_prefetch``; only the colder eviction path keeps a
+    # helper.
+
+    def _emit_evicted(self, telem, now: int, block: int, at_finalize: bool) -> None:
+        self._evicted_since_sample += 1
+        if self._evicted_since_sample >= self.prefetch_sample_every:
+            self._evicted_since_sample = 0
+            telem.emit(PrefetchEvicted(now, block, at_finalize))
+
+    def _install_l1(self, block: int, now: int) -> None:
         victim = self.l1.install(block)
         if victim is not None:
-            self._account_eviction(victim, l1_only=True)
+            self._account_eviction(victim, l1_only=True, now=now)
 
-    def _install_l2(self, block: int) -> None:
+    def _install_l2(self, block: int, now: int) -> None:
         victim = self.l2.install(block)
         if victim is not None:
             # Model inclusion: an L2 eviction also removes the L1 copy.
             self.l1.invalidate(victim)
-            self._account_eviction(victim, l1_only=False)
+            self._account_eviction(victim, l1_only=False, now=now)
 
-    def _account_eviction(self, victim: int, l1_only: bool) -> None:
+    def _account_eviction(self, victim: int, l1_only: bool, now: int) -> None:
         if victim in self._prefetched_unused:
             # A prefetched block that falls out of L2 (or out of L1 while
             # absent from L2) without being used was pure pollution.
             if not l1_only or not self.l2.contains(victim):
-                self._prefetched_unused.discard(victim)
+                del self._prefetched_unused[victim]
                 self._inflight.pop(victim, None)
                 self.prefetch.wasted += 1
+                if self.telemetry.enabled:
+                    self._emit_evicted(self.telemetry, now, victim, False)
 
-    def finalize(self) -> None:
+    def finalize(self, now: int = 0) -> None:
         """Classify still-unused prefetched blocks as wasted (end of run)."""
+        telem = self.telemetry
+        if telem.enabled:
+            for block in self._prefetched_unused:
+                self._emit_evicted(telem, now, block, True)
         self.prefetch.wasted += len(self._prefetched_unused)
         self._prefetched_unused.clear()
         self._inflight.clear()
 
-    def flush(self) -> None:
-        """Empty both cache levels and forget in-flight prefetches."""
+    def flush(self, now: int = 0) -> None:
+        """Empty both cache levels and forget in-flight prefetches.
+
+        Hit/miss/eviction counters and prefetch statistics are preserved (the
+        same guarantee :meth:`Cache.flush` documents); prefetched blocks that
+        never served a demand access are classified as wasted, so the
+        ``issued == redundant + useful + late + wasted`` invariant survives a
+        mid-run flush followed by :meth:`finalize`.
+        """
+        telem = self.telemetry
+        if telem.enabled:
+            for block in self._prefetched_unused:
+                self._emit_evicted(telem, now, block, False)
+        self.prefetch.wasted += len(self._prefetched_unused)
+        if telem.enabled:
+            telem.emit(
+                CacheFlushed(
+                    now,
+                    len(self.l1.resident_blocks()),
+                    len(self.l2.resident_blocks()),
+                )
+            )
         self.l1.flush()
         self.l2.flush()
         self._inflight.clear()

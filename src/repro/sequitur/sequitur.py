@@ -18,7 +18,7 @@ enforces digram uniqueness, ``match``/``substitute`` introduce rules, and
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import Iterable, Optional
 
 from repro.errors import AnalysisError
 from repro.sequitur.grammar import Rule, Symbol

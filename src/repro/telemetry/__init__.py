@@ -1,0 +1,85 @@
+"""Structured telemetry for the simulation stack (events, metrics, exporters).
+
+Quick tour::
+
+    from repro.telemetry import TelemetrySession
+    from repro.bench.runner import run_level
+
+    session = TelemetrySession.to_jsonl("run.jsonl")
+    result = run_level("vpr", "dyn", telemetry=session)
+    session.close()                       # flush the event log
+    print(session.registry.snapshot())    # exact run metrics
+
+See :mod:`repro.telemetry.events` for the event taxonomy,
+:mod:`repro.telemetry.export` for the JSONL/JSON/CSV formats and
+:mod:`repro.telemetry.session` for wiring details.
+"""
+
+from repro.telemetry.events import (
+    EVENT_TYPES,
+    AnalysisCharged,
+    BurstBegin,
+    BurstEnd,
+    CacheFlushed,
+    CacheMiss,
+    DfsmBackoff,
+    DfsmBuilt,
+    Event,
+    EventBus,
+    OptimizeCycle,
+    PhaseTransition,
+    PrefetchEvicted,
+    PrefetchIssued,
+    PrefetchUsed,
+    RunBegin,
+    RunEnd,
+    from_record,
+)
+from repro.telemetry.export import (
+    load_events_jsonl,
+    load_metrics_json,
+    summarize,
+    write_events_jsonl,
+    write_metrics_csv,
+    write_metrics_json,
+)
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.session import TelemetryRecorder, TelemetrySession
+from repro.telemetry.sinks import NULL_SINK, JsonlSink, ListSink, NullSink
+
+__all__ = [
+    "EVENT_TYPES",
+    "Event",
+    "EventBus",
+    "from_record",
+    "RunBegin",
+    "RunEnd",
+    "BurstBegin",
+    "BurstEnd",
+    "PhaseTransition",
+    "AnalysisCharged",
+    "OptimizeCycle",
+    "DfsmBuilt",
+    "DfsmBackoff",
+    "PrefetchIssued",
+    "PrefetchUsed",
+    "PrefetchEvicted",
+    "CacheMiss",
+    "CacheFlushed",
+    "load_events_jsonl",
+    "load_metrics_json",
+    "write_events_jsonl",
+    "write_metrics_csv",
+    "write_metrics_json",
+    "summarize",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TelemetryRecorder",
+    "TelemetrySession",
+    "NULL_SINK",
+    "NullSink",
+    "JsonlSink",
+    "ListSink",
+]

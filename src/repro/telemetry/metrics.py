@@ -1,0 +1,139 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The registry is the run-level, *exact* companion to the event stream: events
+may be sampled (``CacheMiss``) but the registry is reconciled against the
+authoritative simulation counters (:class:`~repro.interp.interpreter.ExecStats`,
+:class:`~repro.machine.cache.Cache` hit/miss counts,
+:class:`~repro.core.stats.OptimizerSummary`) when a run finalizes, so
+telemetry consumers never see drift.
+
+Gauges remember the simulated cycle of their last update ("keyed by simulated
+cycle"), histograms use fixed bucket upper bounds chosen at creation — stream
+length, prefetch lead-time and DFSM size defaults are provided — and
+everything serializes through :meth:`MetricsRegistry.snapshot`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Default bucket upper bounds (values above the last bound land in +Inf).
+STREAM_LENGTH_BUCKETS = (2, 4, 8, 16, 32, 64, 128, 256)
+LEAD_TIME_BUCKETS = (0, 10, 25, 50, 100, 250, 500, 1000, 2500)
+DFSM_SIZE_BUCKETS = (4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048)
+
+
+@dataclass
+class Counter:
+    """Monotonic integer counter."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """Last-value metric stamped with the simulated cycle of the update."""
+
+    name: str
+    value: float = 0.0
+    cycle: int = -1
+
+    def set(self, value: float, cycle: int = -1) -> None:
+        self.value = value
+        self.cycle = cycle
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per upper bound plus an overflow bucket."""
+
+    def __init__(self, name: str, bounds: tuple[int, ...]) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ConfigError(f"histogram {name!r} needs sorted, non-empty bounds")
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value: float, n: int = 1) -> None:
+        """Record ``value`` ``n`` times."""
+        self.counts[bisect.bisect_left(self.bounds, value)] += n
+        self.count += n
+        self.total += int(value) * n
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+        }
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------- creation
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, bounds: tuple[int, ...] | None = None) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            if bounds is None:
+                raise ConfigError(f"histogram {name!r} does not exist; pass bounds to create it")
+            h = self.histograms[name] = Histogram(name, bounds)
+        return h
+
+    # ---------------------------------------------------------- convenience
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_counter(self, name: str, value: int) -> None:
+        self.counter(name).value = value
+
+    def set_gauge(self, name: str, value: float, cycle: int = -1) -> None:
+        self.gauge(name).set(value, cycle)
+
+    def observe(self, name: str, value: float, bounds: tuple[int, ...] | None = None) -> None:
+        self.histogram(name, bounds).observe(value)
+
+    # --------------------------------------------------------- serialization
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-serializable view of every metric (sorted for stable diffs)."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {
+                name: {"value": g.value, "cycle": g.cycle}
+                for name, g in sorted(self.gauges.items())
+            },
+            "histograms": {name: h.snapshot() for name, h in sorted(self.histograms.items())},
+        }

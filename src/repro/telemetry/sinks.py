@@ -1,0 +1,110 @@
+"""Event sinks: where emitted telemetry events go.
+
+A sink is anything with ``handle(event)``; sinks holding external resources
+also expose ``close()``.  The important one is :data:`NULL_SINK` — a shared,
+always-disabled stand-in that instrumented components hold *by default*, so
+the simulation's hot paths pay a single ``.enabled`` attribute check when no
+telemetry has been requested.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import Union
+
+from repro.telemetry.events import Event
+
+
+class NullSink:
+    """Disabled bus/sink: ``enabled`` is False and every method is a no-op.
+
+    Doubles as a bus stand-in (it has ``emit``) so components can hold one
+    object either way.
+    """
+
+    enabled = False
+
+    def handle(self, event: Event) -> None:
+        """Drop the event."""
+
+    def emit(self, event: Event) -> None:
+        """Drop the event (bus-compatible spelling)."""
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+#: Shared default for every instrumented component.
+NULL_SINK = NullSink()
+
+
+class ListSink:
+    """Collects events in memory — the test/debugging sink."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def handle(self, event: Event) -> None:
+        self.events.append(event)
+
+    def counts(self) -> dict[str, int]:
+        """Number of collected events per kind."""
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+
+class JsonlSink:
+    """Streams events to a JSON-Lines file, one record per line.
+
+    Serialized lines are buffered and written in chunks of ``flush_every`` so
+    a dyn-level run with tens of thousands of prefetch events stays well under
+    the <10% wall-clock budget.  Accepts a path or an open text file; paths
+    are opened lazily on the first event and closed by :meth:`close`.
+    """
+
+    def __init__(self, target: Union[str, os.PathLike, io.TextIOBase], flush_every: int = 512) -> None:
+        self._target = target
+        self._file: io.TextIOBase | None = target if hasattr(target, "write") else None
+        self._owns_file = self._file is None
+        self._created = False
+        self._buffer: list[str] = []
+        self._flush_every = max(1, flush_every)
+        self.records_written = 0
+
+    def handle(self, event: Event) -> None:
+        self._buffer.append(json.dumps(event.to_record(), separators=(",", ":")))
+        self.records_written += 1
+        if len(self._buffer) >= self._flush_every:
+            self._drain()
+
+    def _drain(self) -> None:
+        if not self._buffer:
+            return
+        if self._file is None:
+            # "a" after a close so a reused sink appends rather than truncates.
+            self._file = open(os.fspath(self._target), "a" if self._created else "w", encoding="utf-8")
+            self._created = True
+        self._file.write("\n".join(self._buffer) + "\n")
+        self._buffer.clear()
+
+    def close(self) -> None:
+        """Flush buffered lines and close the file (if this sink opened it).
+
+        A path-backed sink that never saw an event still creates the (empty)
+        file, so callers can promise the artifact exists after close().
+        """
+        self._drain()
+        if self._file is None and self._owns_file and not self._created:
+            open(os.fspath(self._target), "w", encoding="utf-8").close()
+            self._created = True
+        if self._file is None:
+            return
+        if self._owns_file:
+            self._file.close()
+            self._file = None
+        else:
+            self._file.flush()

@@ -1,6 +1,5 @@
 """Tests for the set-associative LRU cache."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Edge-case tests across modules: frame isolation, tiny workloads, bounds."""
 
-import dataclasses
 
 import pytest
 

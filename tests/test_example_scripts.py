@@ -9,7 +9,6 @@ import pathlib
 import subprocess
 import sys
 
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
@@ -35,6 +34,11 @@ class TestInstantExamples:
         out = run_script("dfsm_demo.py")
         assert "7 states" in out
         assert "prefetch" in out
+
+    def test_telemetry_demo(self):
+        out = run_script("telemetry_demo.py")
+        assert "JSONL round-trip" in out
+        assert "observer effect: 0" in out
 
 
 class TestHeavyExamplePieces:

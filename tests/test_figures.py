@@ -1,6 +1,5 @@
 """Tests for figure/table regeneration and the CLI (small-scale runs)."""
 
-import dataclasses
 
 import pytest
 

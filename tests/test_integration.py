@@ -44,8 +44,6 @@ class TestStaleActivationRecords:
         # callee patches 'leaf' *while leaf is on the stack below main*:
         # we simulate by patching between two calls and checking both behave
         # according to patch time.
-        counter = {"calls": 0}
-
         leaf = ProcedureBuilder("leaf")
         r = leaf.const(None, 1)
         leaf.ret(r)

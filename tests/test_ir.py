@@ -186,7 +186,7 @@ class TestPrinter:
     def test_format_procedure_includes_labels(self):
         b = ProcedureBuilder("f")
         b.label("top")
-        r = b.const(None, 0)
+        b.const(None, 0)
         b.jmp("top")
         proc = b.build()
         text = format_procedure(proc)

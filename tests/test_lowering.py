@@ -10,7 +10,7 @@ from repro.interp.lowering import (
     lower_body,
     lower_procedure,
 )
-from repro.ir import Check, ProcedureBuilder
+from repro.ir import ProcedureBuilder
 from repro.ir.instructions import Instr
 from repro.vulcan.static_edit import instrument_procedure
 

@@ -9,7 +9,7 @@ from repro.core.config import OptimizerConfig, paper_scale
 from repro.core.optimizer import AWAKE, HIBERNATING, DynamicPrefetcher, _dedupe_streams
 from repro.errors import ConfigError
 from repro.interp.interpreter import Interpreter
-from repro.machine.config import CacheGeometry, MachineConfig, PAPER_MACHINE
+from repro.machine.config import CacheGeometry, MachineConfig
 from repro.vulcan.static_edit import instrument_program
 from repro.workloads.chainmix import build_chainmix
 

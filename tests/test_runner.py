@@ -1,6 +1,5 @@
 """Tests for the experiment runner and its measurement levels."""
 
-import dataclasses
 
 import pytest
 

@@ -12,7 +12,6 @@ from repro.analysis.stability import (
     stream_overlap,
 )
 from repro.analysis.stream import HotDataStream
-from repro.core.config import OptimizerConfig
 from repro.core.optimizer import DynamicPrefetcher
 from repro.interp.interpreter import Interpreter
 from repro.ir.instructions import Pc
@@ -123,14 +122,14 @@ class TestCrossInputStability:
         captured = {}
         original = optimizer._optimize
 
-        def capture():
+        def capture(now=0):
             from repro.analysis.hotstreams import find_hot_streams
 
             captured.setdefault(
                 "streams",
                 find_hot_streams(optimizer.profiler.sequitur, small_opt.analysis),
             )
-            return original()
+            return original(now)
 
         optimizer._optimize = capture
         interp.run(wl.args)
@@ -145,12 +144,9 @@ class TestCrossInputStability:
         assert overlap > 0.5
 
     def test_streams_cover_most_of_the_trace(self, small_params, small_opt):
-        streams, table = self._streams_for_seed(small_params, small_opt, seed=7)
-        wl = build_chainmix(small_params, passes=16)
+        streams, _table = self._streams_for_seed(small_params, small_opt, seed=7)
         # Coverage is measured against the profiled trace length; heat
         # already encodes length*frequency within that trace.
-        from repro.analysis.stability import hot_reference_coverage
-
         # The trace length equals what the profiler recorded for cycle 1;
         # approximate with the sum bound: coverage must be substantial.
         total_heat = sum(s.heat for s in streams)

@@ -5,7 +5,6 @@ import dataclasses
 import pytest
 
 from repro.bench.runner import run_workload
-from repro.core.config import OptimizerConfig
 from repro.core.static_pref import StaticPrefetcher
 from repro.core.optimizer import HIBERNATING
 from repro.interp.interpreter import Interpreter
@@ -71,8 +70,6 @@ class TestPhasedWorkload:
         interp.set_counters(1, 1)  # trace everything
         first_half: set[int] = set()
         second_half: set[int] = set()
-        half_marker = []
-
         refs = []
         interp.trace_sink = lambda pc, addr: refs.append(addr)
         interp.tracing_enabled = True

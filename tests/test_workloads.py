@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.interp.interpreter import Interpreter
-from repro.machine.memory import Memory
 from repro.workloads import presets
 from repro.workloads.chainmix import (
     NODE_BYTES,
@@ -60,7 +59,6 @@ class TestBuild:
     def test_chains_linked_and_terminated(self, small_params):
         wl = build_chainmix(small_params)
         mem = wl.memory
-        sched_base = None
         # Recover slot 0's head from the schedule (static region).
         from repro.machine.memory import STATIC_BASE
         tagged = mem.load(STATIC_BASE)
