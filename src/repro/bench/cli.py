@@ -10,10 +10,16 @@ Regenerates the paper's figures and tables as text::
     repro-bench table2             # per-cycle characterization
     repro-bench ablation-headlen   # prefix length 1/2/3
     repro-bench ablation-hwpref    # stride/Markov baselines
+    repro-bench ablation-watchdog  # prefetch watchdog on a phase-shift workload
     repro-bench all
 
 ``--scale 0.5`` shrinks every workload's pass count for quick smoke runs;
 ``--workloads vpr,mcf`` restricts the set.
+
+Resilience: ``--watchdog`` arms the prefetch watchdog (per-stream
+deoptimization, :mod:`repro.resilience`) for every optimized run;
+``--fault-seed N`` injects deterministic faults from that seed — runs must
+complete with the failures contained and reported in telemetry.
 
 Telemetry: ``--telemetry run.jsonl`` streams every simulated run's event log
 (``RunBegin``/``RunEnd`` delimit runs) and ``--metrics run.json`` writes one
@@ -26,13 +32,17 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.bench import figures
 from repro.bench.figures import ResultCache
 from repro.bench.reporting import Ratio, format_table
+from repro.core.config import OptimizerConfig
+from repro.resilience import FaultPlan, WatchdogConfig
 from repro.telemetry.session import TelemetryRecorder
 from repro.workloads import presets
+from repro.workloads.phaseshift import PhaseShiftParams
 
 
 def _print_figure4() -> None:
@@ -148,6 +158,45 @@ def _print_ablation_headlen(names: Sequence[str], cache: ResultCache) -> None:
         )
 
 
+def _print_ablation_watchdog(scale: float, fault_seed: Optional[int]) -> None:
+    passes = None if scale == 1.0 else max(2, int(PhaseShiftParams().passes * scale))
+    rows = figures.ablation_watchdog(passes=passes, fault_seed=fault_seed)
+    print(
+        format_table(
+            [
+                "variant",
+                "cycles",
+                "vs no-pref %",
+                "#opt",
+                "deopts",
+                "wakes",
+                "errors",
+                "faults",
+                "issued",
+                "useful",
+                "wasted",
+            ],
+            [
+                [
+                    r["variant"],
+                    r["cycles"],
+                    r["vs_nopref_pct"],
+                    r["opt_cycles"],
+                    r["deopts"],
+                    r["early_wakes"],
+                    r["errors"],
+                    r["faults"],
+                    r["issued"],
+                    r["useful"],
+                    r["wasted"],
+                ]
+                for r in rows
+            ],
+            title="Ablation (extension): prefetch watchdog under phase shifts",
+        )
+    )
+
+
 def _print_ablation_hwpref(names: Sequence[str], cache: ResultCache) -> None:
     for name in names:
         rows = figures.ablation_hwpref(name, passes=cache.passes_for(name))
@@ -174,6 +223,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "table2",
             "ablation-headlen",
             "ablation-hwpref",
+            "ablation-watchdog",
             "all",
         ],
     )
@@ -205,6 +255,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="N",
         help="emit one prefetch life-cycle event per N occurrences (default 32; 1 = all)",
     )
+    parser.add_argument(
+        "--watchdog",
+        action="store_true",
+        help="arm the prefetch watchdog (per-stream deoptimization) for every optimized run",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="deterministically inject optimizer faults from SEED (runs must still complete)",
+    )
     args = parser.parse_args(argv)
 
     names = [n for n in args.workloads.split(",") if n] or presets.names()
@@ -226,7 +288,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             miss_sample_every=args.miss_sample,
             prefetch_sample_every=args.prefetch_sample,
         )
-    cache = ResultCache(passes_scale=args.scale, recorder=recorder)
+    opt = OptimizerConfig()
+    if args.watchdog:
+        opt = replace(opt, watchdog=WatchdogConfig())
+    if args.fault_seed is not None:
+        opt = replace(opt, faults=FaultPlan(seed=args.fault_seed))
+    cache = ResultCache(opt=opt, passes_scale=args.scale, recorder=recorder)
 
     if args.artifact in ("figure4", "all"):
         _print_figure4()
@@ -244,6 +311,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _print_ablation_headlen(names, cache)
     if args.artifact in ("ablation-hwpref", "all"):
         _print_ablation_hwpref(names, cache)
+    if args.artifact in ("ablation-watchdog", "all"):
+        _print_ablation_watchdog(args.scale, args.fault_seed)
     if recorder is not None:
         recorder.close()
         if args.telemetry:

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Optional
+
 from repro.analysis.hotstreams import AnalysisConfig
 from repro.dfsm.codegen import PREFETCH_MODES
 from repro.errors import ConfigError
@@ -23,6 +25,9 @@ from repro.profiling.sampling import (
     PAPER_N_HIBERNATE,
     BurstyCounters,
 )
+from repro.resilience.faults import FaultPlan
+from repro.resilience.guards import GuardConfig
+from repro.resilience.watchdog import WatchdogConfig
 
 
 @dataclass(frozen=True)
@@ -45,6 +50,15 @@ class OptimizerConfig:
         max_prefetches: cap on prefetches issued per completed match.
         max_dfsm_states: construction guard; on overflow the optimizer
             retries with the hottest half of the streams.
+        guards: pre-install stream/DFSM validation bounds; None uses the
+            (always-on) defaults.
+        watchdog: per-stream prefetch-quality watchdog configuration; None
+            disables the watchdog entirely (no attribution, no rollbacks —
+            the pre-resilience behaviour, bit-identical cycle counts).
+        faults: deterministic fault-injection plan; None injects nothing.
+        max_optimizer_errors: consecutive contained analyze/optimize
+            failures tolerated before the optimizer permanently hibernates
+            (graceful degradation: the program keeps running unoptimized).
     """
 
     counters: BurstyCounters = field(default_factory=lambda: BurstyCounters(96, 64))
@@ -65,6 +79,10 @@ class OptimizerConfig:
     )
     max_prefetches: int = 96
     max_dfsm_states: int = 2048
+    guards: Optional[GuardConfig] = None
+    watchdog: Optional[WatchdogConfig] = None
+    faults: Optional[FaultPlan] = None
+    max_optimizer_errors: int = 3
 
     def __post_init__(self) -> None:
         if self.mode not in PREFETCH_MODES:
@@ -75,6 +93,8 @@ class OptimizerConfig:
             raise ConfigError("n_awake and n_hibernate must be >= 1")
         if self.inject and not self.analyze:
             raise ConfigError("cannot inject without analyzing")
+        if self.max_optimizer_errors < 1:
+            raise ConfigError("max_optimizer_errors must be >= 1")
 
 
 def paper_scale() -> OptimizerConfig:

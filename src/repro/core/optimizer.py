@@ -6,41 +6,76 @@ cycle per optimization cycle:
 1. **profiling (awake)** — bursty tracing feeds sampled data references into
    the online Sequitur grammar for ``n_awake`` burst periods;
 2. **analysis & optimization** — the fast Figure 5 analysis extracts hot
-   data streams, the Figure 9 construction builds the joint prefix-matching
-   DFSM, Figure 7-style handlers are generated, and dynamic Vulcan patches
-   the affected procedures; the analysis cost is charged to simulated time;
+   data streams, the candidates pass the pre-install guard
+   (:class:`~repro.resilience.guards.StreamGuard`), the Figure 9 construction
+   builds the joint prefix-matching DFSM, Figure 7-style handlers are
+   generated, and dynamic Vulcan patches the affected procedures; the
+   analysis cost is charged to simulated time;
 3. **hibernation** — tracing off (``nCheck = nCheck0+nInstr0-1, nInstr = 1``
    keeps burst periods the same length), the program runs with detection and
-   prefetching injected for ``n_hibernate`` burst periods;
+   prefetching injected for ``n_hibernate`` burst periods.  When a watchdog
+   is configured, it polls the per-stream prefetch counters and *condemns*
+   streams whose prefetches turned harmful: those get a targeted rollback
+   (:func:`~repro.vulcan.dynamic_edit.reinject_detection`) and a blacklist
+   entry; if no stream survives, the optimizer deoptimizes fully and
+   re-enters profiling early;
 4. **deoptimization** — the patches are removed and control returns to the
    profiling phase.
 
 For long-running programs the cycle repeats; ``summary.cycles`` records the
 Table 2 characterization of every completed cycle.
+
+**Graceful degradation** — any :class:`~repro.errors.ReproError` escaping the
+analyze/optimize machinery is contained: the optimizer deoptimizes, emits an
+``OptimizerError`` event and hibernates (the program keeps running,
+unoptimized).  After ``max_optimizer_errors`` *consecutive* failures it
+disables itself for the rest of the run.  A configured
+:class:`~repro.resilience.faults.FaultInjector` exercises exactly these paths
+deterministically.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from repro.analysis.hotstreams import find_hot_streams
 from repro.analysis.stream import HotDataStream
 from repro.core.config import OptimizerConfig
 from repro.core.stats import OptCycleStats, OptimizerSummary
 from repro.dfsm.build import DfsmTooLarge, build_dfsm
-from repro.dfsm.codegen import generate_handlers
+from repro.dfsm.codegen import DetectHandler, generate_handlers
+from repro.errors import ReproError
 from repro.interp.interpreter import Interpreter
+from repro.ir.instructions import Pc
 from repro.ir.program import Program
 from repro.machine.config import MachineConfig
 from repro.profiling.profiler import TemporalProfiler
+from repro.resilience.faults import FaultInjector, InjectedFault
+from repro.resilience.guards import (
+    REASON_BLACKLISTED,
+    StreamGuard,
+    StreamKey,
+    stream_key,
+)
+from repro.resilience.watchdog import PrefetchWatchdog
 from repro.telemetry.events import (
     AnalysisCharged,
     DfsmBackoff,
     DfsmBuilt,
+    FaultInjected,
+    GuardRejected,
     OptimizeCycle,
+    OptimizerError,
     PhaseTransition,
+    StreamDeoptimized,
 )
-from repro.vulcan.dynamic_edit import deoptimize, inject_detection
+from repro.vulcan.dynamic_edit import deoptimize, inject_detection, reinject_detection
 
 AWAKE, HIBERNATING = "awake", "hibernating"
+
+#: nCheck0 used once the optimizer disables itself: checks effectively never
+#: fire again, so the listener goes quiet for the rest of the run.
+_NEVER = 1 << 60
 
 
 def _dedupe_streams(streams: list[HotDataStream], head_len: int) -> list[HotDataStream]:
@@ -92,6 +127,24 @@ class DynamicPrefetcher:
         self.phase = AWAKE
         self._awake_bursts = 0
         self._hibernate_bursts = 0
+        # Resilience machinery.  The guard is always on (defaults reject
+        # nothing on healthy analyses); watchdog and faults are opt-in.
+        self.guard = StreamGuard(config.guards)
+        self.watchdog: Optional[PrefetchWatchdog] = (
+            PrefetchWatchdog(config.watchdog) if config.watchdog is not None else None
+        )
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(config.faults) if config.faults is not None else None
+        )
+        self._installed_streams: list[HotDataStream] = []
+        #: handlers held back by a delayed_patch fault, with bursts remaining
+        self._pending_install: Optional[
+            tuple[list[HotDataStream], object, dict[Pc, DetectHandler]]
+        ] = None
+        self._pending_delay = 0
+        self._sink_override = False
+        self._consecutive_errors = 0
+        self.disabled = False
         # Wire into the interpreter: profiling starts awake.
         interp.check_listener = self
         interp.trace_sink = self.profiler.record
@@ -101,27 +154,76 @@ class DynamicPrefetcher:
     # ----------------------------------------------------- CheckListener API
 
     def burst_begin(self, now: int) -> int:
-        """Nothing happens at burst starts; transitions occur at burst ends."""
+        """Apply trace-level fault injections; transitions occur at burst ends."""
+        if (
+            self.faults is not None
+            and self.phase == AWAKE
+            and self.interp.tracing_enabled
+        ):
+            self._apply_trace_faults(now)
         return 0
 
     def burst_end(self, now: int) -> int:
         """Advance the phase machine; returns cycles to charge for analysis."""
-        if self.phase == AWAKE:
-            self._awake_bursts += 1
-            if self._awake_bursts >= self.config.n_awake:
-                return self._optimize(now)
-        else:
-            self._hibernate_bursts += 1
-            if self._hibernate_bursts >= self.config.n_hibernate:
-                self._wake(now)
+        if self._sink_override:
+            self.interp.trace_sink = self.profiler.record
+            self._sink_override = False
+        try:
+            if self.phase == AWAKE:
+                self._awake_bursts += 1
+                if self._awake_bursts >= self.config.n_awake:
+                    return self._optimize(now)
+            else:
+                return self._hibernate_tick(now)
+        except ReproError as exc:
+            return self._contain_failure(exc, now)
         return 0
+
+    # -------------------------------------------------------- fault plumbing
+
+    def _emit_fault(self, kind: str, detail: str, now: int) -> None:
+        self.summary.faults_injected += 1
+        telem = self.interp.telemetry
+        if telem.enabled:
+            telem.emit(FaultInjected(now, kind, detail))
+
+    def _apply_trace_faults(self, now: int) -> None:
+        """Swap the trace sink for this burst if a trace fault fires.
+
+        ``drop_burst`` wins over ``corrupt_record`` when both fire at the
+        same opportunity; either way the original sink is restored at the
+        next ``burst_end``.  Draws happen every awake burst so each kind's
+        decision sequence depends only on its opportunity index.
+        """
+        faults = self.faults
+        drop = faults.fire("drop_burst", now)
+        corrupt = faults.fire("corrupt_record", now)
+        if drop:
+            self._emit_fault("drop_burst", "burst trace records discarded", now)
+            self.interp.trace_sink = _drop_sink
+            self._sink_override = True
+        elif corrupt:
+            self._emit_fault("corrupt_record", "burst trace records mutated", now)
+            record = self.profiler.record
+            corrupt_record = faults.corrupt_record
+
+            def sink(pc: Pc, addr: int) -> None:
+                bad_pc, bad_addr = corrupt_record(pc, addr)
+                record(bad_pc, bad_addr)
+
+            self.interp.trace_sink = sink
+            self._sink_override = True
 
     # ------------------------------------------------------- phase changes
 
     def _optimize(self, now: int = 0) -> int:
-        """End of awake phase: analyze, inject, enter hibernation."""
+        """End of awake phase: analyze, guard, inject, enter hibernation."""
         config = self.config
         telem = self.interp.telemetry
+        faults = self.faults
+        if faults is not None and faults.fire("analysis_error", now):
+            self._emit_fault("analysis_error", "analysis phase raised", now)
+            raise InjectedFault("analysis_error")
         traced = self.profiler.trace_length
         charge = 0
         streams: list[HotDataStream] = []
@@ -130,12 +232,14 @@ class DynamicPrefetcher:
             streams = find_hot_streams(self.profiler.sequitur, config.analysis)
             streams = [s for s in streams if s.length > config.head_len]
             streams = _dedupe_streams(streams, config.head_len)
+            streams = self._admit_streams(streams, now)
             if telem.enabled:
                 telem.emit(AnalysisCharged(now, traced, charge))
 
         dfsm_states = dfsm_transitions = injected_checks = procs_modified = 0
         if config.inject and streams:
             dfsm, streams = self._build_dfsm_with_backoff(streams, now)
+            self.guard.check_dfsm(dfsm, streams)
             handlers = generate_handlers(
                 dfsm,
                 self.profiler.symbols,
@@ -143,15 +247,17 @@ class DynamicPrefetcher:
                 block_bytes=self.machine.block_bytes,
                 max_prefetches=config.max_prefetches,
             )
-            deoptimize(self.program)
-            result = inject_detection(self.program, handlers)
-            self.interp.dfsm_state = 0
             dfsm_states = dfsm.num_states
             dfsm_transitions = dfsm.num_transitions
             injected_checks = sum(h.num_cases for h in handlers.values())
-            procs_modified = result.num_procedures
-            if telem.enabled:
-                telem.emit(DfsmBuilt(now, dfsm_states, dfsm_transitions, len(streams)))
+            if faults is not None and faults.fire("delayed_patch", now):
+                delay = faults.plan.patch_delay_bursts
+                self._emit_fault("delayed_patch", f"install held back {delay} bursts", now)
+                self._pending_install = (streams, dfsm, handlers)
+                self._pending_delay = delay
+            else:
+                result = self._install(streams, dfsm, handlers, now)
+                procs_modified = result.num_procedures
 
         self.summary.cycles.append(
             OptCycleStats(
@@ -180,12 +286,96 @@ class DynamicPrefetcher:
             )
             telem.emit(PhaseTransition(now, AWAKE, HIBERNATING))
 
+        self._consecutive_errors = 0
         hibernating = config.counters.hibernating()
         self.interp.tracing_enabled = False
         self.interp.set_counters(hibernating.n_check0, hibernating.n_instr0)
         self.phase = HIBERNATING
         self._hibernate_bursts = 0
         return charge
+
+    def _admit_streams(
+        self, streams: list[HotDataStream], now: int
+    ) -> list[HotDataStream]:
+        """Filter watchdog-blacklisted identities, then run the guard."""
+        telem = self.interp.telemetry
+        cycle = len(self.summary.cycles) + 1
+        watchdog = self.watchdog
+        if watchdog is not None and watchdog.blacklist:
+            kept: list[HotDataStream] = []
+            for stream in streams:
+                if watchdog.is_blacklisted(stream_key(stream), cycle):
+                    self.summary.guard_rejections += 1
+                    if telem.enabled:
+                        telem.emit(
+                            GuardRejected(
+                                now,
+                                REASON_BLACKLISTED,
+                                self._describe_key(stream_key(stream)),
+                                stream.length,
+                                stream.heat,
+                            )
+                        )
+                else:
+                    kept.append(stream)
+            streams = kept
+        accepted, rejections = self.guard.admit(
+            streams, self.config.head_len, self.profiler.symbols, cycle
+        )
+        self.summary.guard_rejections += len(rejections)
+        if telem.enabled:
+            for rej in rejections:
+                telem.emit(
+                    GuardRejected(
+                        now, rej.reason, self._describe_key(rej.key), rej.length, rej.heat
+                    )
+                )
+        return accepted
+
+    def _install(
+        self,
+        streams: list[HotDataStream],
+        dfsm,
+        handlers: dict[Pc, DetectHandler],
+        now: int,
+    ):
+        """Patch the program with ``handlers`` and start per-stream scoring."""
+        deoptimize(self.program)
+        result = inject_detection(self.program, handlers)
+        self.interp.dfsm_state = 0
+        self._installed_streams = list(streams)
+        if self.watchdog is not None:
+            hierarchy = self.interp.hierarchy
+            hierarchy.set_stream_attribution(self._attribution_map(streams))
+            self.watchdog.begin_install(
+                [stream_key(s) for s in streams], hierarchy.stream_stats
+            )
+        telem = self.interp.telemetry
+        if telem.enabled:
+            telem.emit(DfsmBuilt(now, dfsm.num_states, dfsm.num_transitions, len(streams)))
+        return result
+
+    def _attribution_map(self, streams: list[HotDataStream]) -> dict[int, StreamKey]:
+        """block -> stream identity, for per-stream prefetch classification.
+
+        Mirrors the codegen target rule: tail blocks minus head blocks, one
+        owner per block; when streams share a tail block the hottest stream
+        claims it (``setdefault`` over a hottest-first iteration).
+        """
+        symbols = self.profiler.symbols
+        shift = self.machine.block_bytes.bit_length() - 1
+        head_len = self.config.head_len
+        mapping: dict[int, StreamKey] = {}
+        for stream in sorted(streams, key=lambda s: -s.heat):
+            key = stream_key(stream)
+            head_blocks = {
+                symbols.lookup(sym).addr >> shift for sym in stream.head(head_len)
+            }
+            for sym in stream.tail(head_len):
+                block = symbols.lookup(sym).addr >> shift
+                if block not in head_blocks:
+                    mapping.setdefault(block, key)
+        return mapping
 
     def _build_dfsm_with_backoff(self, streams: list[HotDataStream], now: int = 0):
         """Build the DFSM, halving the stream set on pathological blow-up."""
@@ -201,10 +391,159 @@ class DynamicPrefetcher:
                     telem.emit(DfsmBackoff(now, len(streams), len(kept)))
                 streams = kept
 
+    # ----------------------------------------------------------- hibernation
+
+    def _hibernate_tick(self, now: int) -> int:
+        """One hibernating burst: faults, delayed installs, watchdog, wake."""
+        charge = 0
+        self._hibernate_bursts += 1
+        faults = self.faults
+        if faults is not None and faults.fire("cache_flush", now):
+            self._emit_fault("cache_flush", "mid-run cache flush", now)
+            self.interp.hierarchy.flush(now)
+        if self._pending_install is not None:
+            self._pending_delay -= 1
+            if self._pending_delay <= 0:
+                streams, dfsm, handlers = self._pending_install
+                self._pending_install = None
+                self._install(streams, dfsm, handlers, now)
+        watchdog = self.watchdog
+        if (
+            watchdog is not None
+            and self._installed_streams
+            and self._hibernate_bursts % watchdog.config.check_every == 0
+        ):
+            charge = self._watchdog_poll(now)
+        if self._hibernate_bursts >= self.config.n_hibernate:
+            self._wake(now)
+        return charge
+
+    def _watchdog_poll(self, now: int) -> int:
+        """Score installed streams; roll back the ones that turned harmful."""
+        watchdog = self.watchdog
+        hierarchy = self.interp.hierarchy
+        verdicts = watchdog.poll(hierarchy.stream_stats)
+        if not verdicts:
+            return 0
+        telem = self.interp.telemetry
+        cycle = len(self.summary.cycles)
+        condemned = {v.key for v in verdicts}
+        remaining = [
+            s for s in self._installed_streams if stream_key(s) not in condemned
+        ]
+        for verdict in verdicts:
+            watchdog.condemn(verdict.key, cycle)
+            self.summary.stream_deopts += 1
+            if telem.enabled:
+                telem.emit(
+                    StreamDeoptimized(
+                        now,
+                        self._describe_key(verdict.key),
+                        verdict.reason,
+                        round(verdict.accuracy, 4),
+                        round(verdict.pollution, 4),
+                        verdict.samples,
+                        len(remaining),
+                    )
+                )
+        if remaining:
+            return self._reinstall(remaining, now)
+        # Nothing worth keeping: full deoptimize, optionally re-profile early.
+        deoptimize(self.program)
+        self.interp.dfsm_state = 0
+        self._installed_streams = []
+        hierarchy.set_stream_attribution(None)
+        watchdog.end_install()
+        self._pending_install = None
+        if watchdog.config.wake_on_empty:
+            self.summary.early_wakes += 1
+            self._wake(now)
+        return 0
+
+    def _reinstall(self, remaining: list[HotDataStream], now: int) -> int:
+        """Targeted rollback: re-patch for the surviving streams only.
+
+        The DFSM/handler rebuild is real work, so its cost is charged to
+        simulated time like the awake-phase analysis (per surviving symbol).
+        """
+        dfsm, streams = self._build_dfsm_with_backoff(remaining, now)
+        self.guard.check_dfsm(dfsm, streams)
+        handlers = generate_handlers(
+            dfsm,
+            self.profiler.symbols,
+            mode=self.config.mode,
+            block_bytes=self.machine.block_bytes,
+            max_prefetches=self.config.max_prefetches,
+        )
+        reinject_detection(self.program, handlers)
+        self.interp.dfsm_state = 0
+        self._installed_streams = list(streams)
+        hierarchy = self.interp.hierarchy
+        hierarchy.set_stream_attribution(self._attribution_map(streams))
+        self.watchdog.retain([stream_key(s) for s in streams], hierarchy.stream_stats)
+        telem = self.interp.telemetry
+        if telem.enabled:
+            telem.emit(DfsmBuilt(now, dfsm.num_states, dfsm.num_transitions, len(streams)))
+        return self.machine.analysis_cost_per_symbol * sum(s.length for s in streams)
+
+    # -------------------------------------------------------------- failures
+
+    def _contain_failure(self, exc: ReproError, now: int) -> int:
+        """Contain an analyze/optimize failure: deoptimize and hibernate.
+
+        The program keeps running unoptimized.  ``max_optimizer_errors``
+        *consecutive* failures disable the optimizer for the rest of the run
+        (counters so large the listener never fires again).
+        """
+        phase_name = "optimize" if self.phase == AWAKE else "hibernate"
+        try:
+            deoptimize(self.program)
+        except ReproError:  # pragma: no cover - deoptimize clears a dict
+            pass
+        self.interp.dfsm_state = 0
+        self._installed_streams = []
+        self._pending_install = None
+        if self.watchdog is not None:
+            self.interp.hierarchy.set_stream_attribution(None)
+            self.watchdog.end_install()
+        self._consecutive_errors += 1
+        self.summary.optimizer_errors += 1
+        self.disabled = self._consecutive_errors >= self.config.max_optimizer_errors
+        telem = self.interp.telemetry
+        if telem.enabled:
+            telem.emit(
+                OptimizerError(
+                    now,
+                    phase_name,
+                    type(exc).__name__,
+                    str(exc),
+                    self._consecutive_errors,
+                    self.disabled,
+                )
+            )
+            if self.phase == AWAKE:
+                telem.emit(PhaseTransition(now, AWAKE, HIBERNATING))
+        hibernating = self.config.counters.hibernating()
+        self.interp.tracing_enabled = False
+        if self.disabled:
+            self.interp.set_counters(_NEVER, 1)
+        else:
+            self.interp.set_counters(hibernating.n_check0, hibernating.n_instr0)
+        self.phase = HIBERNATING
+        self._hibernate_bursts = 0
+        return 0
+
+    # ------------------------------------------------------------------ wake
+
     def _wake(self, now: int = 0) -> None:
         """End of hibernation: deoptimize and return to profiling."""
         deoptimize(self.program)
         self.interp.dfsm_state = 0
+        self._installed_streams = []
+        self._pending_install = None
+        if self.watchdog is not None:
+            self.interp.hierarchy.set_stream_attribution(None)
+            self.watchdog.end_install()
         self.profiler.reset()
         self.interp.tracing_enabled = True
         self.interp.set_counters(self.config.counters.n_check0, self.config.counters.n_instr0)
@@ -213,3 +552,23 @@ class DynamicPrefetcher:
         telem = self.interp.telemetry
         if telem.enabled:
             telem.emit(PhaseTransition(now, HIBERNATING, AWAKE))
+
+    # ------------------------------------------------------------- rendering
+
+    def _describe_key(self, key: StreamKey) -> str:
+        """Short human-readable identity for telemetry payloads."""
+        symbols = self.profiler.symbols
+        parts: list[str] = []
+        for sym in key[: self.config.head_len]:
+            try:
+                ref = symbols.lookup(sym)
+            except ReproError:
+                parts.append(f"sym{sym}?")
+            else:
+                parts.append(f"{ref.pc}@{ref.addr:#x}")
+        tail = len(key) - min(len(key), self.config.head_len)
+        return " ".join(parts) + f" (+{tail})"
+
+
+def _drop_sink(pc: Pc, addr: int) -> None:
+    """Trace sink used while a drop_burst fault is active."""

@@ -41,9 +41,21 @@ class OptCycleStats:
 
 @dataclass
 class OptimizerSummary:
-    """Aggregate over all completed cycles of one run (one Table 2 row)."""
+    """Aggregate over all completed cycles of one run (one Table 2 row).
+
+    The resilience counters extend the Table 2 view: guarded optimization
+    (``guard_rejections``), the watchdog's per-stream rollbacks
+    (``stream_deopts`` and the early returns to profiling they trigger),
+    contained analyze/optimize failures (``optimizer_errors``) and fired
+    fault injections (``faults_injected``).
+    """
 
     cycles: list[OptCycleStats] = field(default_factory=list)
+    guard_rejections: int = 0
+    stream_deopts: int = 0
+    early_wakes: int = 0
+    optimizer_errors: int = 0
+    faults_injected: int = 0
 
     @property
     def num_cycles(self) -> int:
@@ -92,5 +104,10 @@ class OptimizerSummary:
             "mean_dfsm_transitions": self.mean_dfsm_transitions,
             "mean_injected_checks": self.mean_injected_checks,
             "mean_procs_modified": self.mean_procs_modified,
+            "guard_rejections": self.guard_rejections,
+            "stream_deopts": self.stream_deopts,
+            "early_wakes": self.early_wakes,
+            "optimizer_errors": self.optimizer_errors,
+            "faults_injected": self.faults_injected,
             "cycles": [c.to_dict() for c in self.cycles],
         }

@@ -10,6 +10,12 @@ the residual latency (the timeliness effect Section 1 calls out).
 
 The hierarchy also keeps the counters the evaluation needs: per-level
 hits/misses and the accuracy/timeliness/pollution breakdown of prefetches.
+When the optimizer installs a block -> stream attribution map
+(:meth:`MemoryHierarchy.set_stream_attribution`), the same classification
+points additionally credit each outcome to the hot data stream whose handler
+issued the prefetch (``stream_stats``) — the input of the resilience
+watchdog's per-stream scoreboard.  Attribution is bookkeeping only and never
+changes stall accounting.
 
 Telemetry: the hierarchy emits :class:`~repro.telemetry.events.PrefetchIssued`,
 ``PrefetchUsed`` (with the issue-to-use lead distance), ``PrefetchEvicted``
@@ -74,6 +80,34 @@ class PrefetchStats:
         return self.wasted / total if total else 0.0
 
 
+@dataclass
+class StreamPrefetchStats:
+    """Per-stream slice of :class:`PrefetchStats` (watchdog scoreboard input).
+
+    Attribution is pure bookkeeping: these counters are updated at the same
+    classification points as the aggregate stats and never influence stall
+    accounting, so runs are cycle-identical with attribution on or off.
+    """
+
+    issued: int = 0
+    redundant: int = 0
+    useful: int = 0
+    late: int = 0
+    wasted: int = 0
+
+    @property
+    def classified(self) -> int:
+        """Non-redundant prefetches that have met their fate."""
+        return self.useful + self.late + self.wasted
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of classified prefetches that served a demand access."""
+        used = self.useful + self.late
+        total = used + self.wasted
+        return used / total if total else 0.0
+
+
 class MemoryHierarchy:
     """L1 + L2 + DRAM with LRU fill, demand misses and software prefetch."""
 
@@ -99,10 +133,40 @@ class MemoryHierarchy:
         self._issued_since_sample = 0
         self._used_since_sample = 0
         self._evicted_since_sample = 0
+        #: block -> stream key for prefetch targets of the *current* install
+        #: (None = attribution off; the watchdog-enabled optimizer sets it)
+        self._stream_map: dict[int, object] | None = None
+        #: in-flight attribution: prefetched-but-unclassified block -> stream
+        self._stream_of: dict[int, object] = {}
+        #: cumulative per-stream outcome counters (never reset mid-run)
+        self.stream_stats: dict[object, StreamPrefetchStats] = {}
 
     def block_of(self, addr: int) -> int:
         """Block number containing byte address ``addr``."""
         return addr >> self._block_shift
+
+    # --------------------------------------------------- per-stream attribution
+
+    def set_stream_attribution(self, mapping: dict[int, object] | None) -> None:
+        """Install (or clear) the block -> stream-key map for issued prefetches.
+
+        The optimizer rebuilds this map at every install from the handlers'
+        prefetch targets.  Prefetches already in flight keep the attribution
+        they were issued under; ``stream_stats`` accumulates across installs.
+        Attribution never changes hit/miss/stall behaviour — only the
+        watchdog's scoreboard reads it.
+        """
+        self._stream_map = mapping
+
+    def _note_outcome(self, block: int, outcome: str) -> None:
+        """Credit a classified prefetch to its issuing stream, if attributed."""
+        key = self._stream_of.pop(block, None)
+        if key is None:
+            return
+        stats = self.stream_stats.get(key)
+        if stats is None:
+            stats = self.stream_stats[key] = StreamPrefetchStats()
+        setattr(stats, outcome, getattr(stats, outcome) + 1)
 
     def access(self, addr: int, now: int) -> int:
         """Perform a demand access at cycle ``now``; return stall cycles."""
@@ -116,6 +180,8 @@ class MemoryHierarchy:
             if ready > now:
                 stall = ready - now
                 self.prefetch.late += 1
+                if self._stream_of:
+                    self._note_outcome(block, "late")
                 issued_at = self._prefetched_unused.pop(block, now)
                 if telem.enabled:
                     # Sampling countdown is inlined at the hot sites: a helper
@@ -130,6 +196,8 @@ class MemoryHierarchy:
             if block in self._prefetched_unused:
                 issued_at = self._prefetched_unused.pop(block)
                 self.prefetch.useful += 1
+                if self._stream_of:
+                    self._note_outcome(block, "useful")
                 if telem.enabled:
                     n = self._used_since_sample + 1
                     if n >= self.prefetch_sample_every:
@@ -142,6 +210,8 @@ class MemoryHierarchy:
             if block in self._prefetched_unused:
                 issued_at = self._prefetched_unused.pop(block)
                 self.prefetch.useful += 1
+                if self._stream_of:
+                    self._note_outcome(block, "useful")
                 if telem.enabled:
                     n = self._used_since_sample + 1
                     if n >= self.prefetch_sample_every:
@@ -173,8 +243,17 @@ class MemoryHierarchy:
         self.prefetch.issued += 1
         block = addr >> self._block_shift
         telem = self.telemetry
+        smap = self._stream_map
+        skey = smap.get(block) if smap is not None else None
+        if skey is not None:
+            sstats = self.stream_stats.get(skey)
+            if sstats is None:
+                sstats = self.stream_stats[skey] = StreamPrefetchStats()
+            sstats.issued += 1
         if self.l1.contains(block) or block in self._inflight:
             self.prefetch.redundant += 1
+            if skey is not None:
+                sstats.redundant += 1
             if telem.enabled:
                 n = self._issued_since_sample + 1
                 if n >= self.prefetch_sample_every:
@@ -196,6 +275,8 @@ class MemoryHierarchy:
             self._install_l2(block, now)
         self._install_l1(block, now)
         self._prefetched_unused[block] = now
+        if skey is not None:
+            self._stream_of[block] = skey
 
     # ------------------------------------------------- sampled event emission
     # The issued/used countdowns are inlined at their hot call sites in
@@ -228,6 +309,8 @@ class MemoryHierarchy:
                 del self._prefetched_unused[victim]
                 self._inflight.pop(victim, None)
                 self.prefetch.wasted += 1
+                if self._stream_of:
+                    self._note_outcome(victim, "wasted")
                 if self.telemetry.enabled:
                     self._emit_evicted(self.telemetry, now, victim, False)
 
@@ -237,6 +320,9 @@ class MemoryHierarchy:
         if telem.enabled:
             for block in self._prefetched_unused:
                 self._emit_evicted(telem, now, block, True)
+        if self._stream_of:
+            for block in self._prefetched_unused:
+                self._note_outcome(block, "wasted")
         self.prefetch.wasted += len(self._prefetched_unused)
         self._prefetched_unused.clear()
         self._inflight.clear()
@@ -254,6 +340,9 @@ class MemoryHierarchy:
         if telem.enabled:
             for block in self._prefetched_unused:
                 self._emit_evicted(telem, now, block, False)
+        if self._stream_of:
+            for block in self._prefetched_unused:
+                self._note_outcome(block, "wasted")
         self.prefetch.wasted += len(self._prefetched_unused)
         if telem.enabled:
             telem.emit(

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import NamedTuple
 
+from repro.errors import AnalysisError
 from repro.ir.instructions import Pc
 
 
@@ -41,13 +42,19 @@ class SymbolTable:
         return sid
 
     def lookup(self, sid: int) -> DataRef:
-        """The reference interned as ``sid``."""
+        """The reference interned as ``sid``.
+
+        Raises :class:`~repro.errors.AnalysisError` (not ``IndexError``) for
+        ids outside the table: an unknown id reaching decode means the
+        analysis state is corrupt, and callers contain typed errors only.
+        """
+        if not 0 <= sid < len(self._refs):
+            raise AnalysisError(f"unknown symbol id {sid} (table has {len(self._refs)})")
         return self._refs[sid]
 
     def decode(self, sids: list[int] | tuple[int, ...]) -> list[DataRef]:
-        """Map a sequence of ids back to references."""
-        refs = self._refs
-        return [refs[s] for s in sids]
+        """Map a sequence of ids back to references (same checks as lookup)."""
+        return [self.lookup(s) for s in sids]
 
     def __len__(self) -> int:
         return len(self._refs)

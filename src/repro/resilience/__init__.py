@@ -1,0 +1,34 @@
+"""Resilience layer: guarded optimization, prefetch watchdog, fault injection.
+
+The paper's Figure 1 cycle ends in *deoptimize* for a reason: an installed
+optimization is a bet, and bets go bad — profiles go stale across program
+phases, polluting prefetches evict live data (the effect that sinks Seq-pref
+in Figure 12), and an online analysis fed sampled data can produce garbage.
+This package closes the loop:
+
+* :mod:`repro.resilience.guards` — pre-install validation of candidate
+  streams and the built DFSM; rejects-and-quarantines instead of installing
+  garbage.
+* :mod:`repro.resilience.watchdog` — a per-stream prefetch-quality
+  scoreboard (EWMA over the hierarchy's per-stream attribution) that
+  condemns harmful streams so the optimizer can roll them back individually.
+* :mod:`repro.resilience.faults` — a deterministic, seeded fault-injection
+  plan used by the robustness tests and the adversarial benchmarks.
+"""
+
+from repro.resilience.faults import FAULT_KINDS, FaultInjector, FaultPlan, InjectedFault
+from repro.resilience.guards import GuardConfig, GuardRejection, StreamGuard
+from repro.resilience.watchdog import PrefetchWatchdog, StreamScore, WatchdogConfig
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "GuardConfig",
+    "GuardRejection",
+    "InjectedFault",
+    "PrefetchWatchdog",
+    "StreamGuard",
+    "StreamScore",
+    "WatchdogConfig",
+]

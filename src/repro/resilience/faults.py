@@ -1,0 +1,150 @@
+"""Deterministic, seeded fault injection for the optimization pipeline.
+
+Robustness claims are only testable if failures are reproducible on demand.
+A :class:`FaultPlan` is a frozen description of *what can go wrong and how
+often*; a :class:`FaultInjector` executes the plan with one independent
+seeded PRNG stream per fault kind, so
+
+* the same (plan, workload) pair always injects the same faults at the same
+  opportunities, and
+* enabling one kind never perturbs the draw sequence of another.
+
+Injection sites live in :class:`~repro.core.optimizer.DynamicPrefetcher`:
+
+==================  =========================================================
+``corrupt_record``  for one burst, traced references are mutated before they
+                    reach Sequitur (garbage addresses, occasionally a pc
+                    pointing at a procedure that does not exist — which later
+                    trips the dynamic editor)
+``drop_burst``      one burst's traced references are discarded entirely
+``analysis_error``  the analysis phase raises :class:`InjectedFault`
+``cache_flush``     both cache levels are flushed mid-hibernation
+``delayed_patch``   the built handlers are installed several burst-periods
+                    late instead of at the awake→hibernate transition
+==================  =========================================================
+
+Every fired fault is recorded on :attr:`FaultInjector.fired` and (by the
+optimizer) emitted as a ``FaultInjected`` telemetry event.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError, ConfigError
+from repro.ir.instructions import Pc
+
+FAULT_KINDS = (
+    "corrupt_record",
+    "drop_burst",
+    "analysis_error",
+    "cache_flush",
+    "delayed_patch",
+)
+
+#: Name of the nonexistent procedure corrupted pcs point at.
+CORRUPT_PROC = "__faultinjected__"
+
+
+class InjectedFault(AnalysisError):
+    """A deliberately injected analysis failure (typed, catchable, expected)."""
+
+    def __init__(self, kind: str, message: str = "") -> None:
+        super().__init__(message or f"injected fault: {kind}")
+        self.kind = kind
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject, how often, bounded and fully determined by ``seed``.
+
+    Attributes:
+        seed: PRNG seed; two injectors built from equal plans behave
+            identically.
+        rate: per-opportunity firing probability of each enabled kind.
+        kinds: the enabled fault kinds (subset of :data:`FAULT_KINDS`).
+        max_per_kind: cap on firings per kind over a run (keeps adversarial
+            runs bounded).
+        record_corrupt_rate: probability that any single traced reference is
+            mutated while a ``corrupt_record`` burst is active.
+        patch_delay_bursts: burst-periods a ``delayed_patch`` holds the
+            handlers back.
+    """
+
+    seed: int = 0
+    rate: float = 0.25
+    kinds: tuple[str, ...] = FAULT_KINDS
+    max_per_kind: int = 4
+    record_corrupt_rate: float = 0.125
+    patch_delay_bursts: int = 3
+
+    def __post_init__(self) -> None:
+        unknown = set(self.kinds) - set(FAULT_KINDS)
+        if unknown:
+            raise ConfigError(f"unknown fault kinds {sorted(unknown)}; known: {FAULT_KINDS}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError("rate must be in [0, 1]")
+        if not 0.0 <= self.record_corrupt_rate <= 1.0:
+            raise ConfigError("record_corrupt_rate must be in [0, 1]")
+        if self.max_per_kind < 1:
+            raise ConfigError("max_per_kind must be >= 1")
+        if self.patch_delay_bursts < 1:
+            raise ConfigError("patch_delay_bursts must be >= 1")
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` with per-kind deterministic PRNG streams."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rngs = {
+            kind: random.Random((plan.seed << 8) ^ (index + 1))
+            for index, kind in enumerate(FAULT_KINDS)
+        }
+        self._record_rng = random.Random((plan.seed << 8) ^ 0x7F)
+        self.counts: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        #: (kind, simulated cycle) of every fault fired, in order
+        self.fired: list[tuple[str, int]] = []
+
+    def fire(self, kind: str, now: int = 0) -> bool:
+        """One injection opportunity for ``kind``; True if the fault fires.
+
+        Draws are consumed even when the per-kind cap has been reached, so
+        the decision sequence for a kind depends only on its opportunity
+        index — never on how other kinds are configured.
+        """
+        draw = self._rngs[kind].random()
+        if kind not in self.plan.kinds:
+            return False
+        if self.counts[kind] >= self.plan.max_per_kind:
+            return False
+        if draw >= self.plan.rate:
+            return False
+        self.counts[kind] += 1
+        self.fired.append((kind, now))
+        return True
+
+    def maybe_raise(self, kind: str, now: int = 0) -> None:
+        """Raise :class:`InjectedFault` if ``kind`` fires at this opportunity."""
+        if self.fire(kind, now):
+            raise InjectedFault(kind)
+
+    def corrupt_record(self, pc: Pc, addr: int) -> tuple[Pc, int]:
+        """Mutate one traced reference (only called during a corrupt burst).
+
+        Three deterministic flavours: a garbage (possibly negative) address,
+        an address from a wild region of the address space, or a pc naming a
+        procedure that does not exist — the last one survives analysis and
+        detonates in the dynamic editor instead, exercising the deeper
+        failure path.
+        """
+        rng = self._record_rng
+        if rng.random() >= self.plan.record_corrupt_rate:
+            return pc, addr
+        flavour = rng.randrange(3)
+        if flavour == 0:
+            return pc, -((addr ^ 0x5A5A_5A5A) & 0x7FFF_FFFF) - 1
+        if flavour == 1:
+            return pc, (addr * 2_654_435_761) & 0x7FFF_FFFC
+        return Pc(CORRUPT_PROC, rng.randrange(1 << 16)), addr

@@ -152,6 +152,64 @@ class DfsmBackoff(Event):
     streams_after: int
 
 
+# ------------------------------------------------- resilience (watchdog etc.)
+
+
+@dataclass(frozen=True, slots=True)
+class GuardRejected(Event):
+    """A candidate stream failed pre-install validation and was quarantined.
+
+    ``reason`` is one of the ``repro.resilience.guards.REASON_*`` tags;
+    ``stream`` is a short human-readable rendering of the stream identity.
+    """
+
+    reason: str
+    stream: str
+    length: int
+    heat: int
+
+
+@dataclass(frozen=True, slots=True)
+class StreamDeoptimized(Event):
+    """The watchdog rolled back one installed stream.
+
+    ``remaining`` counts the streams still installed after the targeted
+    rollback; 0 means the optimizer fully deoptimized and re-entered
+    profiling.
+    """
+
+    stream: str
+    reason: str
+    accuracy: float
+    pollution: float
+    samples: int
+    remaining: int
+
+
+@dataclass(frozen=True, slots=True)
+class FaultInjected(Event):
+    """The fault-injection harness fired one planned fault."""
+
+    fault: str
+    detail: str
+
+
+@dataclass(frozen=True, slots=True)
+class OptimizerError(Event):
+    """An analyze/optimize failure was contained (typed ``ReproError``).
+
+    The optimizer deoptimized, entered hibernation and will retry at the
+    next awake phase — unless ``disabled`` is set, in which case it has
+    exhausted its error budget and sleeps for the rest of the run.
+    """
+
+    phase: str
+    error: str
+    message: str
+    consecutive: int
+    disabled: bool
+
+
 # -------------------------------------------------------- memory hierarchy
 
 

@@ -101,3 +101,37 @@ def deoptimize(program: Program) -> list[str]:
     names = sorted(program.patched_names)
     program.unpatch_all()
     return names
+
+
+def deoptimize_procedures(program: Program, names: list[str]) -> list[str]:
+    """Targeted rollback: remove the jump patches for ``names`` only.
+
+    Unknown or unpatched names are ignored (rollback is idempotent — the
+    watchdog may condemn two streams whose handlers share a procedure).
+    Frames already executing a removed copy keep running it to completion,
+    exactly as in full deoptimization: only *new* calls resolve to the
+    original (the Section 3.2 stale-return-address behaviour).
+    """
+    removed = sorted(set(names) & program.patched_names)
+    for name in removed:
+        program.unpatch(name)
+    return removed
+
+
+def reinject_detection(
+    program: Program, handlers: Mapping[Pc, object]
+) -> tuple[InjectionResult, list[str]]:
+    """Re-patch for a *reduced* handler set; targeted-rollback the rest.
+
+    This is the editing half of per-stream deoptimization: procedures whose
+    pcs no longer carry any handler get their jump patch removed
+    (:func:`deoptimize_procedures`), while procedures still referenced are
+    re-patched with fresh copies built from the registered originals (so
+    repeated rollbacks never stack handlers).  Returns the injection summary
+    and the names that were rolled back.
+    """
+    needed = {pc.proc for pc in handlers}
+    stale = [name for name in program.patched_names if name not in needed]
+    removed = deoptimize_procedures(program, stale)
+    result = inject_detection(program, handlers)
+    return result, removed

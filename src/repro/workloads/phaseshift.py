@@ -1,0 +1,343 @@
+"""Adversarial phase-shift workload: stale streams that turn purely harmful.
+
+The chain-mix template's ``phases`` knob models *gradual* phase behaviour:
+another group of chains becomes hot, the old streams simply stop matching,
+and stale prefetch code decays into dead checks.  This workload is built to
+be **adversarial** to an unguarded prefetcher instead: installed streams keep
+*matching* after a phase change but every prefetch they issue is wrong.
+
+Construction (per hot chain):
+
+* one phase-invariant **head node** ``H``, entered through a schedule slot
+  (the dispatch slot load and ``H``'s value load form the stream head —
+  neither address ever changes);
+* ``tail_sets`` pre-linked **tail sets** of ``tail_len`` nodes each, disjoint
+  in memory; ``H.next`` points at the active set's first node, *rotated* by
+  an in-ISA ``relink`` procedure every ``flip_every`` steps.  Rotation (not
+  alternation) matters: a stale stream stays wrong for ``tail_sets - 1``
+  consecutive phases instead of coming back into fashion at the next flip.
+
+Because the stream *head* survives the flip, a handler installed before the
+flip keeps firing afterwards — and prefetches the old tail's blocks, which
+the new phase never touches: 100% wasted, pure pollution, plus the per-issue
+cost.  The hot-stream analysis, by contrast, re-learns the new tail at the
+next awake phase (a different stream identity, so the watchdog blacklist
+never blocks it).  This is the workload where the per-stream watchdog earns
+its keep: condemn the stale streams mid-hibernation, roll them back, return
+to profiling early (``bench_ablation_watchdog.py`` measures exactly that).
+
+The cold scrubber walks an array larger than the ablation machine's L2, so
+stale prefetched blocks are *evicted* — and therefore classified wasted —
+within a poll window or two rather than only at finalize.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.ir.builder import ProcedureBuilder, build_program
+from repro.machine.memory import Memory
+from repro.workloads.base import BuiltWorkload
+from repro.workloads.chainmix import (
+    GROUP_BITS_MASK,
+    LCG_A,
+    LCG_C,
+    LCG_MASK,
+    NODE_BYTES,
+    NODE_NEXT_OFF,
+    NODE_VAL_OFF,
+    SCHED_ENTRY_BYTES,
+)
+
+def _table_entry_bytes(tail_sets: int) -> int:
+    """Bytes per chain in the relink table: head addr + one addr per tail set."""
+    return 4 * (1 + tail_sets)
+
+
+@dataclass(frozen=True)
+class PhaseShiftParams:
+    """Shape of the adversarial phase-shift workload (see module docstring)."""
+
+    name: str = "phaseshift"
+    groups: int = 3
+    chains: int = 9
+    tail_len: int = 24
+    #: pre-linked tail sets per chain; the active one rotates at every flip,
+    #: so an installed stream stays stale for (tail_sets - 1) / tail_sets of
+    #: each rotation instead of coming back into phase on the next flip
+    tail_sets: int = 3
+    unroll: int = 4
+    steps_per_pass: int = 64
+    passes: int = 84
+    #: steps between ``H.next`` flips (tail-set rotation)
+    flip_every: int = 400
+    cold_refs_per_step: int = 24
+    cold_array_blocks: int = 2048
+    node_compute: int = 1
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.groups <= 8:
+            raise ConfigError("groups must be in 1..8")
+        if self.chains < self.groups:
+            raise ConfigError("need at least one chain per group")
+        if self.tail_len < self.unroll or self.tail_len % self.unroll:
+            raise ConfigError("tail_len must be a positive multiple of unroll")
+        if self.tail_sets < 2:
+            raise ConfigError("tail_sets must be >= 2")
+        if self.flip_every < 1:
+            raise ConfigError("flip_every must be >= 1")
+        if self.cold_array_blocks & (self.cold_array_blocks - 1):
+            raise ConfigError("cold_array_blocks must be a power of two")
+
+    @property
+    def total_steps(self) -> int:
+        return self.passes * self.steps_per_pass
+
+    @property
+    def node_footprint_bytes(self) -> int:
+        return self.chains * (1 + self.tail_sets * self.tail_len) * NODE_BYTES
+
+
+def _build_walker(group: int, node_compute: int, acc_addr: int, unroll: int) -> ProcedureBuilder:
+    """Chain walker with a peeled head node (same shape as chain-mix's).
+
+    The peel puts the head node's value load on a once-per-visit pc, making
+    (slot load, head value load) the stream head the DFSM matches — both
+    phase-invariant by construction.
+    """
+    b = ProcedureBuilder(f"walk{group}", params=("head",))
+    node = b.reg("node")
+    total = b.reg("total")
+
+    def node_body() -> None:
+        value = b.load(None, node, NODE_VAL_OFF)
+        b.add(total, total, value)
+        for _ in range(node_compute):
+            b.muli(total, total, 3)
+            b.addi(total, total, 1)
+        b.load(node, node, NODE_NEXT_OFF)
+
+    b.mov(node, b.param("head"))
+    b.const(total, 0)
+    node_body()  # peeled head node
+    b.bz(node, "end")
+    b.label("loop")
+    for _ in range(unroll):
+        node_body()
+    b.bnz(node, "loop")
+    b.label("end")
+    base = b.reg("accbase")
+    b.const(base, acc_addr)
+    b.store(total, base, 0)
+    b.ret(total)
+    return b
+
+
+_COLD_UNROLL = 4
+
+
+def _build_cold_walker(params: PhaseShiftParams, cold_base: int) -> ProcedureBuilder:
+    """Pseudo-random strider over the cold array (eviction pressure)."""
+    b = ProcedureBuilder("coldwalk", params=("idx",))
+    idx = b.reg("idx2")
+    b.mov(idx, b.param("idx"))
+    count = b.const(b.reg("count"), 0)
+    iters = max(1, params.cold_refs_per_step // _COLD_UNROLL)
+    limit = b.const(b.reg("limit"), iters)
+    base = b.const(b.reg("base"), cold_base)
+    sink = b.reg("sink")
+    b.label("loop")
+    cond = b.cmp("lt", None, count, limit)
+    b.bz(cond, "end")
+    for _ in range(_COLD_UNROLL):
+        b.muli(idx, idx, 5)
+        b.addi(idx, idx, 7)
+        b.alui("and", idx, idx, params.cold_array_blocks - 1)
+        off = b.muli(None, idx, NODE_BYTES)
+        addr = b.add(None, base, off)
+        b.load(sink, addr, 0)
+    b.addi(count, count, 1)
+    b.jmp("loop")
+    b.label("end")
+    b.ret(idx)
+    return b
+
+
+def _build_dispatch(params: PhaseShiftParams, sched_base: int) -> ProcedureBuilder:
+    """Per-step worker: the slot load here is every stream's first head pc."""
+    b = ProcedureBuilder("dispatch", params=("pick",))
+    base = b.const(b.reg("base"), sched_base)
+    off = b.muli(None, b.param("pick"), SCHED_ENTRY_BYTES)
+    entry = b.add(None, base, off)
+    tagged = b.load(None, entry, 0)
+    group = b.alui("and", None, tagged, GROUP_BITS_MASK)
+    head = b.alui("and", None, tagged, ~GROUP_BITS_MASK & 0xFFFFFFFF)
+    group_consts = [b.const(b.reg(f"g{k}"), k) for k in range(params.groups)]
+    result = b.const(b.reg("result"), 0)
+    for k in range(params.groups):
+        hit = b.cmp("eq", None, group, group_consts[k])
+        b.bnz(hit, f"dispatch{k}")
+    b.jmp("after_walk")
+    for k in range(params.groups):
+        b.label(f"dispatch{k}")
+        b.call(result, f"walk{k}", (head,))
+        b.jmp("after_walk")
+    b.label("after_walk")
+    b.ret(result)
+    return b
+
+
+def _build_relink(params: PhaseShiftParams, table_base: int) -> ProcedureBuilder:
+    """Point every chain's ``H.next`` at the tail set selected by ``which``.
+
+    Reads the (head, tail[0], tail[1], ...) address table and stores the
+    chosen tail's first node into the head's next pointer.  This is the
+    *program's own* phase change — no simulator magic involved.
+    """
+    b = ProcedureBuilder("relink", params=("which",))
+    chain = b.const(b.reg("chain"), 0)
+    nchains = b.const(b.reg("nchains"), params.chains)
+    base = b.const(b.reg("tbase"), table_base)
+    # Offset of the selected tail column within a table row.
+    sel = b.muli(None, b.param("which"), 4)
+    b.addi(sel, sel, 4)
+    b.label("loop")
+    more = b.cmp("lt", None, chain, nchains)
+    b.bz(more, "end")
+    row = b.muli(None, chain, _table_entry_bytes(params.tail_sets))
+    b.add(row, row, base)
+    head = b.load(None, row, 0)
+    tail_ptr = b.add(None, row, sel)
+    tail = b.load(None, tail_ptr, 0)
+    b.store(tail, head, NODE_NEXT_OFF)
+    b.addi(chain, chain, 1)
+    b.jmp("loop")
+    b.label("end")
+    b.ret(chain)
+    return b
+
+
+def _build_main(params: PhaseShiftParams) -> ProcedureBuilder:
+    """Driver: uniform pseudo-random hot visits, tail flip every flip_every."""
+    b = ProcedureBuilder("main", params=("passes",))
+    step = b.const(b.reg("step"), 0)
+    steps = b.muli(None, b.param("passes"), params.steps_per_pass)
+    state = b.const(b.reg("state"), params.seed | 1)
+    idx = b.const(b.reg("idx"), 1)
+    acc = b.const(b.reg("acc"), 0)
+    which = b.const(b.reg("which"), 0)
+    nsets = b.const(b.reg("nsets"), params.tail_sets)
+    next_flip = b.const(b.reg("next_flip"), params.flip_every)
+    one = b.const(b.reg("one"), 1)
+    result = b.reg("result")
+    pick = b.reg("pick")
+    b.label("step_loop")
+    more = b.cmp("lt", None, step, steps)
+    b.bz(more, "done")
+    # Phase flip: the program rotates to the next tail set.
+    at_flip = b.cmp("eq", None, step, next_flip)
+    b.bz(at_flip, "no_flip")
+    b.add(which, which, one)
+    wrapped = b.cmp("lt", None, which, nsets)
+    b.bnz(wrapped, "no_wrap")
+    b.const(which, 0)
+    b.label("no_wrap")
+    b.addi(next_flip, next_flip, params.flip_every)
+    b.call(None, "relink", (which,))
+    b.label("no_flip")
+    # Uniform chain pick.
+    b.muli(state, state, LCG_A)
+    b.addi(state, state, LCG_C)
+    b.alui("and", state, state, LCG_MASK)
+    draw = b.alui("shr", None, state, 6)
+    b.alui("mod", pick, draw, params.chains)
+    b.call(result, "dispatch", (pick,))
+    b.add(acc, acc, result)
+    b.call(idx, "coldwalk", (idx,))
+    b.add(step, step, one)
+    b.jmp("step_loop")
+    b.label("done")
+    b.ret(acc)
+    return b
+
+
+def build_phaseshift(
+    params: PhaseShiftParams | None = None, passes: int | None = None
+) -> BuiltWorkload:
+    """Materialize the workload: memory image + program + entry args."""
+    params = params if params is not None else PhaseShiftParams()
+    rng = random.Random(params.seed)
+    memory = Memory()
+
+    row_bytes = _table_entry_bytes(params.tail_sets)
+    sched_base = memory.allocate_static(params.chains * SCHED_ENTRY_BYTES)
+    table_base = memory.allocate_static(params.chains * row_bytes)
+    cold_base = memory.allocate_static(params.cold_array_blocks * NODE_BYTES)
+    acc_base = memory.allocate_static(params.groups * 4)
+
+    # Allocate head + all tail sets, in an order decorrelated from traversal.
+    slots = [
+        (chain, pos)
+        for chain in range(params.chains)
+        for pos in range(1 + params.tail_sets * params.tail_len)
+    ]
+    rng.shuffle(slots)
+    addr_of: dict[tuple[int, int], int] = {}
+    for slot in slots:
+        addr_of[slot] = memory.allocate(NODE_BYTES, align=NODE_BYTES)
+
+    # Node positions: 0 = head H, then tail_len nodes per tail set.
+    def tail(chain: int, sets: int, k: int) -> int:
+        return addr_of[(chain, 1 + sets * params.tail_len + k)]
+
+    for chain in range(params.chains):
+        head = addr_of[(chain, 0)]
+        memory.store(head + NODE_NEXT_OFF, tail(chain, 0, 0))  # phase 0 first
+        memory.store(head + NODE_VAL_OFF, chain * 131)
+        for sets in range(params.tail_sets):
+            for k in range(params.tail_len):
+                addr = tail(chain, sets, k)
+                is_last = k == params.tail_len - 1
+                succ = 0 if is_last else tail(chain, sets, k + 1)
+                memory.store(addr + NODE_NEXT_OFF, succ)
+                memory.store(addr + NODE_VAL_OFF, chain * 131 + sets * 1000 + k + 1)
+        group = chain % params.groups
+        memory.store(sched_base + chain * SCHED_ENTRY_BYTES, head | group)
+        row = table_base + chain * row_bytes
+        memory.store(row, head)
+        for sets in range(params.tail_sets):
+            memory.store(row + 4 * (1 + sets), tail(chain, sets, 0))
+
+    walkers = [
+        _build_walker(group, params.node_compute, acc_base + group * 4, params.unroll)
+        for group in range(params.groups)
+    ]
+    program = build_program(
+        [
+            _build_main(params),
+            _build_dispatch(params, sched_base),
+            _build_relink(params, table_base),
+            _build_cold_walker(params, cold_base),
+            *walkers,
+        ],
+        entry="main",
+    )
+
+    return BuiltWorkload(
+        name=params.name,
+        program=program,
+        memory=memory,
+        args=(passes if passes is not None else params.passes,),
+        info={
+            "chains": params.chains,
+            "tail_len": params.tail_len,
+            "tail_sets": params.tail_sets,
+            "flip_every": params.flip_every,
+            "total_steps": params.total_steps,
+            "node_footprint_bytes": params.node_footprint_bytes,
+            "cold_array_bytes": params.cold_array_blocks * NODE_BYTES,
+        },
+    )

@@ -1,0 +1,240 @@
+"""Deterministic fault injection and fuzzing (repro.resilience.faults).
+
+The fuzz and full-run injection tests honour ``REPRO_FAULT_SEED`` so CI can
+sweep seeds; any seed must satisfy the same invariants (runs complete, only
+typed :class:`~repro.errors.ReproError` subclasses surface).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.hotstreams import AnalysisConfig, find_hot_streams
+from repro.analysis.stream import HotDataStream
+from repro.bench.runner import run_workload
+from repro.dfsm.build import build_dfsm
+from repro.dfsm.codegen import generate_handlers
+from repro.errors import AnalysisError, ConfigError, ReproError
+from repro.ir.instructions import Pc
+from repro.profiling.profiler import TemporalProfiler
+from repro.resilience.faults import (
+    CORRUPT_PROC,
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+)
+from repro.resilience.guards import StreamGuard
+from repro.telemetry.session import TelemetrySession
+from repro.workloads.chainmix import build_chainmix
+
+FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+
+def fire_pattern(injector: FaultInjector, kind: str, opportunities: int) -> list[bool]:
+    return [injector.fire(kind) for _ in range(opportunities)]
+
+
+class TestInjectorDeterminism:
+    def test_equal_plans_fire_identically(self):
+        plan = FaultPlan(seed=FAULT_SEED, rate=0.5)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        for kind in FAULT_KINDS:
+            assert fire_pattern(a, kind, 64) == fire_pattern(b, kind, 64)
+        assert a.counts == b.counts
+
+    def test_kinds_draw_independently(self):
+        """A kind's decision sequence depends only on its opportunity index.
+
+        Interleaving opportunities for *other* kinds (or disabling them in
+        the plan) must not perturb drop_burst's firing pattern.
+        """
+        interleaved = FaultInjector(FaultPlan(seed=FAULT_SEED, rate=0.5))
+        solo = FaultInjector(FaultPlan(seed=FAULT_SEED, rate=0.5, kinds=("drop_burst",)))
+        pattern = []
+        for _ in range(64):
+            for kind in FAULT_KINDS:
+                fired = interleaved.fire(kind)
+                if kind == "drop_burst":
+                    pattern.append(fired)
+        assert pattern == fire_pattern(solo, "drop_burst", 64)
+
+    def test_cap_consumes_draws(self):
+        a = FaultInjector(FaultPlan(seed=FAULT_SEED, rate=0.5, max_per_kind=2))
+        b = FaultInjector(FaultPlan(seed=FAULT_SEED, rate=0.5, max_per_kind=2))
+        # Exhaust a's cache_flush cap; b never sees a cache_flush opportunity.
+        fire_pattern(a, "cache_flush", 40)
+        assert a.counts["cache_flush"] <= 2
+        # Draws are consumed past the cap, and kinds draw from independent
+        # streams, so drop_burst's pattern is identical either way.
+        assert fire_pattern(a, "drop_burst", 40) == fire_pattern(b, "drop_burst", 40)
+
+    def test_corrupt_record_deterministic(self):
+        plan = FaultPlan(seed=FAULT_SEED, record_corrupt_rate=1.0)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        pc = Pc("main", 3)
+        outs_a = [a.corrupt_record(pc, 0x1000 + 4 * i) for i in range(32)]
+        outs_b = [b.corrupt_record(pc, 0x1000 + 4 * i) for i in range(32)]
+        assert outs_a == outs_b
+        assert any(out != (pc, 0x1000 + 4 * i) for i, out in enumerate(outs_a))
+
+    def test_injected_fault_is_typed(self):
+        exc = InjectedFault("analysis_error")
+        assert isinstance(exc, AnalysisError)
+        assert isinstance(exc, ReproError)
+        assert exc.kind == "analysis_error"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kinds": ("no_such_fault",)},
+            {"rate": 1.5},
+            {"record_corrupt_rate": -0.1},
+            {"max_per_kind": 0},
+            {"patch_delay_bursts": 0},
+        ],
+    )
+    def test_bad_plan_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            FaultPlan(**kwargs)
+
+
+@pytest.mark.faultinject
+class TestInjectedRuns:
+    @pytest.mark.parametrize("fault_kind", FAULT_KINDS)
+    def test_every_kind_is_contained(self, fault_kind, small_params, tiny_machine, small_opt):
+        """Each fault class fires, is reported, and the run still completes."""
+        opt = replace(
+            small_opt, faults=FaultPlan(seed=FAULT_SEED + 1, rate=1.0, kinds=(fault_kind,))
+        )
+        session = TelemetrySession.recording()
+        result = run_workload(
+            build_chainmix(small_params), "dyn", machine=tiny_machine, opt=opt, telemetry=session
+        )
+        assert result.cycles > 0
+        assert result.summary.faults_injected >= 1
+        injected = [e for e in session.events if e.kind == "FaultInjected"]
+        assert injected and all(e.fault == fault_kind for e in injected)
+        if fault_kind == "analysis_error":
+            errors = [e for e in session.events if e.kind == "OptimizerError"]
+            assert result.summary.optimizer_errors >= 1
+            assert errors and all(e.error == "InjectedFault" for e in errors)
+
+    def test_all_kinds_together_complete(self, small_params, tiny_machine, small_opt):
+        opt = replace(small_opt, faults=FaultPlan(seed=FAULT_SEED, rate=0.6, max_per_kind=3))
+        result = run_workload(build_chainmix(small_params), "dyn", machine=tiny_machine, opt=opt)
+        assert result.cycles > 0
+
+    def test_injected_runs_are_reproducible(self, small_params, tiny_machine, small_opt):
+        opt = replace(small_opt, faults=FaultPlan(seed=FAULT_SEED + 2, rate=0.6))
+        a = run_workload(build_chainmix(small_params), "dyn", machine=tiny_machine, opt=opt)
+        b = run_workload(build_chainmix(small_params), "dyn", machine=tiny_machine, opt=opt)
+        assert a.cycles == b.cycles
+        assert a.summary.faults_injected == b.summary.faults_injected
+
+
+class TestErrorContainment:
+    def test_analysis_failure_hibernates_then_disables(
+        self, small_params, tiny_machine, small_opt, monkeypatch
+    ):
+        """Regression: a raising analysis must never crash the program.
+
+        Every optimize attempt fails, so the optimizer hibernates after each
+        and disables itself after ``max_optimizer_errors`` consecutive
+        failures — the workload still runs to completion, unoptimized.
+        """
+
+        def broken(sequitur, config):
+            raise AnalysisError("synthetic analysis corruption")
+
+        monkeypatch.setattr("repro.core.optimizer.find_hot_streams", broken)
+        # Short phases so the run fits several failing optimize attempts.
+        opt = replace(small_opt, max_optimizer_errors=2, n_awake=4, n_hibernate=8)
+        session = TelemetrySession.recording()
+        result = run_workload(
+            build_chainmix(small_params), "dyn", machine=tiny_machine, opt=opt, telemetry=session
+        )
+        assert result.cycles > 0
+        assert result.summary.optimizer_errors == 2
+        assert result.summary.num_cycles == 0
+        errors = [e for e in session.events if e.kind == "OptimizerError"]
+        assert [e.consecutive for e in errors] == [1, 2]
+        assert [e.disabled for e in errors] == [False, True]
+        assert all(e.error == "AnalysisError" and e.phase == "optimize" for e in errors)
+
+
+@pytest.mark.faultinject
+class TestFuzzPipeline:
+    def test_symbol_table_rejects_corrupt_ids_typed(self):
+        profiler = TemporalProfiler()
+        profiler.record(Pc("main", 0), 0x1000)
+        with pytest.raises(AnalysisError):
+            profiler.symbols.lookup(10**9)
+        with pytest.raises(AnalysisError):
+            profiler.symbols.decode([0, -1])
+
+    def test_corrupt_records_and_malformed_candidates(self):
+        """Garbage traces + hostile candidates surface only typed errors.
+
+        Drives the whole analyze-side pipeline — Sequitur, hot-stream
+        analysis, guard admission, DFSM construction, handler generation —
+        with seeded junk.  Anything other than a ReproError subclass
+        escaping (KeyError, IndexError, ...) fails the test.
+        """
+        rng = random.Random(FAULT_SEED * 1013 + 17)
+        corruptor = FaultInjector(FaultPlan(seed=FAULT_SEED, record_corrupt_rate=0.3))
+        for round_idx in range(8):
+            profiler = TemporalProfiler()
+            try:
+                for i in range(400):
+                    pc = Pc(f"proc{rng.randrange(4)}", rng.randrange(32))
+                    addr = rng.randrange(1 << 20) * 4
+                    if rng.random() < 0.5:
+                        pc, addr = corruptor.corrupt_record(pc, addr)
+                    profiler.record(pc, addr)
+                config = AnalysisConfig(
+                    heat_ratio=0.002, min_length=3, max_length=64, min_unique=2, max_streams=16
+                )
+                streams = find_hot_streams(profiler.sequitur, config)
+                # Adversarial extras: ids outside the table, no tail, no heat.
+                num_syms = len(profiler.symbols)
+                streams = list(streams) + [
+                    HotDataStream((num_syms + 5, 0, 1), heat=9, rule_id=900),
+                    HotDataStream((0,), heat=9, rule_id=901),
+                    HotDataStream((0, 0, 0), heat=0, rule_id=902),
+                ]
+                guard = StreamGuard()
+                accepted, _ = guard.admit(streams, 2, profiler.symbols, cycle=round_idx)
+                accepted = [s for s in accepted if s.length > 2]
+                if not accepted:
+                    continue
+                dfsm = build_dfsm(accepted, head_len=2)
+                guard.check_dfsm(dfsm, accepted)
+                handlers = generate_handlers(
+                    dfsm, profiler.symbols, mode="dyn", block_bytes=32, max_prefetches=8
+                )
+                assert all(isinstance(pc, Pc) for pc in handlers)
+            except ReproError:
+                continue  # a typed, contained failure is an acceptable outcome
+
+    def test_corrupt_pc_detonates_in_editor_not_interpreter(
+        self, small_params, tiny_machine, small_opt
+    ):
+        """The corrupt-pc flavour names CORRUPT_PROC; the run must survive it."""
+        opt = replace(
+            small_opt,
+            faults=FaultPlan(
+                seed=FAULT_SEED + 3,
+                rate=1.0,
+                kinds=("corrupt_record",),
+                max_per_kind=4,
+                record_corrupt_rate=0.5,
+            ),
+        )
+        result = run_workload(build_chainmix(small_params), "dyn", machine=tiny_machine, opt=opt)
+        assert result.cycles > 0
+        assert CORRUPT_PROC not in build_chainmix(small_params).program.procedures

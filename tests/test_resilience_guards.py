@@ -1,0 +1,163 @@
+"""Tests for the pre-install stream guard (repro.resilience.guards)."""
+
+import pytest
+
+from repro.analysis.stream import HotDataStream
+from repro.dfsm.build import build_dfsm
+from repro.errors import AnalysisError, ConfigError
+from repro.resilience.guards import (
+    REASON_DEGENERATE,
+    REASON_DUPLICATE,
+    REASON_NO_HEAT,
+    REASON_NO_TAIL,
+    REASON_OVERSIZED,
+    REASON_QUARANTINED,
+    REASON_UNKNOWN_SYMBOL,
+    GuardConfig,
+    StreamGuard,
+    stream_key,
+)
+
+#: admit() only calls len() on the symbol table.
+SYMBOLS = list(range(16))
+HEAD_LEN = 2
+
+
+def stream(symbols, heat=10, rule_id=0):
+    return HotDataStream(tuple(symbols), heat, rule_id)
+
+
+def reasons(rejections):
+    return [r.reason for r in rejections]
+
+
+class TestAdmission:
+    def test_healthy_stream_admitted(self):
+        guard = StreamGuard()
+        accepted, rejected = guard.admit([stream([0, 1, 2, 3])], HEAD_LEN, SYMBOLS, cycle=1)
+        assert len(accepted) == 1
+        assert rejected == []
+        assert guard.rejections_total == 0
+
+    def test_no_tail(self):
+        guard = StreamGuard()
+        accepted, rejected = guard.admit([stream([0, 1])], HEAD_LEN, SYMBOLS, cycle=1)
+        assert accepted == []
+        assert reasons(rejected) == [REASON_NO_TAIL]
+
+    def test_degenerate_single_address(self):
+        guard = StreamGuard()
+        accepted, rejected = guard.admit([stream([3, 3, 3, 3])], HEAD_LEN, SYMBOLS, cycle=1)
+        assert accepted == []
+        assert reasons(rejected) == [REASON_DEGENERATE]
+
+    def test_no_heat(self):
+        guard = StreamGuard()
+        accepted, rejected = guard.admit([stream([0, 1, 2], heat=0)], HEAD_LEN, SYMBOLS, cycle=1)
+        assert reasons(rejected) == [REASON_NO_HEAT]
+
+    def test_oversized(self):
+        guard = StreamGuard(GuardConfig(max_stream_length=4))
+        accepted, rejected = guard.admit([stream(range(6))], HEAD_LEN, SYMBOLS, cycle=1)
+        assert reasons(rejected) == [REASON_OVERSIZED]
+
+    def test_unknown_symbol(self):
+        guard = StreamGuard()
+        bad = stream([0, 1, len(SYMBOLS)])
+        accepted, rejected = guard.admit([bad], HEAD_LEN, SYMBOLS, cycle=1)
+        assert reasons(rejected) == [REASON_UNKNOWN_SYMBOL]
+
+    def test_duplicate_within_batch(self):
+        guard = StreamGuard()
+        batch = [stream([0, 1, 2, 3], rule_id=0), stream([0, 1, 2, 3], rule_id=9)]
+        accepted, rejected = guard.admit(batch, HEAD_LEN, SYMBOLS, cycle=1)
+        assert len(accepted) == 1
+        assert reasons(rejected) == [REASON_DUPLICATE]
+
+    def test_mixed_batch_splits(self):
+        guard = StreamGuard()
+        batch = [stream([0, 1, 2, 3]), stream([4, 4, 4]), stream([5, 6, 7, 8])]
+        accepted, rejected = guard.admit(batch, HEAD_LEN, SYMBOLS, cycle=1)
+        assert [s.symbols for s in accepted] == [(0, 1, 2, 3), (5, 6, 7, 8)]
+        assert reasons(rejected) == [REASON_DEGENERATE]
+        assert guard.rejections_total == 1
+
+
+class TestQuarantine:
+    def test_rejected_identity_is_quarantined(self):
+        guard = StreamGuard(GuardConfig(quarantine_cycles=3))
+        bad = stream([3, 3, 3])
+        guard.admit([bad], HEAD_LEN, SYMBOLS, cycle=1)
+        _, rejected = guard.admit([bad], HEAD_LEN, SYMBOLS, cycle=2)
+        assert reasons(rejected) == [REASON_QUARANTINED]
+        assert guard.is_quarantined(stream_key(bad), 2)
+
+    def test_quarantine_expires(self):
+        guard = StreamGuard(GuardConfig(quarantine_cycles=2))
+        bad = stream([3, 3, 3])
+        guard.admit([bad], HEAD_LEN, SYMBOLS, cycle=1)
+        # After expiry the stream is re-vetted on the merits again.
+        _, rejected = guard.admit([bad], HEAD_LEN, SYMBOLS, cycle=3)
+        assert reasons(rejected) == [REASON_DEGENERATE]
+
+    def test_duplicates_do_not_quarantine_the_identity(self):
+        guard = StreamGuard()
+        batch = [stream([0, 1, 2, 3]), stream([0, 1, 2, 3])]
+        guard.admit(batch, HEAD_LEN, SYMBOLS, cycle=1)
+        accepted, rejected = guard.admit([stream([0, 1, 2, 3])], HEAD_LEN, SYMBOLS, cycle=2)
+        assert len(accepted) == 1
+        assert rejected == []
+
+    def test_explicit_quarantine(self):
+        guard = StreamGuard(GuardConfig(quarantine_cycles=2))
+        good = stream([0, 1, 2, 3])
+        guard.quarantine(stream_key(good), cycle=1)
+        _, rejected = guard.admit([good], HEAD_LEN, SYMBOLS, cycle=2)
+        assert reasons(rejected) == [REASON_QUARANTINED]
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_unique_refs": 0},
+            {"max_stream_length": 1},
+            {"quarantine_cycles": -1},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            GuardConfig(**kwargs)
+
+
+class FakeDfsm:
+    def __init__(self, states, edges, completions):
+        self.states = states
+        self.edges = edges
+        self.completions = completions
+
+
+class TestDfsmSanity:
+    def test_real_dfsm_passes(self):
+        streams = [stream([0, 1, 2, 3]), stream([0, 1, 4, 5], rule_id=1)]
+        dfsm = build_dfsm(streams, head_len=HEAD_LEN)
+        StreamGuard().check_dfsm(dfsm, streams)
+
+    def test_empty_dfsm_raises(self):
+        with pytest.raises(AnalysisError):
+            StreamGuard().check_dfsm(FakeDfsm([], {}, {}), [])
+
+    def test_completion_for_unknown_state(self):
+        dfsm = FakeDfsm([0, 1], {}, {5: (0,)})
+        with pytest.raises(AnalysisError):
+            StreamGuard().check_dfsm(dfsm, [stream([0, 1, 2])])
+
+    def test_completion_of_unknown_stream(self):
+        dfsm = FakeDfsm([0, 1], {}, {1: (3,)})
+        with pytest.raises(AnalysisError):
+            StreamGuard().check_dfsm(dfsm, [stream([0, 1, 2])])
+
+    def test_edge_to_unknown_state(self):
+        dfsm = FakeDfsm([0, 1], {(0, 7): 9}, {})
+        with pytest.raises(AnalysisError):
+            StreamGuard().check_dfsm(dfsm, [stream([0, 1, 2])])

@@ -1,0 +1,187 @@
+"""Tests for the per-stream prefetch watchdog (repro.resilience.watchdog)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.figures import (
+    ABLATION_WATCHDOG_MACHINE,
+    ABLATION_WATCHDOG_OPT,
+)
+from repro.bench.runner import run_workload
+from repro.core.config import OptimizerConfig
+from repro.errors import ConfigError
+from repro.machine.hierarchy import StreamPrefetchStats
+from repro.resilience.watchdog import PrefetchWatchdog, StreamScore, WatchdogConfig
+from repro.telemetry.session import TelemetrySession
+from repro.workloads import presets
+from repro.workloads.phaseshift import build_phaseshift
+
+KEY_A = (0, 1, 2)
+KEY_B = (3, 4, 5)
+
+
+def stats(useful=0, late=0, wasted=0):
+    s = StreamPrefetchStats()
+    s.useful, s.late, s.wasted = useful, late, wasted
+    return s
+
+
+class TestStreamScore:
+    def test_first_window_sets_scores_exactly(self):
+        score = StreamScore(key=KEY_A)
+        score.update(useful=3, late=1, wasted=4, alpha=0.5)
+        assert score.accuracy == pytest.approx(0.5)
+        assert score.pollution == pytest.approx(0.5)
+        assert score.samples == 8
+
+    def test_ewma_blends_later_windows(self):
+        score = StreamScore(key=KEY_A)
+        score.update(useful=4, late=0, wasted=0, alpha=0.5)  # window: 1.0 / 0.0
+        score.update(useful=4, late=0, wasted=4, alpha=0.5)  # window: 0.0 / 1.0
+        assert score.accuracy == pytest.approx(0.5)
+        assert score.pollution == pytest.approx(0.5)
+        assert score.samples == 8
+
+    def test_empty_window_changes_nothing(self):
+        score = StreamScore(key=KEY_A)
+        score.update(useful=4, late=0, wasted=0, alpha=0.5)
+        before = (score.accuracy, score.pollution, score.samples)
+        score.update(useful=4, late=0, wasted=0, alpha=0.5)
+        assert (score.accuracy, score.pollution, score.samples) == before
+
+    def test_late_counts_toward_accuracy_not_pollution(self):
+        score = StreamScore(key=KEY_A)
+        score.update(useful=0, late=4, wasted=0, alpha=0.5)
+        assert score.accuracy == pytest.approx(1.0)
+        assert score.pollution == pytest.approx(0.0)
+
+
+class TestPolling:
+    def config(self, **kwargs):
+        defaults = dict(min_samples=4, ewma_alpha=1.0, accuracy_floor=0.25, pollution_ceiling=0.75)
+        defaults.update(kwargs)
+        return WatchdogConfig(**defaults)
+
+    def test_no_verdict_before_min_samples(self):
+        dog = PrefetchWatchdog(self.config(min_samples=100))
+        dog.begin_install([KEY_A], {})
+        assert dog.poll({KEY_A: stats(wasted=50)}) == []
+
+    def test_condemns_accuracy_collapse(self):
+        dog = PrefetchWatchdog(self.config())
+        dog.begin_install([KEY_A, KEY_B], {})
+        verdicts = dog.poll({KEY_A: stats(useful=1, wasted=9), KEY_B: stats(useful=9, wasted=1)})
+        assert [v.key for v in verdicts] == [KEY_A]
+        assert verdicts[0].reason == "accuracy"
+        # Condemned streams leave the scoreboard; survivors stay.
+        assert set(dog.scores) == {KEY_B}
+
+    def test_condemns_pollution_even_with_floor_zero(self):
+        # accuracy 0.6 clears any floor; pollution 0.4 breaches the ceiling
+        # alone, so the verdict's auto-reason names pollution.
+        dog = PrefetchWatchdog(self.config(accuracy_floor=0.0, pollution_ceiling=0.3))
+        dog.begin_install([KEY_A], {})
+        (verdict,) = dog.poll({KEY_A: stats(useful=6, wasted=4)})
+        assert verdict.reason == "pollution"
+
+    def test_begin_install_snapshots_cumulative_counters(self):
+        dog = PrefetchWatchdog(self.config())
+        # The hierarchy's counters accumulate across installs: history from a
+        # previous install must not count against the fresh one.
+        old = {KEY_A: stats(useful=0, wasted=100)}
+        dog.begin_install([KEY_A], old)
+        assert dog.poll({KEY_A: stats(useful=0, wasted=100)}) == []
+        (verdict,) = dog.poll({KEY_A: stats(useful=0, wasted=110)})
+        assert verdict.samples == 10
+
+    def test_retain_keeps_survivor_history(self):
+        dog = PrefetchWatchdog(self.config(min_samples=20))
+        dog.begin_install([KEY_A, KEY_B], {})
+        dog.poll({KEY_A: stats(useful=10), KEY_B: stats(useful=10)})
+        dog.retain([KEY_A], {KEY_A: stats(useful=10)})
+        assert set(dog.scores) == {KEY_A}
+        assert dog.scores[KEY_A].samples == 10
+
+    def test_retain_fresh_snapshot_for_new_keys(self):
+        dog = PrefetchWatchdog(self.config())
+        dog.begin_install([KEY_A], {})
+        dog.retain([KEY_A, KEY_B], {KEY_B: stats(wasted=50)})
+        assert dog.scores[KEY_B].last == (0, 0, 50)
+        assert dog.scores[KEY_B].samples == 0
+
+    def test_missing_stats_are_skipped(self):
+        dog = PrefetchWatchdog(self.config())
+        dog.begin_install([KEY_A], {})
+        assert dog.poll({}) == []
+
+
+class TestBlacklist:
+    def test_condemn_blacklists_until_expiry(self):
+        dog = PrefetchWatchdog(WatchdogConfig(blacklist_cycles=2))
+        dog.condemn(KEY_A, cycle=5)
+        assert dog.deopts_total == 1
+        assert dog.is_blacklisted(KEY_A, 5)
+        assert dog.is_blacklisted(KEY_A, 6)
+        assert not dog.is_blacklisted(KEY_A, 7)
+        # Expiry removes the entry entirely.
+        assert KEY_A not in dog.blacklist
+
+    def test_zero_blacklist_cycles_never_bars(self):
+        dog = PrefetchWatchdog(WatchdogConfig(blacklist_cycles=0))
+        dog.condemn(KEY_A, cycle=5)
+        assert not dog.is_blacklisted(KEY_A, 5)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"check_every": 0},
+            {"min_samples": 0},
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+            {"accuracy_floor": -0.1},
+            {"pollution_ceiling": 1.1},
+            {"blacklist_cycles": -1},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            WatchdogConfig(**kwargs)
+
+
+class TestEndToEnd:
+    def test_idle_watchdog_is_cycle_identical(self):
+        """Attribution + polling are host-side only: same simulated cycles.
+
+        A watchdog that never condemns (astronomical min_samples) still
+        polls the scoreboard and keeps the per-stream attribution map
+        installed; the run must be bit-identical to one without a watchdog.
+        """
+        base = OptimizerConfig()
+        idle = replace(base, watchdog=WatchdogConfig(min_samples=1 << 40))
+        plain = run_workload(presets.build("vpr", passes=3), "dyn", opt=base)
+        guarded = run_workload(presets.build("vpr", passes=3), "dyn", opt=idle)
+        assert guarded.cycles == plain.cycles
+        assert guarded.summary.stream_deopts == 0
+
+    def test_condemns_stale_streams_under_phase_shift(self):
+        """On the adversarial workload the watchdog rolls back stale streams."""
+        opt = replace(
+            ABLATION_WATCHDOG_OPT,
+            watchdog=WatchdogConfig(check_every=2, min_samples=8, wake_on_empty=False),
+        )
+        session = TelemetrySession.recording()
+        result = run_workload(
+            build_phaseshift(passes=10),
+            "dyn",
+            machine=ABLATION_WATCHDOG_MACHINE,
+            opt=opt,
+            telemetry=session,
+        )
+        assert result.summary.stream_deopts >= 1
+        deopts = [e for e in session.events if e.kind == "StreamDeoptimized"]
+        assert len(deopts) == result.summary.stream_deopts
+        assert all(e.reason in ("accuracy", "pollution") for e in deopts)
+        assert result.summary.optimizer_errors == 0

@@ -57,6 +57,14 @@ SAMPLE_EVENTS = {
     "PrefetchEvicted": lambda: EVENT_TYPES["PrefetchEvicted"](95, 0x41, True),
     "CacheMiss": lambda: EVENT_TYPES["CacheMiss"](99, "L2", 0x42, 100),
     "CacheFlushed": lambda: EVENT_TYPES["CacheFlushed"](99, 16, 128),
+    "GuardRejected": lambda: EVENT_TYPES["GuardRejected"](96, "no_tail", "walk0:3@0x40 (+0)", 2, 11),
+    "StreamDeoptimized": lambda: EVENT_TYPES["StreamDeoptimized"](
+        97, "walk0:3@0x40 (+8)", "pollution", 0.1, 0.9, 64, 1
+    ),
+    "FaultInjected": lambda: EVENT_TYPES["FaultInjected"](98, "drop_burst", "records discarded"),
+    "OptimizerError": lambda: EVENT_TYPES["OptimizerError"](
+        99, "optimize", "InjectedFault", "injected fault: analysis_error", 1, False
+    ),
 }
 
 

@@ -1,0 +1,167 @@
+"""Per-stream deoptimization and stale activation records (Section 3.2).
+
+The dynamic editor models "overwrite the first instruction with a jump" via
+the program's patch table: *new* calls resolve to the optimized copy, while
+frames already executing a copy run it to completion — the paper's
+stale-return-address caveat.  These tests pin that behaviour down for the
+watchdog's *targeted* rollback (:func:`deoptimize_procedures` /
+:func:`reinject_detection`), including an edit performed *while a frame is
+live inside the patched copy*.
+"""
+
+from repro.interp.interpreter import Interpreter
+from repro.ir import Load, ProcedureBuilder, build_program
+from repro.machine.memory import Memory
+from repro.vulcan.dynamic_edit import (
+    deoptimize_procedures,
+    inject_detection,
+    reinject_detection,
+)
+
+WALK_ITERS = 6
+DATA_BASE = 0x1000
+
+
+def walk_proc(name="walk", iters=WALK_ITERS):
+    """Loop with one load per iteration (one handler site)."""
+    b = ProcedureBuilder(name)
+    base = b.const(None, DATA_BASE)
+    i = b.const(None, 0)
+    n = b.const(None, iters)
+    total = b.const(None, 0)
+    b.label("loop")
+    cond = b.lt(None, i, n)
+    b.bz(cond, "end")
+    v = b.load(None, base, 0)
+    b.add(total, total, v)
+    b.addi(i, i, 1)
+    b.jmp("loop")
+    b.label("end")
+    b.ret(total)
+    return b.build()
+
+
+def main_calls_walk_twice():
+    b = ProcedureBuilder("main")
+    first = b.reg("first")
+    second = b.reg("second")
+    b.call(first, "walk", ())
+    b.call(second, "walk", ())
+    out = b.add(None, first, second)
+    b.ret(out)
+    return b.build()
+
+
+def build():
+    return build_program([main_calls_walk_twice(), walk_proc()], entry="main")
+
+
+def memory():
+    mem = Memory()
+    mem.store(DATA_BASE, 7)
+    return mem
+
+
+def load_pcs(proc):
+    return [ins.pc for ins in proc.body if isinstance(ins, Load)]
+
+
+class CountingHandler:
+    def __init__(self):
+        self.calls = 0
+
+    def step(self, state, addr):
+        self.calls += 1
+        return state, (), 1
+
+
+class RollbackHandler(CountingHandler):
+    """Rolls back its own procedure's patch at the first detection."""
+
+    def __init__(self, program, names):
+        super().__init__()
+        self.program = program
+        self.names = names
+
+    def step(self, state, addr):
+        if self.calls == 0:
+            deoptimize_procedures(self.program, self.names)
+        return super().step(state, addr)
+
+
+class TestTargetedRollback:
+    def test_removes_only_named_patches(self):
+        program = build_program(
+            [main_calls_walk_twice(), walk_proc(), walk_proc(name="other")], entry="main"
+        )
+        handlers = {pc: CountingHandler() for proc in ("walk", "other") for pc in load_pcs(program.procedures[proc])}
+        inject_detection(program, handlers)
+        assert program.patched_names == {"walk", "other"}
+        removed = deoptimize_procedures(program, ["other", "nonexistent"])
+        assert removed == ["other"]
+        assert program.patched_names == {"walk"}
+        # Rollback is idempotent.
+        assert deoptimize_procedures(program, ["other"]) == []
+
+    def test_reinject_narrows_to_needed_set(self):
+        program = build_program(
+            [main_calls_walk_twice(), walk_proc(), walk_proc(name="other")], entry="main"
+        )
+        all_handlers = {
+            pc: CountingHandler()
+            for proc in ("walk", "other")
+            for pc in load_pcs(program.procedures[proc])
+        }
+        inject_detection(program, all_handlers)
+        surviving = {pc: CountingHandler() for pc in load_pcs(program.procedures["walk"])}
+        _, removed = reinject_detection(program, surviving)
+        assert removed == ["other"]
+        assert program.patched_names == {"walk"}
+        # Re-patching starts from the registered original: handlers never stack.
+        attached = [ins for ins in program.resolve("walk").body if getattr(ins, "detect", None)]
+        assert len(attached) == 1
+        assert program.resolve("other") is program.procedures["other"]
+
+    def test_repeated_reinject_does_not_stack(self):
+        program = build()
+        for _ in range(3):
+            handlers = {pc: CountingHandler() for pc in load_pcs(program.procedures["walk"])}
+            reinject_detection(program, handlers)
+        attached = [ins for ins in program.resolve("walk").body if getattr(ins, "detect", None)]
+        assert len(attached) == 1
+
+
+class TestStaleFrames:
+    def test_frame_in_patched_copy_completes_after_rollback(self):
+        """A live frame survives the rollback of its own procedure.
+
+        The handler removes walk's patch at the first detection — while
+        main's first call is still executing the optimized copy.  That frame
+        must keep running the copy (handler keeps firing) and return the
+        correct value; the *second* call resolves to the original and never
+        detects.
+        """
+        expected = Interpreter(build(), memory()).run().return_value
+
+        program = build()
+        handler = RollbackHandler(program, ["walk"])
+        handlers = {pc: handler for pc in load_pcs(program.procedures["walk"])}
+        inject_detection(program, handlers)
+        assert program.patched_names == {"walk"}
+
+        result = Interpreter(program, memory()).run()
+        assert result.return_value == expected
+        # First call ran the copy end to end; second call saw the original.
+        assert handler.calls == WALK_ITERS
+        assert not program.patched_names
+        assert result.detects_executed == WALK_ITERS
+
+    def test_full_deopt_equivalence_without_rollback(self):
+        """Baseline: handlers on both calls when nothing rolls back."""
+        expected = Interpreter(build(), memory()).run().return_value
+        program = build()
+        handler = CountingHandler()
+        inject_detection(program, {pc: handler for pc in load_pcs(program.procedures["walk"])})
+        result = Interpreter(program, memory()).run()
+        assert result.return_value == expected
+        assert handler.calls == 2 * WALK_ITERS

@@ -1,0 +1,76 @@
+"""Tests for the adversarial phase-shift workload (repro.workloads.phaseshift)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.runner import run_workload
+from repro.errors import ConfigError
+from repro.workloads.phaseshift import PhaseShiftParams, build_phaseshift
+
+#: Small-but-representative shape used by every execution test here.
+SMALL = PhaseShiftParams(
+    chains=6, tail_len=8, steps_per_pass=32, passes=4, flip_every=40, cold_refs_per_step=8,
+    cold_array_blocks=256,
+)
+
+
+class TestParams:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"groups": 0},
+            {"groups": 9},
+            {"chains": 2, "groups": 3},
+            {"tail_len": 10, "unroll": 4},
+            {"tail_sets": 1},
+            {"flip_every": 0},
+            {"cold_array_blocks": 100},
+        ],
+    )
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            PhaseShiftParams(**kwargs)
+
+    def test_derived_sizes(self):
+        p = PhaseShiftParams()
+        assert p.total_steps == p.passes * p.steps_per_pass
+        assert p.node_footprint_bytes == p.chains * (1 + p.tail_sets * p.tail_len) * 32
+
+
+class TestBuild:
+    def test_info_fields(self):
+        wl = build_phaseshift(SMALL)
+        assert wl.name == "phaseshift"
+        for key in ("chains", "tail_len", "tail_sets", "flip_every", "total_steps",
+                    "node_footprint_bytes", "cold_array_bytes"):
+            assert key in wl.info
+        assert wl.args == (SMALL.passes,)
+
+    def test_passes_override(self):
+        wl = build_phaseshift(SMALL, passes=2)
+        assert wl.args == (2,)
+
+    def test_runs_and_is_deterministic(self):
+        a = run_workload(build_phaseshift(SMALL), "orig")
+        b = run_workload(build_phaseshift(SMALL), "orig")
+        assert a.cycles > 0
+        assert a.cycles == b.cycles
+        assert a.stats.return_value == b.stats.return_value
+
+    def test_rotation_changes_traversed_values(self):
+        """The in-ISA relink visibly rotates the tails the walkers read.
+
+        Tail-set values are distinct per set, so a run that flips must
+        accumulate a different total than one whose first flip lies beyond
+        the end of the run.
+        """
+        flipping = run_workload(build_phaseshift(SMALL), "orig")
+        static = run_workload(build_phaseshift(replace(SMALL, flip_every=10**9)), "orig")
+        assert flipping.stats.return_value != static.stats.return_value
+
+    def test_instrumented_run_matches_orig_result(self):
+        """The optimizer must not change program semantics on this workload."""
+        orig = run_workload(build_phaseshift(SMALL), "orig")
+        dyn = run_workload(build_phaseshift(SMALL), "dyn")
+        assert dyn.stats.return_value == orig.stats.return_value
