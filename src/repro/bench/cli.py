@@ -11,7 +11,16 @@ Regenerates the paper's figures and tables as text::
     repro-bench ablation-headlen   # prefix length 1/2/3
     repro-bench ablation-hwpref    # stride/Markov baselines
     repro-bench ablation-watchdog  # prefetch watchdog on a phase-shift workload
+    repro-bench tables             # the deterministic worked examples (figure4,
+                                   # table1, figure8) — the bench_tables.txt source
     repro-bench all
+
+Verification: ``repro-bench verify`` runs the :mod:`repro.oracle` suite —
+differential fuzzing of every production component against its reference
+model, the metamorphic whole-run invariants and the golden trace corpus.
+``--seed``/``--runs`` control the randomized sections; ``--update-golden``
+re-records ``tests/golden/`` instead of diffing against it.  Exits non-zero
+on any disagreement.
 
 ``--scale 0.5`` shrinks every workload's pass count for quick smoke runs;
 ``--workloads vpr,mcf`` restricts the set.
@@ -209,6 +218,37 @@ def _print_ablation_hwpref(names: Sequence[str], cache: ResultCache) -> None:
         )
 
 
+def _print_tables() -> None:
+    """The deterministic worked examples, in bench_tables.txt order."""
+    _print_figure4()
+    print()
+    _print_table1()
+    print()
+    _print_figure8()
+
+
+def _run_verify(args) -> int:
+    from repro.oracle import golden as golden_corpus
+    from repro.oracle.verify import run_verify
+
+    golden_dir = args.golden_dir
+    if args.update_golden:
+        written = golden_corpus.record_corpus(golden_dir)
+        for path in written:
+            print(f"recorded {path}")
+        print(f"golden corpus updated ({len(written)} runs)")
+        return 0
+    report = run_verify(
+        seed=args.seed,
+        runs=args.runs,
+        golden_dir=golden_dir,
+        include_golden=not args.skip_golden,
+        progress=lambda message: print(f"  .. {message}"),
+    )
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(prog="repro-bench", description=__doc__)
@@ -224,6 +264,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "ablation-headlen",
             "ablation-hwpref",
             "ablation-watchdog",
+            "tables",
+            "verify",
             "all",
         ],
     )
@@ -267,7 +309,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="SEED",
         help="deterministically inject optimizer faults from SEED (runs must still complete)",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="verify: seed for the randomized differential sections (default 0)",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=25,
+        metavar="N",
+        help="verify: generated inputs per randomized section (default 25)",
+    )
+    parser.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="verify: re-record the golden corpus instead of diffing against it",
+    )
+    parser.add_argument(
+        "--golden-dir",
+        default=None,
+        metavar="DIR",
+        help="verify: golden corpus directory (default: tests/golden of this repo)",
+    )
+    parser.add_argument(
+        "--skip-golden",
+        action="store_true",
+        help="verify: run only the differential and metamorphic sections",
+    )
     args = parser.parse_args(argv)
+
+    if args.artifact == "verify":
+        return _run_verify(args)
 
     names = [n for n in args.workloads.split(",") if n] or presets.names()
     unknown = set(names) - set(presets.names())
@@ -295,6 +369,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         opt = replace(opt, faults=FaultPlan(seed=args.fault_seed))
     cache = ResultCache(opt=opt, passes_scale=args.scale, recorder=recorder)
 
+    if args.artifact == "tables":
+        _print_tables()
+        return 0
     if args.artifact in ("figure4", "all"):
         _print_figure4()
     if args.artifact in ("table1", "all"):

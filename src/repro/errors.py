@@ -34,3 +34,13 @@ class AnalysisError(ReproError):
 
 class ConfigError(ReproError):
     """A configuration object holds contradictory or out-of-range values."""
+
+
+class OracleError(ReproError):
+    """A verification oracle found a disagreement with a reference model.
+
+    Raised by :mod:`repro.oracle` when a production component diverges from
+    its independently-written reference implementation, or when a metamorphic
+    invariant (conservation, observer effect, relabeling, ...) is violated.
+    The message always carries enough detail to reproduce the failure.
+    """

@@ -1,0 +1,267 @@
+"""Metamorphic invariants: reusable whole-run correctness checkers.
+
+Each checker takes finished run artifacts (or runs a workload itself) and
+raises :class:`~repro.errors.OracleError` on violation.  The invariants are
+the repo's headline claims, stated as executable checks:
+
+* :func:`check_conservation` — counter bookkeeping is conserved: every
+  issued prefetch meets exactly one fate, every demand access probes L1
+  exactly once, only L1 misses probe L2, stalls fit inside cycles.
+* :func:`check_architectural_state` — prefetching (and all the machinery
+  around it) never changes *architectural* state: the optimized run returns
+  the same value and leaves the identical simulated memory image as the
+  unmodified binary.
+* :func:`check_observer_effect` — telemetry at full sampling is
+  cycle-identical and counter-identical to no telemetry.
+* :func:`check_disabled_resilience_identical` — a fault plan with zero
+  rates injects nothing and perturbs nothing, bit-for-bit.
+* :func:`check_relabel_invariance` — cache behaviour depends only on block
+  geometry, not absolute addresses: shifting a raw trace by a multiple of
+  both levels' set strides reproduces identical stalls and counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional, Sequence
+
+from repro.bench.runner import RunResult, run_workload
+from repro.core.config import OptimizerConfig
+from repro.errors import OracleError
+from repro.machine.config import MachineConfig, PAPER_MACHINE
+from repro.machine.hierarchy import MemoryHierarchy
+from repro.resilience.faults import FaultPlan
+from repro.telemetry.session import TelemetrySession
+from repro.workloads.base import BuiltWorkload
+
+#: A workload factory; called fresh per run because runs mutate memory.
+WorkloadFactory = Callable[[], BuiltWorkload]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise OracleError(message)
+
+
+def check_conservation(result: RunResult, sw_prefetch_only: bool = True) -> None:
+    """Counter-conservation invariants on one finished run."""
+    stats, hier = result.stats, result.hierarchy
+    pf = hier.prefetch
+    tag = f"{result.workload}/{result.level}"
+    classified = pf.redundant + pf.useful + pf.late + pf.wasted
+    _require(
+        pf.issued == classified,
+        f"{tag}: prefetch fates not conserved: issued {pf.issued} != "
+        f"redundant {pf.redundant} + useful {pf.useful} + late {pf.late} "
+        f"+ wasted {pf.wasted} (run must be finalized)",
+    )
+    _require(
+        hier.demand_accesses == stats.memory_refs,
+        f"{tag}: hierarchy saw {hier.demand_accesses} demand accesses, "
+        f"interpreter performed {stats.memory_refs} memory refs",
+    )
+    _require(
+        hier.l1.accesses == hier.demand_accesses,
+        f"{tag}: L1 probed {hier.l1.accesses} times for "
+        f"{hier.demand_accesses} demand accesses",
+    )
+    _require(
+        hier.l2.accesses == hier.l1.misses,
+        f"{tag}: L2 probed {hier.l2.accesses} times for {hier.l1.misses} L1 misses",
+    )
+    if sw_prefetch_only:
+        _require(
+            stats.prefetches_issued == pf.issued,
+            f"{tag}: interpreter issued {stats.prefetches_issued} prefetches, "
+            f"hierarchy counted {pf.issued}",
+        )
+    _require(
+        stats.cycles >= stats.instructions,
+        f"{tag}: {stats.cycles} cycles < {stats.instructions} instructions",
+    )
+    _require(
+        stats.mem_stall_cycles <= stats.cycles,
+        f"{tag}: stall cycles {stats.mem_stall_cycles} exceed total {stats.cycles}",
+    )
+
+
+_COMPARED_COUNTERS = (
+    "cycles",
+    "instructions",
+    "memory_refs",
+    "mem_stall_cycles",
+    "checks_executed",
+    "bursts",
+    "traced_refs",
+    "detect_cycles",
+    "detects_executed",
+    "prefetches_issued",
+    "charged_cycles",
+    "return_value",
+)
+
+
+def run_fingerprint(result: RunResult) -> dict[str, int]:
+    fp = {name: getattr(result.stats, name) for name in _COMPARED_COUNTERS}
+    hier = result.hierarchy
+    for level_name, cache in (("l1", hier.l1), ("l2", hier.l2)):
+        fp[f"{level_name}.hits"] = cache.hits
+        fp[f"{level_name}.misses"] = cache.misses
+        fp[f"{level_name}.evictions"] = cache.evictions
+    pf = hier.prefetch
+    fp.update(
+        issued=pf.issued, redundant=pf.redundant, useful=pf.useful,
+        late=pf.late, wasted=pf.wasted,
+    )
+    return fp
+
+
+def _diff_fingerprints(a: dict[str, int], b: dict[str, int], context: str) -> None:
+    drifted = {k: (a[k], b[k]) for k in a if a[k] != b[k]}
+    if drifted:
+        raise OracleError(f"{context}: runs diverged on {drifted}")
+
+
+def check_observer_effect(
+    factory: WorkloadFactory,
+    level: str = "dyn",
+    machine: MachineConfig = PAPER_MACHINE,
+    opt: Optional[OptimizerConfig] = None,
+) -> None:
+    """Telemetry at sampling period 1 must be bit-identical to none at all."""
+    plain = run_workload(factory(), level, machine=machine, opt=opt)
+    recorded = run_workload(
+        factory(),
+        level,
+        machine=machine,
+        opt=opt,
+        telemetry=TelemetrySession.recording(miss_sample_every=1, prefetch_sample_every=1),
+    )
+    _diff_fingerprints(
+        run_fingerprint(plain),
+        run_fingerprint(recorded),
+        f"observer effect ({plain.workload}/{level})",
+    )
+
+
+def check_disabled_resilience_identical(
+    factory: WorkloadFactory,
+    level: str = "dyn",
+    machine: MachineConfig = PAPER_MACHINE,
+    opt: Optional[OptimizerConfig] = None,
+) -> None:
+    """A zero-rate fault plan must not perturb the run in any way."""
+    opt = opt if opt is not None else OptimizerConfig()
+    inert = replace(opt, faults=FaultPlan(rate=0.0, record_corrupt_rate=0.0))
+    baseline = run_workload(factory(), level, machine=machine, opt=opt)
+    with_plan = run_workload(factory(), level, machine=machine, opt=inert)
+    _require(
+        with_plan.summary is None or with_plan.summary.faults_injected == 0,
+        f"zero-rate fault plan injected {with_plan.summary.faults_injected} faults",
+    )
+    _diff_fingerprints(
+        run_fingerprint(baseline),
+        run_fingerprint(with_plan),
+        f"inert fault plan ({baseline.workload}/{level})",
+    )
+
+
+def check_architectural_state(
+    factory: WorkloadFactory,
+    optimized_level: str = "dyn",
+    machine: MachineConfig = PAPER_MACHINE,
+    opt: Optional[OptimizerConfig] = None,
+) -> None:
+    """Prefetching must never change registers-as-observable or heap state.
+
+    Runs the unmodified binary and the fully optimized pipeline on two fresh
+    builds of the same workload and compares the entry procedure's return
+    value and the complete final memory image, word for word.
+    """
+    orig_wl = factory()
+    orig = run_workload(orig_wl, "orig", machine=machine, opt=opt)
+    opt_wl = factory()
+    optimized = run_workload(opt_wl, optimized_level, machine=machine, opt=opt)
+    context = f"architectural state ({orig_wl.name}: orig vs {optimized_level})"
+    _require(
+        orig.stats.return_value == optimized.stats.return_value,
+        f"{context}: return values differ: "
+        f"{orig.stats.return_value} != {optimized.stats.return_value}",
+    )
+    words_a, words_b = orig_wl.memory._words, opt_wl.memory._words
+    if words_a != words_b:
+        changed = {
+            addr: (words_a.get(addr, 0), words_b.get(addr, 0))
+            for addr in set(words_a) | set(words_b)
+            if words_a.get(addr, 0) != words_b.get(addr, 0)
+        }
+        sample = dict(sorted(changed.items())[:8])
+        raise OracleError(
+            f"{context}: {len(changed)} memory words differ, e.g. "
+            + ", ".join(f"{a:#x}: {v}" for a, v in sample.items())
+        )
+
+
+def relabel_stride(machine: MachineConfig) -> int:
+    """Smallest address shift guaranteed invisible to both cache levels.
+
+    Both set counts are powers of two, so shifting every address by a
+    multiple of ``max(sets) * block_bytes`` preserves each block's set index
+    in L1 *and* L2 while keeping distinct blocks distinct.
+    """
+    max_sets = max(machine.l1.num_sets, machine.l2.num_sets)
+    return max_sets * machine.block_bytes
+
+
+def check_relabel_invariance(
+    machine: MachineConfig,
+    ops: Sequence[tuple[str, int]],
+    multiples: Sequence[int] = (1, 7),
+) -> None:
+    """Replaying a raw op trace shifted by k * stride must be bit-identical.
+
+    ``ops`` is a list of ``("access" | "prefetch" | "flush" | "finalize",
+    addr)`` pairs; the cycle clock advances by each access's stall (plus one
+    per op), like the interpreter's.
+    """
+    stride = relabel_stride(machine)
+
+    def replay(offset: int) -> tuple[list[int], dict[str, int]]:
+        hier = MemoryHierarchy(machine)
+        now = 0
+        stalls: list[int] = []
+        for op, addr in ops:
+            now += 1
+            if op == "access":
+                stall = hier.access(addr + offset, now)
+                stalls.append(stall)
+                now += stall
+            elif op == "prefetch":
+                hier.issue_prefetch(addr + offset, now)
+            elif op == "flush":
+                hier.flush(now)
+            elif op == "finalize":
+                hier.finalize(now)
+            else:
+                raise OracleError(f"unknown trace op {op!r}")
+        hier.finalize(now)
+        pf = hier.prefetch
+        counters = {
+            "l1.hits": hier.l1.hits, "l1.misses": hier.l1.misses,
+            "l1.evictions": hier.l1.evictions, "l2.hits": hier.l2.hits,
+            "l2.misses": hier.l2.misses, "l2.evictions": hier.l2.evictions,
+            "issued": pf.issued, "redundant": pf.redundant, "useful": pf.useful,
+            "late": pf.late, "wasted": pf.wasted,
+        }
+        return stalls, counters
+
+    base_stalls, base_counters = replay(0)
+    for k in multiples:
+        stalls, counters = replay(k * stride)
+        if stalls != base_stalls:
+            i = next(i for i, (a, b) in enumerate(zip(base_stalls, stalls)) if a != b)
+            raise OracleError(
+                f"relabeling by {k}*{stride} changed stall #{i}: "
+                f"{base_stalls[i]} -> {stalls[i]}"
+            )
+        _diff_fingerprints(base_counters, counters, f"relabeling by {k}*{stride}")

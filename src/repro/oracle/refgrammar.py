@@ -1,0 +1,139 @@
+"""Brute-force Sequitur checker: expand the grammar, re-derive the invariants.
+
+The production :class:`~repro.sequitur.sequitur.Sequitur` maintains digram
+uniqueness and rule utility *incrementally*, with a digram index, refcounts
+and an overlapping-triple repair in ``_join`` — exactly the machinery most
+likely to harbour subtle bugs.  This checker trusts none of it: it walks the
+finished grammar through the public ``rhs()`` view only and re-derives every
+claim from scratch:
+
+* the start rule's terminal expansion reproduces the input exactly;
+* no digram occurs twice anywhere in the grammar (occurrences are allowed to
+  repeat only as an *overlapping run*, e.g. the two ``aa`` digrams inside
+  ``aaa`` — the same exemption the incremental algorithm makes);
+* every non-start rule is referenced at least twice, has at least two body
+  symbols, and its stored refcount matches a brute-force reference count;
+* every rule is reachable from the start rule and expansion terminates
+  (the rule DAG is acyclic).
+
+Any violation raises :class:`~repro.errors.OracleError` with a rendering of
+the offending grammar.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import OracleError
+from repro.sequitur.grammar import Rule
+from repro.sequitur.sequitur import Sequitur
+
+#: Digram key: terminals as ("t", value), non-terminals as ("r", rule id).
+Key = tuple[str, int]
+
+
+def _keys(rule: Rule) -> list[Key]:
+    return [
+        ("r", value.id) if isinstance(value, Rule) else ("t", value)
+        for value in rule.rhs()
+    ]
+
+
+def ref_expand(seq: Sequitur, rule: Rule | None = None) -> list[int]:
+    """Terminal expansion via the public rhs() view, cycle-checked.
+
+    Independent of :meth:`Sequitur.expand`; a cyclic rule reference (which a
+    correct Sequitur can never produce) raises instead of recursing forever.
+    """
+    if rule is None:
+        rule = seq.start
+    out: list[int] = []
+    in_progress: set[int] = set()
+
+    def walk(r: Rule) -> None:
+        if r.id in in_progress:
+            raise OracleError(f"rule R{r.id} participates in a reference cycle")
+        in_progress.add(r.id)
+        for value in r.rhs():
+            if isinstance(value, Rule):
+                walk(value)
+            else:
+                out.append(value)
+        in_progress.discard(r.id)
+
+    walk(rule)
+    return out
+
+
+def check_sequitur(seq: Sequitur, tokens: Sequence[int]) -> None:
+    """Assert the grammar represents ``tokens`` and satisfies both invariants.
+
+    Raises :class:`OracleError` on the first violation found.
+    """
+    tokens = list(tokens)
+
+    def fail(message: str) -> None:
+        raise OracleError(f"{message}\n--- grammar ---\n{seq.to_text()}")
+
+    if seq.length != len(tokens):
+        fail(f"grammar length {seq.length} != input length {len(tokens)}")
+    expansion = ref_expand(seq)
+    if expansion != tokens:
+        fail(
+            "expansion does not reproduce the input: "
+            f"first divergence at {_first_divergence(expansion, tokens)}"
+        )
+
+    # Digram uniqueness, brute force over every rule body.
+    occurrences: dict[tuple[Key, Key], list[tuple[int, int]]] = {}
+    for rule_id, rule in seq.rules.items():
+        keys = _keys(rule)
+        if rule is not seq.start and len(keys) < 2:
+            fail(f"rule R{rule_id} has a body of {len(keys)} symbols (< 2)")
+        for pos in range(len(keys) - 1):
+            occurrences.setdefault((keys[pos], keys[pos + 1]), []).append((rule_id, pos))
+    for digram, places in occurrences.items():
+        places.sort()
+        for prev, cur in zip(places, places[1:]):
+            # Overlapping runs (aaa...) repeat the digram at adjacent
+            # positions of one rule; anything else is a uniqueness violation.
+            if cur != (prev[0], prev[1] + 1):
+                fail(f"digram {digram} occurs at both {prev} and {cur}")
+
+    # Rule utility + refcount agreement + reachability.
+    ref_counts: dict[int, int] = {rule_id: 0 for rule_id in seq.rules}
+    for rule in seq.rules.values():
+        for value in rule.rhs():
+            if isinstance(value, Rule):
+                if value.id not in seq.rules:
+                    fail(f"rule R{rule.id} references deleted rule R{value.id}")
+                ref_counts[value.id] += 1
+    for rule_id, count in ref_counts.items():
+        rule = seq.rules[rule_id]
+        if rule is seq.start:
+            if count:
+                fail(f"start rule is referenced {count} times")
+            continue
+        if count < 2:
+            fail(f"rule utility violated: R{rule_id} referenced {count} time(s)")
+        if count != rule.refcount:
+            fail(f"R{rule_id} stores refcount {rule.refcount}, actual {count}")
+
+    reachable: set[int] = set()
+    frontier = [seq.start]
+    while frontier:
+        rule = frontier.pop()
+        if rule.id in reachable:
+            continue
+        reachable.add(rule.id)
+        frontier.extend(v for v in rule.rhs() if isinstance(v, Rule))
+    unreachable = set(seq.rules) - reachable
+    if unreachable:
+        fail(f"rules unreachable from start: {sorted(unreachable)}")
+
+
+def _first_divergence(a: Sequence[int], b: Sequence[int]) -> str:
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return f"index {i}: expansion {x} != input {y}"
+    return f"length {len(a)} vs {len(b)}"

@@ -1,0 +1,219 @@
+"""Reference memory-system models: deliberately simple, independently written.
+
+These re-implement the *specification* of :mod:`repro.machine` — a
+set-associative LRU cache and the two-level hierarchy with in-flight software
+prefetches — from the documented behaviour, not from the production code.
+Where the production :class:`~repro.machine.cache.Cache` keeps each set as a
+Python list in use order, the reference keeps a per-set ``{block: stamp}``
+dict and evicts the minimum stamp; where the production hierarchy inlines
+telemetry sampling and stream attribution into its hot paths, the reference
+has neither.  The two implementations therefore share no code and very little
+structure, which is what makes their agreement on randomized traces evidence
+of correctness rather than of common ancestry.
+
+The observable contract both sides must satisfy:
+
+* LRU within each set; a lookup hit or re-install promotes to MRU.
+* ``lookup`` never installs; ``install`` evicts the LRU block of a full set.
+* Inclusion: an L2 eviction drops the L1 copy (without counting an L1
+  eviction).
+* A prefetch installs its block in both levels immediately (pollution) and
+  becomes *ready* after the fill latency; a demand access before readiness
+  pays the residual and classifies the prefetch ``late``.
+* A prefetched block's first demand use classifies it ``useful``/``late``;
+  leaving the hierarchy unused classifies it ``wasted``; prefetching an
+  L1-resident or in-flight block is ``redundant``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.config import CacheGeometry, MachineConfig
+
+
+@dataclass
+class RefPrefetchStats:
+    """Reference-side prefetch outcome counters (mirrors the production set)."""
+
+    issued: int = 0
+    redundant: int = 0
+    useful: int = 0
+    late: int = 0
+    wasted: int = 0
+
+    def as_tuple(self) -> tuple[int, int, int, int, int]:
+        return (self.issued, self.redundant, self.useful, self.late, self.wasted)
+
+
+class RefCache:
+    """One level of set-associative LRU cache, stamp-ordered.
+
+    Each set maps resident block numbers to the stamp of their last use; the
+    LRU victim is simply the minimum stamp.  Sets are tiny, so the linear
+    ``min`` scan is fine for a reference model.
+    """
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self._sets: list[dict[int, int]] = [dict() for _ in range(geometry.num_sets)]
+        self._stamp = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _tick(self) -> int:
+        self._stamp += 1
+        return self._stamp
+
+    def _set_for(self, block: int) -> dict[int, int]:
+        return self._sets[block % self.geometry.num_sets]
+
+    def lookup(self, block: int) -> bool:
+        """Demand probe: counts a hit or miss, promotes a hit to MRU."""
+        bucket = self._set_for(block)
+        if block in bucket:
+            bucket[block] = self._tick()
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, block: int) -> bool:
+        """Silent membership probe (no promotion, no counters)."""
+        return block in self._set_for(block)
+
+    def install(self, block: int) -> int | None:
+        """Fill ``block`` as MRU; return the evicted block, if any."""
+        bucket = self._set_for(block)
+        if block in bucket:
+            bucket[block] = self._tick()
+            return None
+        victim: int | None = None
+        if len(bucket) >= self.geometry.associativity:
+            victim = min(bucket, key=bucket.__getitem__)
+            del bucket[victim]
+            self.evictions += 1
+        bucket[block] = self._tick()
+        return victim
+
+    def invalidate(self, block: int) -> bool:
+        """Drop ``block`` without counting an eviction."""
+        bucket = self._set_for(block)
+        if block in bucket:
+            del bucket[block]
+            return True
+        return False
+
+    def flush(self) -> None:
+        for bucket in self._sets:
+            bucket.clear()
+
+    def resident_blocks(self) -> set[int]:
+        resident: set[int] = set()
+        for bucket in self._sets:
+            resident.update(bucket)
+        return resident
+
+    def lru_order(self, set_index: int) -> list[int]:
+        """Blocks of one set, least- to most-recently used."""
+        bucket = self._sets[set_index]
+        return sorted(bucket, key=bucket.__getitem__)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+
+@dataclass
+class RefHierarchy:
+    """Two-level reference hierarchy with the in-flight prefetch model."""
+
+    config: MachineConfig
+    l1: RefCache = field(init=False)
+    l2: RefCache = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.l1 = RefCache(self.config.l1)
+        self.l2 = RefCache(self.config.l2)
+        self._shift = self.config.block_bytes.bit_length() - 1
+        self._ready_at: dict[int, int] = {}
+        self._unused_prefetches: set[int] = set()
+        self.prefetch = RefPrefetchStats()
+        self.demand_accesses = 0
+
+    def block_of(self, addr: int) -> int:
+        return addr >> self._shift
+
+    def access(self, addr: int, now: int) -> int:
+        """Demand access; returns the stall in cycles."""
+        self.demand_accesses += 1
+        block = addr >> self._shift
+        stall = 0
+        if block in self._ready_at:
+            ready = self._ready_at.pop(block)
+            if ready > now:
+                # Data still in flight: pay the residual and classify late.
+                stall = ready - now
+                self.prefetch.late += 1
+                self._unused_prefetches.discard(block)
+        if self.l1.lookup(block):
+            if block in self._unused_prefetches:
+                self._unused_prefetches.discard(block)
+                self.prefetch.useful += 1
+            return stall
+        if self.l2.lookup(block):
+            stall += self.config.l2_latency
+            if block in self._unused_prefetches:
+                self._unused_prefetches.discard(block)
+                self.prefetch.useful += 1
+        else:
+            stall += self.config.memory_latency
+            self._fill_l2(block)
+        self._fill_l1(block)
+        return stall
+
+    def issue_prefetch(self, addr: int, now: int) -> None:
+        """Software prefetch: immediate install, ready after the fill latency."""
+        self.prefetch.issued += 1
+        block = addr >> self._shift
+        if self.l1.contains(block) or block in self._ready_at:
+            self.prefetch.redundant += 1
+            return
+        if self.l2.contains(block):
+            self._ready_at[block] = now + self.config.l2_latency
+        else:
+            self._ready_at[block] = now + self.config.memory_latency
+            self._fill_l2(block)
+        self._fill_l1(block)
+        self._unused_prefetches.add(block)
+
+    def _fill_l1(self, block: int) -> None:
+        victim = self.l1.install(block)
+        if victim is not None and victim in self._unused_prefetches:
+            # Only pollution if the block is gone from the whole hierarchy.
+            if not self.l2.contains(victim):
+                self._unused_prefetches.discard(victim)
+                self._ready_at.pop(victim, None)
+                self.prefetch.wasted += 1
+
+    def _fill_l2(self, block: int) -> None:
+        victim = self.l2.install(block)
+        if victim is not None:
+            self.l1.invalidate(victim)
+            if victim in self._unused_prefetches:
+                self._unused_prefetches.discard(victim)
+                self._ready_at.pop(victim, None)
+                self.prefetch.wasted += 1
+
+    def finalize(self, now: int = 0) -> None:
+        self.prefetch.wasted += len(self._unused_prefetches)
+        self._unused_prefetches.clear()
+        self._ready_at.clear()
+
+    def flush(self, now: int = 0) -> None:
+        self.prefetch.wasted += len(self._unused_prefetches)
+        self._unused_prefetches.clear()
+        self._ready_at.clear()
+        self.l1.flush()
+        self.l2.flush()

@@ -1,0 +1,125 @@
+"""O(n²) hot-data-stream enumerator and the conservativeness cross-check.
+
+The paper defines a subsequence's regularity magnitude as ``heat = length *
+frequency`` with *non-overlapping* occurrence counting (Section 2.3).  The
+production analysis (:mod:`repro.analysis.hotstreams`) computes a
+conservative approximation of this on the Sequitur grammar in linear time;
+:func:`check_hot_streams` pins down the exact relationship on small traces:
+
+* every stream the fast analysis reports respects the configured length /
+  uniqueness / threshold bounds,
+* its reported heat never exceeds the exact heat of its symbol sequence
+  (conservativeness: ``coldUses`` undercounts true non-overlapping
+  frequency, never overcounts), and therefore
+* every reported stream is a member of the exact hot set enumerated here.
+
+The converse does not hold — grammar compression can hide genuinely hot
+substrings — so completeness is deliberately *not* asserted.
+
+:func:`ref_hot_substrings` is written against the definition only; it shares
+no code with :mod:`repro.analysis.exact` (the production test helper), which
+lets the verify driver run the two brute-force implementations against each
+other as well.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.hotstreams import AnalysisConfig
+from repro.analysis.stream import HotDataStream
+from repro.errors import OracleError
+
+
+def ref_nonoverlapping_count(needle: Sequence[int], trace: Sequence[int]) -> int:
+    """Greedy left-to-right non-overlapping occurrence count.
+
+    Greedy counting is optimal for this objective: taking the earliest
+    possible occurrence never blocks more later occurrences than it frees.
+    """
+    needle = tuple(needle)
+    if not needle:
+        raise OracleError("needle must be non-empty")
+    trace = tuple(trace)
+    count = 0
+    i = 0
+    end = len(trace) - len(needle)
+    while i <= end:
+        if trace[i : i + len(needle)] == needle:
+            count += 1
+            i += len(needle)
+        else:
+            i += 1
+    return count
+
+
+def ref_heat(needle: Sequence[int], trace: Sequence[int]) -> int:
+    """Exact regularity magnitude: ``length * non-overlapping frequency``."""
+    return len(needle) * ref_nonoverlapping_count(needle, trace)
+
+
+def ref_hot_substrings(
+    trace: Sequence[int],
+    heat_threshold: int,
+    min_length: int,
+    max_length: int,
+) -> dict[tuple[int, ...], int]:
+    """Every distinct substring within the length bounds whose heat >= H.
+
+    Quadratic in the trace length (each of O(n·L) candidate windows costs a
+    linear scan); intended for traces of a few hundred symbols.
+    """
+    trace = tuple(trace)
+    hot: dict[tuple[int, ...], int] = {}
+    for length in range(min_length, min(max_length, len(trace)) + 1):
+        for start in range(len(trace) - length + 1):
+            candidate = trace[start : start + length]
+            if candidate in hot:
+                continue
+            heat = length * ref_nonoverlapping_count(candidate, trace)
+            if heat >= heat_threshold:
+                hot[candidate] = heat
+    return hot
+
+
+def check_hot_streams(
+    trace: Sequence[int],
+    config: AnalysisConfig,
+    streams: Sequence[HotDataStream],
+) -> None:
+    """Cross-check the fast analysis's output against the exact definition.
+
+    ``streams`` is what :func:`repro.analysis.hotstreams.find_hot_streams`
+    returned for a grammar built over ``trace``.  Raises
+    :class:`OracleError` on any violated bound, non-conservative heat, or
+    stream missing from the exact hot set.
+    """
+    trace = list(trace)
+    threshold = config.resolved_threshold(len(trace))
+    if config.max_streams is not None and len(streams) > config.max_streams:
+        raise OracleError(
+            f"{len(streams)} streams reported, max_streams={config.max_streams}"
+        )
+    heats = [s.heat for s in streams]
+    if heats != sorted(heats, reverse=True):
+        raise OracleError(f"streams not ranked hottest-first: {heats}")
+    exact = ref_hot_substrings(trace, threshold, config.min_length, config.max_length)
+    for stream in streams:
+        tag = f"stream {stream.symbols!r} (rule R{stream.rule_id}, heat {stream.heat})"
+        if not config.min_length <= stream.length <= config.max_length:
+            raise OracleError(f"{tag}: length {stream.length} outside "
+                              f"[{config.min_length}, {config.max_length}]")
+        if stream.unique_refs <= config.min_unique:
+            raise OracleError(
+                f"{tag}: {stream.unique_refs} unique refs <= min_unique={config.min_unique}"
+            )
+        if stream.heat < threshold:
+            raise OracleError(f"{tag}: heat below threshold H={threshold}")
+        true_heat = ref_heat(stream.symbols, trace)
+        if stream.heat > true_heat:
+            raise OracleError(
+                f"{tag}: reported heat exceeds exact heat {true_heat} "
+                "(the grammar analysis must be conservative)"
+            )
+        if tuple(stream.symbols) not in exact:
+            raise OracleError(f"{tag}: not in the exact hot set (H={threshold})")

@@ -1,0 +1,220 @@
+"""The ``repro-bench verify`` driver: run every oracle section, one report.
+
+Sections (all seeded, all deterministic for a given ``--seed``):
+
+``cache``       randomized differential runs, production Cache vs RefCache,
+                on a conflict-heavy tiny geometry and the paper's L1.
+``hierarchy``   randomized differential runs, MemoryHierarchy vs RefHierarchy,
+                per-op stalls and full counter fingerprints.
+``sequitur``    randomized traces through production Sequitur, its own
+                ``verify_invariants`` and the independent brute-force checker.
+``streams``     randomized traces: fast grammar analysis vs the O(n²)
+                enumerator (conservativeness + membership), and the two
+                brute-force enumerators against each other.
+``invariants``  metamorphic whole-run checks on a small workload: counter
+                conservation across levels, architectural-state preservation,
+                telemetry observer effect, inert fault plans, address
+                relabeling.
+``golden``      the frozen corpus under ``tests/golden/`` (skippable).
+
+Differential failures are delta-debugged to 1-minimal reproducers before
+reporting.  The driver never stops at the first failure — the report lists
+every section's verdict so one broken invariant doesn't hide another.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.analysis.hotstreams import AnalysisConfig
+from repro.bench.runner import run_workload
+from repro.errors import OracleError
+from repro.machine.config import CacheGeometry, MachineConfig
+from repro.oracle import fuzz, golden
+from repro.oracle.invariants import (
+    check_architectural_state,
+    check_conservation,
+    check_disabled_resilience_identical,
+    check_observer_effect,
+    check_relabel_invariance,
+)
+from repro.workloads import presets
+
+#: Tiny geometry: 4 sets x 2 ways creates constant conflict pressure.
+STRESS_GEOMETRY = CacheGeometry(size_bytes=256, associativity=2, block_bytes=32)
+#: Small two-level machine for hierarchy fuzzing (mirrors the test fixtures).
+STRESS_MACHINE = MachineConfig(
+    l1=CacheGeometry(512, 2),
+    l2=CacheGeometry(4096, 4),
+)
+
+#: Analysis settings for the stream differential: permissive enough that
+#: random motif traces actually produce streams to cross-check.
+FUZZ_ANALYSIS = AnalysisConfig(heat_ratio=0.05, min_length=2, max_length=20, min_unique=0)
+
+#: Workload used by the metamorphic section (smallest preset, one pass).
+_INVARIANT_WORKLOAD = "vortex"
+
+
+@dataclass
+class SectionResult:
+    """Outcome of one verify section."""
+
+    name: str
+    cases: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def run_case(self, check: Callable[[], None]) -> None:
+        self.cases += 1
+        try:
+            check()
+        except OracleError as err:
+            self.failures.append(str(err))
+
+
+@dataclass
+class VerifyReport:
+    """Aggregate over all sections; ``ok`` is the CLI exit condition."""
+
+    seed: int
+    runs: int
+    sections: list[SectionResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(section.ok for section in self.sections)
+
+    def format(self) -> str:
+        lines = [f"oracle verification (seed={self.seed}, runs={self.runs})"]
+        for section in self.sections:
+            verdict = "ok" if section.ok else f"FAIL ({len(section.failures)})"
+            lines.append(f"  {section.name:<11} {section.cases:>4} cases  {verdict}")
+            for failure in section.failures:
+                first, *rest = failure.splitlines()
+                lines.append(f"    - {first}")
+                lines.extend(f"      {line}" for line in rest)
+        lines.append("VERIFY " + ("PASSED" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+def _verify_cache(rng: random.Random, runs: int) -> SectionResult:
+    section = SectionResult("cache")
+    for geometry in (STRESS_GEOMETRY, MachineConfig().l1):
+        for _ in range(runs):
+            ops = fuzz.gen_cache_ops(rng, 400, geometry)
+            section.run_case(
+                lambda g=geometry, o=ops: fuzz.check_with_shrinking(
+                    o, lambda seq: fuzz.diff_cache(g, seq), "cache differential"
+                )
+            )
+    return section
+
+
+def _verify_hierarchy(rng: random.Random, runs: int) -> SectionResult:
+    section = SectionResult("hierarchy")
+    for _ in range(runs):
+        ops = fuzz.gen_hierarchy_ops(rng, 300, STRESS_MACHINE)
+        section.run_case(
+            lambda o=ops: fuzz.check_with_shrinking(
+                o,
+                lambda seq: fuzz.diff_hierarchy(STRESS_MACHINE, seq),
+                "hierarchy differential",
+            )
+        )
+    return section
+
+
+def _verify_sequitur(rng: random.Random, runs: int) -> SectionResult:
+    section = SectionResult("sequitur")
+    for _ in range(runs):
+        trace = fuzz.gen_trace(rng, rng.randint(20, 300), alphabet=rng.randint(2, 10))
+        section.run_case(
+            lambda t=trace: fuzz.check_with_shrinking(
+                [("tok", s) for s in t],
+                lambda seq: fuzz.diff_sequitur([s for _, s in seq]),
+                "sequitur differential",
+            )
+        )
+    return section
+
+
+def _verify_streams(rng: random.Random, runs: int) -> SectionResult:
+    section = SectionResult("streams")
+    for _ in range(runs):
+        trace = fuzz.gen_trace(rng, rng.randint(20, 120), alphabet=rng.randint(2, 8))
+        section.run_case(
+            lambda t=trace: fuzz.check_with_shrinking(
+                [("tok", s) for s in t],
+                lambda seq: fuzz.diff_streams([s for _, s in seq], FUZZ_ANALYSIS),
+                "stream differential",
+            )
+        )
+    return section
+
+
+def _verify_invariants(rng: random.Random, runs: int) -> SectionResult:
+    section = SectionResult("invariants")
+
+    def factory():
+        return presets.build(_INVARIANT_WORKLOAD, passes=1)
+
+    for level in ("orig", "base", "prof", "hds", "seq", "dyn"):
+        section.run_case(
+            lambda lv=level: check_conservation(run_workload(factory(), lv))
+        )
+    section.run_case(lambda: check_architectural_state(factory))
+    section.run_case(lambda: check_observer_effect(factory))
+    section.run_case(lambda: check_disabled_resilience_identical(factory))
+    relabel_rounds = max(1, min(runs, 5))
+    for _ in range(relabel_rounds):
+        ops = fuzz.gen_hierarchy_ops(rng, 200, STRESS_MACHINE)
+        section.run_case(lambda o=ops: check_relabel_invariance(STRESS_MACHINE, o))
+    return section
+
+
+def _verify_golden(golden_dir: Optional[Union[str, Path]]) -> SectionResult:
+    section = SectionResult("golden")
+    section.cases = len(golden.GOLDEN_RUNS)
+    section.failures = golden.verify_corpus(golden_dir)
+    return section
+
+
+def run_verify(
+    seed: int = 0,
+    runs: int = 25,
+    golden_dir: Optional[Union[str, Path]] = None,
+    include_golden: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> VerifyReport:
+    """Run every oracle section; return the aggregate report.
+
+    ``runs`` scales the randomized sections (number of generated inputs per
+    section); the metamorphic and golden sections are fixed-size.  All
+    randomness derives from ``seed`` — identical arguments give identical
+    reports, including any minimal reproducers.
+    """
+    rng = random.Random(seed)
+    report = VerifyReport(seed=seed, runs=runs)
+    sections: list[Callable[[], SectionResult]] = [
+        lambda: _verify_cache(rng, runs),
+        lambda: _verify_hierarchy(rng, runs),
+        lambda: _verify_sequitur(rng, runs),
+        lambda: _verify_streams(rng, runs),
+        lambda: _verify_invariants(rng, runs),
+    ]
+    if include_golden:
+        sections.append(lambda: _verify_golden(golden_dir))
+    for build in sections:
+        section = build()
+        report.sections.append(section)
+        if progress is not None:
+            verdict = "ok" if section.ok else "FAIL"
+            progress(f"{section.name}: {section.cases} cases, {verdict}")
+    return report

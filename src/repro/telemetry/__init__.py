@@ -31,6 +31,7 @@ from repro.telemetry.events import (
     PrefetchEvicted,
     PrefetchIssued,
     PrefetchUsed,
+    RecordSkipped,
     RunBegin,
     RunEnd,
     from_record,
@@ -66,6 +67,7 @@ __all__ = [
     "PrefetchEvicted",
     "CacheMiss",
     "CacheFlushed",
+    "RecordSkipped",
     "load_events_jsonl",
     "load_metrics_json",
     "write_events_jsonl",

@@ -262,6 +262,21 @@ class CacheFlushed(Event):
     l2_blocks: int
 
 
+@dataclass(frozen=True, slots=True)
+class RecordSkipped(Event):
+    """A loader skipped one unreadable line of an event log.
+
+    Synthesized by :func:`repro.telemetry.export.load_events_jsonl` in
+    non-strict mode, never emitted by a simulation (``cycle`` is always 0).
+    ``line_no`` is 1-based; ``snippet`` holds a truncated copy of the bad
+    line so the original file is not needed to diagnose it.
+    """
+
+    line_no: int
+    reason: str
+    snippet: str
+
+
 class EventBus:
     """Fans events out to attached sinks.
 

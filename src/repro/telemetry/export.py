@@ -22,7 +22,8 @@ import json
 import os
 from typing import Iterable, Sequence, Union
 
-from repro.telemetry.events import Event, from_record
+from repro.errors import ConfigError
+from repro.telemetry.events import Event, RecordSkipped, from_record
 
 PathLike = Union[str, os.PathLike]
 
@@ -40,14 +41,41 @@ def write_events_jsonl(events: Iterable[Event], path: PathLike) -> int:
     return n
 
 
-def load_events_jsonl(path: PathLike) -> list[Event]:
-    """Load a JSONL event log back into typed event objects."""
+def load_events_jsonl(path: PathLike, strict: bool = False) -> list[Event]:
+    """Load a JSONL event log back into typed event objects.
+
+    A well-formed log round-trips exactly.  An unreadable line — broken
+    JSON, a non-object, an unknown ``kind``, missing or extra fields — is
+    replaced in sequence by a :class:`~repro.telemetry.events.RecordSkipped`
+    event carrying the line number, the reason and a snippet of the bad
+    line, so partially corrupted logs (truncated writes, editor mishaps)
+    still load and the damage stays visible.  ``strict=True`` restores
+    raising :class:`~repro.errors.ConfigError` on the first bad line.
+    """
     events: list[Event] = []
     with open(os.fspath(path), "r", encoding="utf-8") as fh:
-        for line in fh:
+        for line_no, line in enumerate(fh, start=1):
             line = line.strip()
-            if line:
-                events.append(from_record(json.loads(line)))
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise ConfigError(f"expected a JSON object, got {type(record).__name__}")
+                events.append(from_record(record))
+            except (json.JSONDecodeError, ConfigError) as exc:
+                if strict:
+                    if isinstance(exc, ConfigError):
+                        raise
+                    raise ConfigError(f"line {line_no}: invalid JSON: {exc}") from exc
+                events.append(
+                    RecordSkipped(
+                        cycle=0,
+                        line_no=line_no,
+                        reason=str(exc),
+                        snippet=line[:120],
+                    )
+                )
     return events
 
 

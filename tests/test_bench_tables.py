@@ -1,0 +1,16 @@
+"""The checked-in bench_tables.txt matches ``repro-bench tables`` output."""
+
+from pathlib import Path
+
+from repro.bench.cli import main
+
+TABLES_FILE = Path(__file__).resolve().parents[1] / "bench_tables.txt"
+
+
+def test_checked_in_tables_match_generator(capsys):
+    assert main(["tables"]) == 0
+    generated = capsys.readouterr().out
+    assert TABLES_FILE.read_text() == generated, (
+        "bench_tables.txt is stale; regenerate with "
+        "`repro-bench tables > bench_tables.txt`"
+    )

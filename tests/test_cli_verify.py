@@ -1,0 +1,77 @@
+"""The ``repro-bench verify`` subcommand and the verify driver's report."""
+
+import pytest
+
+from repro.bench.cli import main
+from repro.oracle.golden import GoldenRun
+from repro.oracle.verify import run_verify
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    # One shared driver run for the report-shape assertions (runs=2 keeps the
+    # randomized sections fast; golden is covered by test_oracle_golden).
+    return run_verify(seed=0, runs=2, include_golden=False)
+
+
+class TestRunVerify:
+    def test_all_sections_pass(self, quick_report):
+        assert quick_report.ok
+        assert [s.name for s in quick_report.sections] == [
+            "cache", "hierarchy", "sequitur", "streams", "invariants",
+        ]
+        assert all(s.cases > 0 for s in quick_report.sections)
+
+    def test_report_format(self, quick_report):
+        text = quick_report.format()
+        assert "VERIFY PASSED" in text
+        assert "seed=0" in text
+        for name in ("cache", "hierarchy", "sequitur", "streams", "invariants"):
+            assert name in text
+
+    def test_seeds_are_reproducible(self):
+        a = run_verify(seed=7, runs=1, include_golden=False)
+        b = run_verify(seed=7, runs=1, include_golden=False)
+        assert a.format() == b.format()
+
+    def test_golden_section_failure_fails_report(self, tmp_path):
+        # Empty golden dir -> every corpus entry is "missing" -> not ok.
+        report = run_verify(seed=0, runs=1, golden_dir=tmp_path, include_golden=True)
+        assert not report.ok
+        golden = next(s for s in report.sections if s.name == "golden")
+        assert golden.failures
+        assert "VERIFY FAILED" in report.format()
+
+
+class TestCliVerify:
+    def test_exit_zero_on_pass(self, capsys):
+        code = main(["verify", "--seed", "0", "--runs", "1", "--skip-golden"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "VERIFY PASSED" in out
+
+    def test_exit_one_on_golden_failure(self, tmp_path, capsys):
+        code = main(
+            ["verify", "--seed", "0", "--runs", "1", "--golden-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VERIFY FAILED" in out
+
+    def test_update_golden_records_corpus(self, tmp_path, capsys, monkeypatch):
+        import repro.oracle.golden as golden_mod
+
+        # Restrict the corpus to one tiny cell so --update-golden stays fast.
+        monkeypatch.setattr(
+            golden_mod,
+            "GOLDEN_RUNS",
+            (GoldenRun(workload="vortex", level="orig", passes=1),),
+        )
+        code = main(["verify", "--update-golden", "--golden-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "golden corpus updated" in out
+        assert (tmp_path / "vortex-orig.json").is_file()
+        # And the freshly recorded corpus verifies clean.
+        code = main(["verify", "--seed", "0", "--runs", "1", "--golden-dir", str(tmp_path)])
+        assert code == 0

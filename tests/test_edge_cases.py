@@ -1,7 +1,14 @@
-"""Edge-case tests across modules: frame isolation, tiny workloads, bounds."""
+"""Edge-case tests across modules: frame isolation, tiny workloads, bounds.
+
+The workload-shape sweeps are property-based: hypothesis draws small valid
+(or deliberately invalid) :class:`ChainMixParams` from explicit strategies
+and shrinks any failure to a minimal parameter set.
+"""
 
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ConfigError
 from repro.interp.interpreter import Interpreter
@@ -130,3 +137,79 @@ class TestParamBounds:
     def test_chain_len_one_rejected(self):
         with pytest.raises(ConfigError):
             ChainMixParams(name="t", chain_len=1, unroll=1)
+
+
+# ------------------------------------------------------- property-based sweeps
+
+
+@st.composite
+def small_chainmix_params(draw) -> ChainMixParams:
+    """Valid, deliberately tiny chain-mix shapes (runs stay under ~50k refs)."""
+    groups = draw(st.integers(min_value=1, max_value=3))
+    unroll = draw(st.sampled_from([1, 2, 4]))
+    chain_len = 1 + unroll * draw(st.integers(min_value=1, max_value=4))
+    cold_chains = draw(st.integers(min_value=0, max_value=4))
+    hot_fraction = (
+        1.0 if cold_chains == 0 else draw(st.sampled_from([0.5, 0.75, 0.875, 1.0]))
+    )
+    return ChainMixParams(
+        name="prop",
+        groups=groups,
+        hot_chains=draw(st.integers(min_value=groups, max_value=groups + 4)),
+        cold_chains=cold_chains,
+        chain_len=chain_len,
+        hot_fraction=hot_fraction,
+        schedule_len=draw(st.integers(min_value=2, max_value=16)),
+        passes=draw(st.integers(min_value=1, max_value=2)),
+        cold_refs_per_step=draw(st.integers(min_value=0, max_value=4)),
+        cold_array_blocks=draw(st.sampled_from([8, 16, 32])),
+        node_compute=draw(st.integers(min_value=0, max_value=2)),
+        unroll=unroll,
+        seed=draw(st.integers(min_value=0, max_value=999)),
+        phases=draw(st.integers(min_value=1, max_value=3)),
+    )
+
+
+class TestWorkloadProperties:
+    @given(params=small_chainmix_params())
+    @settings(deadline=None, max_examples=25, derandomize=True)
+    def test_any_valid_shape_builds_and_runs(self, params):
+        wl = build_chainmix(params)
+        stats = Interpreter(wl.program, wl.memory, SMALL_MACHINE).run(wl.args)
+        assert stats.instructions > 0
+        assert stats.cycles >= stats.instructions
+        assert stats.mem_stall_cycles <= stats.cycles
+        if params.passes and params.schedule_len:
+            assert stats.memory_refs > 0
+
+    @given(params=small_chainmix_params())
+    @settings(deadline=None, max_examples=10, derandomize=True)
+    def test_runs_are_deterministic(self, params):
+        """Two fresh builds of the same shape execute bit-identically."""
+        outcomes = []
+        for _ in range(2):
+            wl = build_chainmix(params)
+            stats = Interpreter(wl.program, wl.memory, SMALL_MACHINE).run(wl.args)
+            outcomes.append(
+                (stats.cycles, stats.instructions, stats.memory_refs,
+                 stats.mem_stall_cycles, stats.return_value)
+            )
+        assert outcomes[0] == outcomes[1]
+
+    @given(
+        chain_len=st.integers(min_value=2, max_value=40),
+        unroll=st.integers(min_value=1, max_value=8),
+    )
+    @settings(deadline=None, derandomize=True)
+    def test_chain_len_unroll_compatibility(self, chain_len, unroll):
+        """Exactly the (chain_len - 1) % unroll == 0 shapes are accepted."""
+        build = lambda: ChainMixParams(
+            name="prop", groups=1, hot_chains=1, cold_chains=1, chain_len=chain_len,
+            hot_fraction=0.75, schedule_len=4, passes=1, cold_refs_per_step=1,
+            cold_array_blocks=8, unroll=unroll,
+        )
+        if (chain_len - 1) % unroll == 0:
+            build()
+        else:
+            with pytest.raises(ConfigError):
+                build()

@@ -1,0 +1,76 @@
+"""Golden trace corpus: checked-in files match fresh runs bit-for-bit."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import OracleError
+from repro.oracle import GOLDEN_RUNS, check_corpus, default_golden_dir
+from repro.oracle.golden import (
+    GoldenRun,
+    execute_golden,
+    golden_record,
+    record_corpus,
+    verify_corpus,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+class TestCorpusShape:
+    def test_covers_all_seven_workloads_at_both_levels(self):
+        cells = {(r.workload, r.level) for r in GOLDEN_RUNS}
+        workloads = {r.workload for r in GOLDEN_RUNS}
+        assert len(workloads) == 7
+        assert "phaseshift" in workloads
+        assert all((w, "orig") in cells and (w, "dyn") in cells for w in workloads)
+
+    def test_default_dir_is_this_repo(self):
+        assert default_golden_dir() == GOLDEN_DIR
+
+    def test_checked_in_files_are_wellformed_json(self):
+        files = sorted(GOLDEN_DIR.glob("*.json"))
+        assert len(files) == len(GOLDEN_RUNS)
+        for path in files:
+            record = json.loads(path.read_text())
+            assert record["format"] == 1
+            assert record["stats"]["cycles"] > 0
+
+
+class TestCorpusVerification:
+    # One full corpus re-run (~14 simulations); the single slowest oracle test.
+    def test_checked_in_corpus_is_current(self):
+        check_corpus(GOLDEN_DIR)
+
+    def test_detects_drift(self, tmp_path):
+        run = GoldenRun(workload="vortex", level="orig", passes=1)
+        record_corpus(tmp_path, runs=(run,))
+        path = tmp_path / f"{run.stem}.json"
+        record = json.loads(path.read_text())
+        record["stats"]["cycles"] += 1
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        failures = verify_corpus(tmp_path, runs=(run,))
+        assert len(failures) == 1
+        assert "stats.cycles" in failures[0]
+        with pytest.raises(OracleError, match="drift"):
+            check_corpus(tmp_path, runs=(run,))
+
+    def test_missing_file_reported_not_raised(self, tmp_path):
+        run = GoldenRun(workload="vortex", level="orig", passes=1)
+        failures = verify_corpus(tmp_path, runs=(run,))
+        assert failures and "missing" in failures[0]
+
+    def test_unreadable_file_reported(self, tmp_path):
+        run = GoldenRun(workload="vortex", level="orig", passes=1)
+        (tmp_path / f"{run.stem}.json").write_text("{not json")
+        failures = verify_corpus(tmp_path, runs=(run,))
+        assert failures and "unreadable" in failures[0]
+
+    def test_records_are_reproducible(self):
+        """Two fresh executions of one cell produce identical records."""
+        run = GoldenRun(workload="vortex", level="dyn", passes=1)
+        a = golden_record(run, execute_golden(run))
+        b = golden_record(run, execute_golden(run))
+        assert a == b
+        assert "summary" in a  # dyn runs carry the optimizer summary

@@ -1,0 +1,73 @@
+"""Brute-force Sequitur checker: accepts real grammars, rejects tampering."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OracleError
+from repro.oracle import check_sequitur, ref_expand
+from repro.oracle.fuzz import diff_sequitur, gen_trace
+from repro.sequitur.sequitur import Sequitur
+
+
+def build(tokens):
+    seq = Sequitur()
+    seq.extend(tokens)
+    return seq
+
+
+EXAMPLE = [ord(c) - ord("a") for c in "abaabcabcabcabc"]  # the Figure 4 string
+
+
+class TestAcceptsRealGrammars:
+    def test_figure4_example(self):
+        check_sequitur(build(EXAMPLE), EXAMPLE)
+
+    def test_overlapping_run(self):
+        # "aaaa..." exercises the digram-uniqueness exemption for runs.
+        tokens = [0] * 9
+        check_sequitur(build(tokens), tokens)
+
+    def test_empty_and_single(self):
+        check_sequitur(build([]), [])
+        check_sequitur(build([5]), [5])
+
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_random_traces(self, seed):
+        rng = random.Random(seed)
+        for _ in range(10):
+            tokens = gen_trace(rng, rng.randint(2, 250), alphabet=rng.randint(2, 12))
+            diff_sequitur(tokens)
+
+    @given(tokens=st.lists(st.integers(min_value=0, max_value=5), max_size=120))
+    @settings(deadline=None, max_examples=60, derandomize=True)
+    def test_property_any_token_list(self, tokens):
+        diff_sequitur(tokens)
+
+
+class TestRejectsTampering:
+    def test_wrong_input_rejected(self):
+        seq = build(EXAMPLE)
+        with pytest.raises(OracleError):
+            check_sequitur(seq, EXAMPLE[:-1])
+        with pytest.raises(OracleError):
+            check_sequitur(seq, EXAMPLE[:-1] + [99])
+
+    def test_corrupted_refcount_rejected(self):
+        seq = build(EXAMPLE)
+        victim = next(r for r in seq.rules.values() if r is not seq.start)
+        victim.refcount += 1
+        with pytest.raises(OracleError, match="refcount"):
+            check_sequitur(seq, EXAMPLE)
+
+    def test_corrupted_length_rejected(self):
+        seq = build(EXAMPLE)
+        seq.length += 1
+        with pytest.raises(OracleError, match="length"):
+            check_sequitur(seq, EXAMPLE)
+
+    def test_ref_expand_matches_production_expand(self):
+        seq = build(EXAMPLE)
+        assert ref_expand(seq) == seq.expand() == EXAMPLE

@@ -1,0 +1,106 @@
+"""Exact hot-stream enumerator and the conservativeness cross-check."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.exact import enumerate_hot_substrings
+from repro.analysis.hotstreams import AnalysisConfig, find_hot_streams
+from repro.analysis.stream import HotDataStream
+from repro.errors import OracleError
+from repro.oracle import (
+    check_hot_streams,
+    ref_heat,
+    ref_hot_substrings,
+    ref_nonoverlapping_count,
+)
+from repro.oracle.fuzz import diff_streams, gen_trace
+from repro.oracle.verify import FUZZ_ANALYSIS
+from repro.sequitur.sequitur import Sequitur
+
+
+class TestRefCounting:
+    def test_non_overlapping_count(self):
+        assert ref_nonoverlapping_count([0, 0], [0, 0, 0, 0, 0]) == 2
+        assert ref_nonoverlapping_count([1, 2], [1, 2, 1, 2, 1]) == 2
+        assert ref_nonoverlapping_count([3], [3, 3, 3]) == 3
+        assert ref_nonoverlapping_count([9], [1, 2]) == 0
+
+    def test_needle_longer_than_trace(self):
+        assert ref_nonoverlapping_count([1, 2, 3], [1, 2]) == 0
+
+    def test_empty_needle_rejected(self):
+        with pytest.raises(OracleError):
+            ref_nonoverlapping_count([], [1, 2])
+
+    def test_heat(self):
+        assert ref_heat([1, 2], [1, 2, 1, 2, 1, 2]) == 6
+
+    def test_hot_substrings_tiny(self):
+        # abcabc: "abc" occurs twice non-overlapping -> heat 6.
+        hot = ref_hot_substrings([0, 1, 2, 0, 1, 2], heat_threshold=6, min_length=2, max_length=6)
+        assert hot[(0, 1, 2)] == 6
+        assert (0, 1, 2, 0, 1, 2) in hot  # whole string, heat 6
+        assert (1, 2) not in hot  # heat 4 < 6
+
+    @given(
+        trace=st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=60),
+        threshold=st.integers(min_value=1, max_value=12),
+    )
+    @settings(deadline=None, max_examples=60, derandomize=True)
+    def test_property_enumerators_agree(self, trace, threshold):
+        """The two independently written brute forces are interchangeable."""
+        assert ref_hot_substrings(trace, threshold, 2, 10) == enumerate_hot_substrings(
+            trace, threshold, 2, 10
+        )
+
+
+class TestCheckHotStreams:
+    def _streams_for(self, trace, config):
+        seq = Sequitur()
+        seq.extend(trace)
+        return seq, find_hot_streams(seq, config)
+
+    def test_accepts_production_output(self):
+        trace = [0, 1, 2, 0, 1, 2, 0, 1, 2, 3, 0, 1, 2]
+        config = AnalysisConfig(heat_threshold=6, min_length=2, max_length=10)
+        _, streams = self._streams_for(trace, config)
+        assert streams  # sanity: the analysis did find something
+        check_hot_streams(trace, config, streams)
+
+    def test_rejects_inflated_heat(self):
+        trace = [0, 1, 2, 0, 1, 2, 0, 1, 2, 3, 0, 1, 2]
+        config = AnalysisConfig(heat_threshold=6, min_length=2, max_length=10)
+        _, streams = self._streams_for(trace, config)
+        inflated = [
+            HotDataStream(symbols=s.symbols, heat=s.heat + 1000, rule_id=s.rule_id)
+            for s in streams
+        ]
+        with pytest.raises(OracleError, match="conservative|exact"):
+            check_hot_streams(trace, config, inflated)
+
+    def test_rejects_fabricated_stream(self):
+        trace = [0, 1, 2, 0, 1, 2]
+        config = AnalysisConfig(heat_threshold=4, min_length=2, max_length=10)
+        fake = [HotDataStream(symbols=(7, 8), heat=40, rule_id=99)]
+        with pytest.raises(OracleError):
+            check_hot_streams(trace, config, fake)
+
+    def test_rejects_unsorted_ranking(self):
+        trace = [0, 1, 2, 0, 1, 2]
+        config = AnalysisConfig(heat_threshold=4, min_length=2, max_length=10)
+        streams = [
+            HotDataStream(symbols=(0, 1), heat=4, rule_id=1),
+            HotDataStream(symbols=(1, 2), heat=5, rule_id=2),
+        ]
+        with pytest.raises(OracleError, match="ranked"):
+            check_hot_streams(trace, config, streams)
+
+    @pytest.mark.parametrize("seed", [0, 5, 9])
+    def test_random_traces_pass_differential(self, seed):
+        rng = random.Random(seed)
+        for _ in range(6):
+            trace = gen_trace(rng, rng.randint(10, 120), alphabet=rng.randint(2, 6))
+            diff_streams(trace, FUZZ_ANALYSIS)

@@ -8,10 +8,11 @@ typed :class:`~repro.errors.ReproError` subclasses surface).
 from __future__ import annotations
 
 import os
-import random
 from dataclasses import replace
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analysis.hotstreams import AnalysisConfig, find_hot_streams
 from repro.analysis.stream import HotDataStream
@@ -177,49 +178,62 @@ class TestFuzzPipeline:
         with pytest.raises(AnalysisError):
             profiler.symbols.decode([0, -1])
 
-    def test_corrupt_records_and_malformed_candidates(self):
+    @given(
+        records=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # procedure index
+                st.integers(min_value=0, max_value=31),  # pc offset
+                st.integers(min_value=0, max_value=(1 << 20) - 1),  # word address
+                st.booleans(),  # run this record through the corruptor?
+            ),
+            min_size=20,
+            max_size=400,
+        ),
+        fault_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(deadline=None, max_examples=30, derandomize=True)
+    def test_corrupt_records_and_malformed_candidates(self, records, fault_seed):
         """Garbage traces + hostile candidates surface only typed errors.
 
         Drives the whole analyze-side pipeline — Sequitur, hot-stream
         analysis, guard admission, DFSM construction, handler generation —
-        with seeded junk.  Anything other than a ReproError subclass
-        escaping (KeyError, IndexError, ...) fails the test.
+        with hypothesis-generated junk.  Anything other than a ReproError
+        subclass escaping (KeyError, IndexError, ...) fails the test, and
+        hypothesis shrinks the record list to a minimal offender.
         """
-        rng = random.Random(FAULT_SEED * 1013 + 17)
-        corruptor = FaultInjector(FaultPlan(seed=FAULT_SEED, record_corrupt_rate=0.3))
-        for round_idx in range(8):
-            profiler = TemporalProfiler()
-            try:
-                for i in range(400):
-                    pc = Pc(f"proc{rng.randrange(4)}", rng.randrange(32))
-                    addr = rng.randrange(1 << 20) * 4
-                    if rng.random() < 0.5:
-                        pc, addr = corruptor.corrupt_record(pc, addr)
-                    profiler.record(pc, addr)
-                config = AnalysisConfig(
-                    heat_ratio=0.002, min_length=3, max_length=64, min_unique=2, max_streams=16
-                )
-                streams = find_hot_streams(profiler.sequitur, config)
-                # Adversarial extras: ids outside the table, no tail, no heat.
-                num_syms = len(profiler.symbols)
-                streams = list(streams) + [
-                    HotDataStream((num_syms + 5, 0, 1), heat=9, rule_id=900),
-                    HotDataStream((0,), heat=9, rule_id=901),
-                    HotDataStream((0, 0, 0), heat=0, rule_id=902),
-                ]
-                guard = StreamGuard()
-                accepted, _ = guard.admit(streams, 2, profiler.symbols, cycle=round_idx)
-                accepted = [s for s in accepted if s.length > 2]
-                if not accepted:
-                    continue
-                dfsm = build_dfsm(accepted, head_len=2)
-                guard.check_dfsm(dfsm, accepted)
-                handlers = generate_handlers(
-                    dfsm, profiler.symbols, mode="dyn", block_bytes=32, max_prefetches=8
-                )
-                assert all(isinstance(pc, Pc) for pc in handlers)
-            except ReproError:
-                continue  # a typed, contained failure is an acceptable outcome
+        corruptor = FaultInjector(FaultPlan(seed=fault_seed, record_corrupt_rate=0.3))
+        profiler = TemporalProfiler()
+        try:
+            for proc_idx, offset, word_addr, corrupt in records:
+                pc = Pc(f"proc{proc_idx}", offset)
+                addr = word_addr * 4
+                if corrupt:
+                    pc, addr = corruptor.corrupt_record(pc, addr)
+                profiler.record(pc, addr)
+            config = AnalysisConfig(
+                heat_ratio=0.002, min_length=3, max_length=64, min_unique=2, max_streams=16
+            )
+            streams = find_hot_streams(profiler.sequitur, config)
+            # Adversarial extras: ids outside the table, no tail, no heat.
+            num_syms = len(profiler.symbols)
+            streams = list(streams) + [
+                HotDataStream((num_syms + 5, 0, 1), heat=9, rule_id=900),
+                HotDataStream((0,), heat=9, rule_id=901),
+                HotDataStream((0, 0, 0), heat=0, rule_id=902),
+            ]
+            guard = StreamGuard()
+            accepted, _ = guard.admit(streams, 2, profiler.symbols, cycle=0)
+            accepted = [s for s in accepted if s.length > 2]
+            if not accepted:
+                return
+            dfsm = build_dfsm(accepted, head_len=2)
+            guard.check_dfsm(dfsm, accepted)
+            handlers = generate_handlers(
+                dfsm, profiler.symbols, mode="dyn", block_bytes=32, max_prefetches=8
+            )
+            assert all(isinstance(pc, Pc) for pc in handlers)
+        except ReproError:
+            pass  # a typed, contained failure is an acceptable outcome
 
     def test_corrupt_pc_detonates_in_editor_not_interpreter(
         self, small_params, tiny_machine, small_opt

@@ -65,6 +65,7 @@ SAMPLE_EVENTS = {
     "OptimizerError": lambda: EVENT_TYPES["OptimizerError"](
         99, "optimize", "InjectedFault", "injected fault: analysis_error", 1, False
     ),
+    "RecordSkipped": lambda: EVENT_TYPES["RecordSkipped"](0, 7, "invalid JSON", "{trunc"),
 }
 
 

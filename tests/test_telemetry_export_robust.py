@@ -1,0 +1,82 @@
+"""Loader robustness: empty sessions round-trip, malformed lines skip loudly."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry import (
+    BurstBegin,
+    MetricsRegistry,
+    RecordSkipped,
+    RunBegin,
+    from_record,
+    load_events_jsonl,
+    load_metrics_json,
+    write_events_jsonl,
+    write_metrics_json,
+)
+
+
+class TestEmptySessionRoundTrip:
+    def test_zero_events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert write_events_jsonl([], path) == 0
+        assert load_events_jsonl(path) == []
+        assert load_events_jsonl(path, strict=True) == []
+
+    def test_blank_lines_are_not_records(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text("\n\n  \n")
+        assert load_events_jsonl(path) == []
+
+    def test_empty_metrics_snapshot(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        snapshot = MetricsRegistry().snapshot()
+        write_metrics_json(snapshot, path)
+        assert load_metrics_json(path) == snapshot
+
+
+class TestMalformedLines:
+    def _write_mixed_log(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        lines = [
+            '{"kind":"BurstBegin","cycle":1}',  # good
+            "{truncated",  # broken JSON
+            '{"kind":"NoSuchEvent","cycle":2}',  # unknown discriminator
+            '{"kind":"RunBegin","cycle":3}',  # missing fields
+            "[1, 2, 3]",  # valid JSON but not an object
+            '{"kind":"RunBegin","cycle":4,"workload":"vpr","level":"dyn"}',  # good
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_bad_lines_become_record_skipped(self, tmp_path):
+        events = load_events_jsonl(self._write_mixed_log(tmp_path))
+        assert len(events) == 6
+        assert events[0] == BurstBegin(1)
+        assert events[5] == RunBegin(4, "vpr", "dyn")
+        skipped = events[1:5]
+        assert all(isinstance(e, RecordSkipped) for e in skipped)
+        assert [e.line_no for e in skipped] == [2, 3, 4, 5]
+        assert "NoSuchEvent" in skipped[1].reason
+        assert "RunBegin" in skipped[2].reason
+        assert "object" in skipped[3].reason
+        assert skipped[0].snippet == "{truncated"
+        assert all(e.cycle == 0 for e in skipped)
+
+    def test_strict_mode_raises_on_first_bad_line(self, tmp_path):
+        with pytest.raises(ConfigError, match="line 2|truncated|invalid JSON"):
+            load_events_jsonl(self._write_mixed_log(tmp_path), strict=True)
+
+    def test_long_bad_line_snippet_truncated(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text("{" + "x" * 500 + "\n")
+        (event,) = load_events_jsonl(path)
+        assert isinstance(event, RecordSkipped)
+        assert len(event.snippet) == 120
+
+    def test_record_skipped_round_trips_itself(self, tmp_path):
+        original = RecordSkipped(cycle=0, line_no=7, reason="why", snippet="{bad")
+        assert from_record(original.to_record()) == original
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl([original], path)
+        assert load_events_jsonl(path) == [original]
