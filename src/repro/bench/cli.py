@@ -35,6 +35,17 @@ Telemetry: ``--telemetry run.jsonl`` streams every simulated run's event log
 metrics snapshot per (workload, level), keyed ``workload/level`` and carrying
 the serialized optimizer summary.  Both files round-trip through
 :mod:`repro.telemetry.export`.
+
+Tracing (:mod:`repro.tracing`): ``repro-bench trace --out trace.json`` runs
+every workload at ``--level`` (default ``dyn``) with span tracing enabled and
+writes one Chrome trace-event JSON loadable in ``chrome://tracing`` or
+`ui.perfetto.dev <https://ui.perfetto.dev>`_ — one process per run, threads
+for the run/epoch/analysis span tree, profiling bursts and instant events.
+``repro-bench explain`` prints each workload's cycle-attribution breakdown
+(the Figure 11 decomposition, conservation-checked) and a per-stream prefetch
+scorecard built from the lifecycle ledger; ``--stream s3`` (with a single
+``--workloads`` entry) zooms into one stream's fate histogram, timeliness
+distribution and watchdog verdicts.
 """
 
 from __future__ import annotations
@@ -227,6 +238,51 @@ def _print_tables() -> None:
     _print_figure8()
 
 
+def _run_trace(args, names: Sequence[str], cache: ResultCache) -> int:
+    from repro.bench.runner import run_level
+    from repro.telemetry.export import write_chrome_trace
+    from repro.telemetry.session import TelemetrySession
+    from repro.telemetry.sinks import ListSink
+
+    runs = []
+    for name in names:
+        sink = ListSink()
+        session = TelemetrySession(
+            sinks=[sink],
+            miss_sample_every=args.miss_sample,
+            prefetch_sample_every=args.prefetch_sample,
+            tracing=True,
+        )
+        result = run_level(
+            name, args.level, opt=cache.opt, passes=cache.passes_for(name), telemetry=session
+        )
+        runs.append((f"{name}/{args.level}", sink.events))
+        print(f"  traced {name}/{args.level}: {result.cycles} cycles, {len(sink.events)} events")
+    entries = write_chrome_trace(runs, args.out)
+    print(
+        f"chrome trace written to {args.out} ({entries} entries); "
+        "open in chrome://tracing or ui.perfetto.dev"
+    )
+    return 0
+
+
+def _run_explain(args, names: Sequence[str], cache: ResultCache, parser) -> int:
+    from repro.tracing.explain import explain_level, render_explanation
+
+    if args.stream is not None and len(names) != 1:
+        parser.error("--stream needs a single workload (use --workloads <name>)")
+    status = 0
+    for name in names:
+        exp = explain_level(
+            name, args.level, opt=cache.opt, passes=cache.passes_for(name)
+        )
+        print(render_explanation(exp, stream=args.stream))
+        print()
+        if exp.mismatches:
+            status = 1
+    return status
+
+
 def _run_verify(args) -> int:
     from repro.oracle import golden as golden_corpus
     from repro.oracle.verify import run_verify
@@ -265,6 +321,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "ablation-hwpref",
             "ablation-watchdog",
             "tables",
+            "trace",
+            "explain",
             "verify",
             "all",
         ],
@@ -308,6 +366,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         metavar="SEED",
         help="deterministically inject optimizer faults from SEED (runs must still complete)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="TRACE.JSON",
+        default="trace.json",
+        help="trace: output path for the Chrome trace-event JSON (default trace.json)",
+    )
+    parser.add_argument(
+        "--level",
+        default="dyn",
+        help="trace/explain: measurement level to run (default dyn)",
+    )
+    parser.add_argument(
+        "--stream",
+        metavar="ID",
+        default=None,
+        help="explain: zoom into one stream's scorecard (id from the summary table)",
     )
     parser.add_argument(
         "--seed",
@@ -368,6 +443,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.fault_seed is not None:
         opt = replace(opt, faults=FaultPlan(seed=args.fault_seed))
     cache = ResultCache(opt=opt, passes_scale=args.scale, recorder=recorder)
+
+    if args.artifact in ("trace", "explain"):
+        from repro.bench.runner import LEVELS
+
+        if args.level not in LEVELS:
+            parser.error(f"unknown level {args.level!r}; known: {', '.join(LEVELS)}")
+        if args.artifact == "trace":
+            return _run_trace(args, names, cache)
+        return _run_explain(args, names, cache, parser)
 
     if args.artifact == "tables":
         _print_tables()

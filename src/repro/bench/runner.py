@@ -100,6 +100,10 @@ def run_workload(
         raise ConfigError(f"unknown level {level!r}; known: {LEVELS}")
     opt = opt if opt is not None else OptimizerConfig()
     session = telemetry if telemetry is not None else TelemetrySession()
+    # Open the run (and its tracing span) before any component is built so
+    # the optimizer's epoch spans nest under the run span.
+    if not session.context:
+        session.begin_run(workload.name, level)
     program = workload.program
     summary: Optional[OptimizerSummary] = None
     if level == "orig":
@@ -126,8 +130,6 @@ def run_workload(
         else:
             optimizer = DynamicPrefetcher(program, interp, machine, configure_level(level, opt))
             summary = optimizer.summary
-    if not session.context:
-        session.begin_run(workload.name, level)
     stats = interp.run(workload.args)
     interp.hierarchy.finalize(now=stats.cycles)
     session.finalize_run(stats, interp.hierarchy, summary)

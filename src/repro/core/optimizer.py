@@ -145,11 +145,33 @@ class DynamicPrefetcher:
         self._sink_override = False
         self._consecutive_errors = 0
         self.disabled = False
+        #: current epoch span (repro.tracing) and its 1-based index
+        self._epoch_span = 0
+        self._epoch_index = 0
         # Wire into the interpreter: profiling starts awake.
         interp.check_listener = self
         interp.trace_sink = self.profiler.record
         interp.tracing_enabled = True
         interp.set_counters(config.counters.n_check0, config.counters.n_instr0)
+        self._trace_epoch(0, AWAKE)
+
+    def _trace_epoch(self, now: int, phase_name: str) -> None:
+        """Close the current epoch span and open the next one (repro.tracing).
+
+        Epoch spans partition the run into the optimizer's phase periods;
+        analysis/injection/watchdog spans nest inside them.  With tracing off
+        this is one attribute check and a falsy test.
+        """
+        tracer = self.interp.tracer
+        if not tracer.enabled:
+            self._epoch_span = 0
+            return
+        if self._epoch_span:
+            tracer.end(now, self._epoch_span)
+        self._epoch_index += 1
+        self._epoch_span = tracer.begin(
+            now, f"epoch-{self._epoch_index}:{phase_name}", "epoch"
+        )
 
     # ----------------------------------------------------- CheckListener API
 
@@ -236,6 +258,12 @@ class DynamicPrefetcher:
             if telem.enabled:
                 telem.emit(AnalysisCharged(now, traced, charge))
 
+        tracer = self.interp.tracer
+        analysis_span = (
+            tracer.begin(now, "analysis", "analysis", detail=f"traced={traced}")
+            if charge
+            else 0
+        )
         dfsm_states = dfsm_transitions = injected_checks = procs_modified = 0
         if config.inject and streams:
             dfsm, streams = self._build_dfsm_with_backoff(streams, now)
@@ -258,6 +286,7 @@ class DynamicPrefetcher:
             else:
                 result = self._install(streams, dfsm, handlers, now)
                 procs_modified = result.num_procedures
+        tracer.end(now + charge, analysis_span)
 
         self.summary.cycles.append(
             OptCycleStats(
@@ -269,6 +298,8 @@ class DynamicPrefetcher:
                 injected_checks=injected_checks,
                 procs_modified=procs_modified,
                 stream_lengths=[s.length for s in streams],
+                analysis_charged=charge,
+                at_cycle=now,
             )
         )
         if telem.enabled:
@@ -292,6 +323,7 @@ class DynamicPrefetcher:
         self.interp.set_counters(hibernating.n_check0, hibernating.n_instr0)
         self.phase = HIBERNATING
         self._hibernate_bursts = 0
+        self._trace_epoch(now + charge, HIBERNATING)
         return charge
 
     def _admit_streams(
@@ -344,12 +376,28 @@ class DynamicPrefetcher:
         result = inject_detection(self.program, handlers)
         self.interp.dfsm_state = 0
         self._installed_streams = list(streams)
-        if self.watchdog is not None:
-            hierarchy = self.interp.hierarchy
+        hierarchy = self.interp.hierarchy
+        if self.watchdog is not None or hierarchy.ledger is not None:
             hierarchy.set_stream_attribution(self._attribution_map(streams))
+            for stream in streams:
+                key = stream_key(stream)
+                hierarchy.stream_names[key] = self._describe_key(key)
+        if self.watchdog is not None:
             self.watchdog.begin_install(
                 [stream_key(s) for s in streams], hierarchy.stream_stats
             )
+        tracer = self.interp.tracer
+        if tracer.enabled:
+            span = tracer.begin(
+                now,
+                "injection",
+                "injection",
+                detail=(
+                    f"streams={len(streams)} dfsm_states={dfsm.num_states} "
+                    f"procs={result.num_procedures}"
+                ),
+            )
+            tracer.end(now, span)
         telem = self.interp.telemetry
         if telem.enabled:
             telem.emit(DfsmBuilt(now, dfsm.num_states, dfsm.num_transitions, len(streams)))
@@ -413,7 +461,12 @@ class DynamicPrefetcher:
             and self._installed_streams
             and self._hibernate_bursts % watchdog.config.check_every == 0
         ):
+            # The poll span opens before the poll runs so a nested reinstall
+            # span (same begin cycle) sorts inside it in the trace.
+            tracer = self.interp.tracer
+            poll_span = tracer.begin(now, "watchdog-poll", "watchdog")
             charge = self._watchdog_poll(now)
+            tracer.end(now + charge, poll_span)
         if self._hibernate_bursts >= self.config.n_hibernate:
             self._wake(now)
         return charge
@@ -480,11 +533,19 @@ class DynamicPrefetcher:
         self._installed_streams = list(streams)
         hierarchy = self.interp.hierarchy
         hierarchy.set_stream_attribution(self._attribution_map(streams))
+        for stream in streams:
+            key = stream_key(stream)
+            hierarchy.stream_names[key] = self._describe_key(key)
         self.watchdog.retain([stream_key(s) for s in streams], hierarchy.stream_stats)
         telem = self.interp.telemetry
         if telem.enabled:
             telem.emit(DfsmBuilt(now, dfsm.num_states, dfsm.num_transitions, len(streams)))
-        return self.machine.analysis_cost_per_symbol * sum(s.length for s in streams)
+        charge = self.machine.analysis_cost_per_symbol * sum(s.length for s in streams)
+        tracer = self.interp.tracer
+        if tracer.enabled:
+            span = tracer.begin(now, "reinstall", "analysis", detail=f"streams={len(streams)}")
+            tracer.end(now + charge, span)
+        return charge
 
     # -------------------------------------------------------------- failures
 
@@ -503,8 +564,9 @@ class DynamicPrefetcher:
         self.interp.dfsm_state = 0
         self._installed_streams = []
         self._pending_install = None
-        if self.watchdog is not None:
+        if self.watchdog is not None or self.interp.hierarchy.ledger is not None:
             self.interp.hierarchy.set_stream_attribution(None)
+        if self.watchdog is not None:
             self.watchdog.end_install()
         self._consecutive_errors += 1
         self.summary.optimizer_errors += 1
@@ -531,6 +593,7 @@ class DynamicPrefetcher:
             self.interp.set_counters(hibernating.n_check0, hibernating.n_instr0)
         self.phase = HIBERNATING
         self._hibernate_bursts = 0
+        self._trace_epoch(now, HIBERNATING)
         return 0
 
     # ------------------------------------------------------------------ wake
@@ -541,14 +604,16 @@ class DynamicPrefetcher:
         self.interp.dfsm_state = 0
         self._installed_streams = []
         self._pending_install = None
-        if self.watchdog is not None:
+        if self.watchdog is not None or self.interp.hierarchy.ledger is not None:
             self.interp.hierarchy.set_stream_attribution(None)
+        if self.watchdog is not None:
             self.watchdog.end_install()
         self.profiler.reset()
         self.interp.tracing_enabled = True
         self.interp.set_counters(self.config.counters.n_check0, self.config.counters.n_instr0)
         self.phase = AWAKE
         self._awake_bursts = 0
+        self._trace_epoch(now, AWAKE)
         telem = self.interp.telemetry
         if telem.enabled:
             telem.emit(PhaseTransition(now, HIBERNATING, AWAKE))

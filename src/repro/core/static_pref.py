@@ -25,6 +25,13 @@ from repro.core.optimizer import HIBERNATING, DynamicPrefetcher
 class StaticPrefetcher(DynamicPrefetcher):
     """Profile once, optimize once, keep the injected code forever."""
 
+    def __init__(self, program, interp, machine, config) -> None:
+        super().__init__(program, interp, machine, config)
+        # Prefetches from the one-time install carry their own source tag so
+        # telemetry and PrefetchStats.by_source can separate the offline
+        # comparison point from the dynamic pipeline's "sw" prefetches.
+        interp.prefetch_source = "static"
+
     def burst_end(self, now: int) -> int:
         if self.phase == HIBERNATING:
             # Never wake up: the one-time optimization is permanent.

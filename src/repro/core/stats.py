@@ -17,6 +17,11 @@ class OptCycleStats:
     injected_checks: int
     procs_modified: int
     stream_lengths: list[int] = field(default_factory=list)
+    #: simulated cycles charged for this cycle's online analysis (the Hds
+    #: slice of the cycle-attribution ledger, per optimization cycle)
+    analysis_charged: int = 0
+    #: simulated cycle at which the analysis ran (0 = unrecorded)
+    at_cycle: int = 0
 
     @property
     def mean_stream_length(self) -> float:
@@ -36,7 +41,25 @@ class OptCycleStats:
             "procs_modified": self.procs_modified,
             "stream_lengths": list(self.stream_lengths),
             "mean_stream_length": self.mean_stream_length,
+            "analysis_charged": self.analysis_charged,
+            "at_cycle": self.at_cycle,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "OptCycleStats":
+        """Inverse of :meth:`to_dict` (derived fields are recomputed)."""
+        return cls(
+            cycle=int(data["cycle"]),
+            traced_refs=int(data["traced_refs"]),
+            num_streams=int(data["num_streams"]),
+            dfsm_states=int(data["dfsm_states"]),
+            dfsm_transitions=int(data["dfsm_transitions"]),
+            injected_checks=int(data["injected_checks"]),
+            procs_modified=int(data["procs_modified"]),
+            stream_lengths=[int(x) for x in data.get("stream_lengths", [])],
+            analysis_charged=int(data.get("analysis_charged", 0)),
+            at_cycle=int(data.get("at_cycle", 0)),
+        )
 
 
 @dataclass
@@ -90,6 +113,11 @@ class OptimizerSummary:
     def mean_procs_modified(self) -> float:
         return self._mean("procs_modified")
 
+    @property
+    def analysis_charged(self) -> int:
+        """Total simulated cycles billed for awake-phase analyses."""
+        return sum(c.analysis_charged for c in self.cycles)
+
     def to_dict(self) -> dict[str, object]:
         """Serializable Table 2 row: aggregates plus every per-cycle record.
 
@@ -109,5 +137,18 @@ class OptimizerSummary:
             "early_wakes": self.early_wakes,
             "optimizer_errors": self.optimizer_errors,
             "faults_injected": self.faults_injected,
+            "analysis_charged": self.analysis_charged,
             "cycles": [c.to_dict() for c in self.cycles],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "OptimizerSummary":
+        """Inverse of :meth:`to_dict` (aggregates are recomputed)."""
+        return cls(
+            cycles=[OptCycleStats.from_dict(c) for c in data.get("cycles", [])],
+            guard_rejections=int(data.get("guard_rejections", 0)),
+            stream_deopts=int(data.get("stream_deopts", 0)),
+            early_wakes=int(data.get("early_wakes", 0)),
+            optimizer_errors=int(data.get("optimizer_errors", 0)),
+            faults_injected=int(data.get("faults_injected", 0)),
+        )

@@ -48,6 +48,7 @@ from repro.machine.hierarchy import MemoryHierarchy
 from repro.machine.memory import Memory
 from repro.telemetry.events import BurstBegin, BurstEnd
 from repro.telemetry.sinks import NULL_SINK
+from repro.tracing.spans import NULL_TRACER
 
 #: Version indices for the dual-version bodies (Figure 2).
 CHECKING, INSTRUMENTED = 0, 1
@@ -85,6 +86,10 @@ class ExecStats:
     checks_executed: int = 0
     bursts: int = 0
     traced_refs: int = 0
+    #: executions of instrumented loads/stores that paid ``trace_cost``
+    #: (unlike ``traced_refs``, counted whether or not a sink consumed the
+    #: record — the exact multiplier for cycle attribution)
+    trace_charges: int = 0
     detect_cycles: int = 0
     detects_executed: int = 0
     prefetches_issued: int = 0
@@ -126,6 +131,14 @@ class Interpreter:
         #: never charge simulated cycles — only burst transitions emit, so
         #: the hot dispatch loop is untouched.
         self.telemetry = NULL_SINK
+        #: Span tracer (:mod:`repro.tracing.spans`); read by the optimizer,
+        #: never touched in the dispatch loop.  NULL_TRACER = off.
+        self.tracer = NULL_TRACER
+        #: Source tag stamped on software prefetches this interpreter issues
+        #: (detection handlers and PREFETCH instructions).  "sw" for the
+        #: dynamic pipeline; :class:`~repro.core.static_pref.StaticPrefetcher`
+        #: rebrands it "static".
+        self.prefetch_source = "sw"
 
     def set_counters(self, n_check0: int, n_instr0: int) -> None:
         """Set the counter reload values (profiling rate, Section 2.1)."""
@@ -183,6 +196,7 @@ class Interpreter:
         nchecks = 0
         bursts = 0
         traced = 0
+        trace_chg = 0
         detect_cyc = 0
         detects = 0
         pf_issued = 0
@@ -196,6 +210,7 @@ class Interpreter:
         listener = self.check_listener
         hwpref = self.hw_prefetcher
         telem = self.telemetry
+        pf_source = self.prefetch_source
         dstate = self.dfsm_state
         limit = max_instructions if max_instructions is not None else (1 << 62)
 
@@ -218,6 +233,7 @@ class Interpreter:
                 regs[t[1]] = mem_words.get(addr, 0)
                 if t[5]:
                     cycles += trace_cost
+                    trace_chg += 1
                     if tracing and sink is not None:
                         traced += 1
                         sink(t[4], addr)
@@ -230,7 +246,7 @@ class Interpreter:
                     detect_cyc += extra
                     if prefetches:
                         for a in prefetches:
-                            issue_prefetch(a, cycles)
+                            issue_prefetch(a, cycles, pf_source)
                             cycles += pf_cost
                         pf_issued += len(prefetches)
                 if hwpref is not None:
@@ -248,6 +264,7 @@ class Interpreter:
                 mem_words[addr] = regs[t[1]]
                 if t[5]:
                     cycles += trace_cost
+                    trace_chg += 1
                     if tracing and sink is not None:
                         traced += 1
                         sink(t[4], addr)
@@ -260,7 +277,7 @@ class Interpreter:
                     detect_cyc += extra
                     if prefetches:
                         for a in prefetches:
-                            issue_prefetch(a, cycles)
+                            issue_prefetch(a, cycles, pf_source)
                             cycles += pf_cost
                         pf_issued += len(prefetches)
                 if hwpref is not None:
@@ -354,7 +371,7 @@ class Interpreter:
                 regs[t[1]] = allocate(regs[t[2]])
             elif op == OP_PREFETCH:
                 for a in t[1]:
-                    issue_prefetch(a, cycles)
+                    issue_prefetch(a, cycles, pf_source)
                     cycles += pf_cost
                 pf_issued += len(t[1])
             elif op == OP_HALT:
@@ -375,6 +392,7 @@ class Interpreter:
         stats.checks_executed = nchecks
         stats.bursts = bursts
         stats.traced_refs = traced
+        stats.trace_charges = trace_chg
         stats.detect_cycles = detect_cyc
         stats.detects_executed = detects
         stats.prefetches_issued = pf_issued

@@ -32,7 +32,7 @@ are cycle-identical with telemetry on or off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.machine.cache import Cache
 from repro.machine.config import MachineConfig
@@ -59,6 +59,9 @@ class PrefetchStats:
     late: int = 0
     #: prefetched block evicted (or never touched) without a demand hit
     wasted: int = 0
+    #: issued prefetches per issuer tag ("sw"/"static"/"stride"/"markov"),
+    #: so Figure 12's Seq-pref/Dyn-pref bars are attributable by source
+    by_source: dict[str, int] = field(default_factory=dict)
 
     @property
     def accuracy(self) -> float:
@@ -140,6 +143,12 @@ class MemoryHierarchy:
         self._stream_of: dict[int, object] = {}
         #: cumulative per-stream outcome counters (never reset mid-run)
         self.stream_stats: dict[object, StreamPrefetchStats] = {}
+        #: stream key -> human-readable identity, filled by the optimizer at
+        #: install time so scorecards can render attribution keys
+        self.stream_names: dict[object, str] = {}
+        #: per-prefetch lifecycle ledger (duck-typed ``on_*`` hooks; None =
+        #: off).  Recording is bookkeeping only and never changes stalls.
+        self.ledger = None
 
     def block_of(self, addr: int) -> int:
         """Block number containing byte address ``addr``."""
@@ -183,6 +192,8 @@ class MemoryHierarchy:
                 if self._stream_of:
                     self._note_outcome(block, "late")
                 issued_at = self._prefetched_unused.pop(block, now)
+                if self.ledger is not None:
+                    self.ledger.on_use(block, now, True, now - issued_at, stall)
                 if telem.enabled:
                     # Sampling countdown is inlined at the hot sites: a helper
                     # call per occurrence alone costs measurable wall-clock.
@@ -198,6 +209,8 @@ class MemoryHierarchy:
                 self.prefetch.useful += 1
                 if self._stream_of:
                     self._note_outcome(block, "useful")
+                if self.ledger is not None:
+                    self.ledger.on_use(block, now, False, now - issued_at)
                 if telem.enabled:
                     n = self._used_since_sample + 1
                     if n >= self.prefetch_sample_every:
@@ -212,6 +225,8 @@ class MemoryHierarchy:
                 self.prefetch.useful += 1
                 if self._stream_of:
                     self._note_outcome(block, "useful")
+                if self.ledger is not None:
+                    self.ledger.on_use(block, now, False, now - issued_at)
                 if telem.enabled:
                     n = self._used_since_sample + 1
                     if n >= self.prefetch_sample_every:
@@ -241,8 +256,11 @@ class MemoryHierarchy:
         "stride"/"markov" for the hardware baselines).
         """
         self.prefetch.issued += 1
+        by_source = self.prefetch.by_source
+        by_source[source] = by_source.get(source, 0) + 1
         block = addr >> self._block_shift
         telem = self.telemetry
+        ledger = self.ledger
         smap = self._stream_map
         skey = smap.get(block) if smap is not None else None
         if skey is not None:
@@ -254,6 +272,8 @@ class MemoryHierarchy:
             self.prefetch.redundant += 1
             if skey is not None:
                 sstats.redundant += 1
+            if ledger is not None:
+                ledger.on_issue(block, now, source, skey, True)
             if telem.enabled:
                 n = self._issued_since_sample + 1
                 if n >= self.prefetch_sample_every:
@@ -261,6 +281,8 @@ class MemoryHierarchy:
                     telem.emit(PrefetchIssued(now, block, source, True))
                 self._issued_since_sample = n
             return
+        if ledger is not None:
+            ledger.on_issue(block, now, source, skey, False)
         if telem.enabled:
             n = self._issued_since_sample + 1
             if n >= self.prefetch_sample_every:
@@ -311,6 +333,8 @@ class MemoryHierarchy:
                 self.prefetch.wasted += 1
                 if self._stream_of:
                     self._note_outcome(victim, "wasted")
+                if self.ledger is not None:
+                    self.ledger.on_evict(victim, now)
                 if self.telemetry.enabled:
                     self._emit_evicted(self.telemetry, now, victim, False)
 
@@ -323,6 +347,9 @@ class MemoryHierarchy:
         if self._stream_of:
             for block in self._prefetched_unused:
                 self._note_outcome(block, "wasted")
+        if self.ledger is not None:
+            for block in self._prefetched_unused:
+                self.ledger.on_expire(block, now)
         self.prefetch.wasted += len(self._prefetched_unused)
         self._prefetched_unused.clear()
         self._inflight.clear()
@@ -343,6 +370,9 @@ class MemoryHierarchy:
         if self._stream_of:
             for block in self._prefetched_unused:
                 self._note_outcome(block, "wasted")
+        if self.ledger is not None:
+            for block in self._prefetched_unused:
+                self.ledger.on_expire(block, now)
         self.prefetch.wasted += len(self._prefetched_unused)
         if telem.enabled:
             telem.emit(

@@ -41,9 +41,11 @@ from repro.oracle.golden import (
 from repro.oracle.invariants import (
     check_architectural_state,
     check_conservation,
+    check_cycle_attribution,
     check_disabled_resilience_identical,
     check_observer_effect,
     check_relabel_invariance,
+    check_tracing_observer_effect,
     relabel_stride,
     run_fingerprint,
 )
@@ -71,8 +73,10 @@ __all__ = [
     "check_hot_streams",
     # metamorphic invariants
     "check_conservation",
+    "check_cycle_attribution",
     "check_architectural_state",
     "check_observer_effect",
+    "check_tracing_observer_effect",
     "check_disabled_resilience_identical",
     "check_relabel_invariance",
     "relabel_stride",

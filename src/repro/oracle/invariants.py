@@ -144,6 +144,67 @@ def check_observer_effect(
     )
 
 
+def check_tracing_observer_effect(
+    factory: WorkloadFactory,
+    level: str = "dyn",
+    machine: MachineConfig = PAPER_MACHINE,
+    opt: Optional[OptimizerConfig] = None,
+) -> None:
+    """Span tracing + the prefetch ledger must not perturb the simulation.
+
+    Runs with the full tracing stack armed (spans, lifecycle ledger, full
+    sampling) and requires a bit-identical fingerprint, then holds the
+    ledger to its own books: every fate count must reconcile exactly with
+    the hierarchy's :class:`PrefetchStats`, aggregate and per stream.
+    """
+    from repro.telemetry.sinks import ListSink
+
+    plain = run_workload(factory(), level, machine=machine, opt=opt)
+    session = TelemetrySession(
+        sinks=[ListSink()],
+        miss_sample_every=1,
+        prefetch_sample_every=1,
+        tracing=True,
+        track_prefetches=True,
+    )
+    traced = run_workload(factory(), level, machine=machine, opt=opt, telemetry=session)
+    _diff_fingerprints(
+        run_fingerprint(plain),
+        run_fingerprint(traced),
+        f"tracing observer effect ({plain.workload}/{level})",
+    )
+    mismatches = session.ledger.reconcile(traced.hierarchy.prefetch)
+    per_stream = session.ledger.per_stream()
+    for key, stats in per_stream.items():
+        hier = traced.hierarchy.stream_stats.get(key)
+        if hier is None:
+            mismatches.append(f"ledger stream {key!r} unknown to the hierarchy")
+            continue
+        for attr in ("issued", "useful", "late"):
+            if getattr(hier, attr) != getattr(stats, attr):
+                mismatches.append(
+                    f"stream {key!r} {attr}: ledger {getattr(stats, attr)} "
+                    f"!= hierarchy {getattr(hier, attr)}"
+                )
+    _require(
+        not mismatches,
+        f"prefetch ledger out of balance ({plain.workload}/{level}): " + "; ".join(mismatches),
+    )
+
+
+def check_cycle_attribution(result: RunResult, machine: MachineConfig = PAPER_MACHINE) -> None:
+    """Per-category cycle attribution must sum exactly to the cycle count."""
+    from repro.tracing.attribution import CycleAttribution
+
+    att = CycleAttribution.from_run(result.stats, machine)
+    _require(
+        att.conserved,
+        f"cycle attribution not conserved ({result.workload}/{result.level}): "
+        f"attributed {att.attributed} of {att.total} "
+        f"(unattributed {att.unattributed}): {att.to_dict()}",
+    )
+
+
 def check_disabled_resilience_identical(
     factory: WorkloadFactory,
     level: str = "dyn",

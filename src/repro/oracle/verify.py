@@ -37,9 +37,11 @@ from repro.oracle import fuzz, golden
 from repro.oracle.invariants import (
     check_architectural_state,
     check_conservation,
+    check_cycle_attribution,
     check_disabled_resilience_identical,
     check_observer_effect,
     check_relabel_invariance,
+    check_tracing_observer_effect,
 )
 from repro.workloads import presets
 
@@ -165,12 +167,18 @@ def _verify_invariants(rng: random.Random, runs: int) -> SectionResult:
     def factory():
         return presets.build(_INVARIANT_WORKLOAD, passes=1)
 
+    def conservation_and_attribution(level: str) -> None:
+        # One execution feeds both checks: total-cycle conservation and the
+        # exact per-category attribution (which must sum back to that total).
+        result = run_workload(factory(), level)
+        check_conservation(result)
+        check_cycle_attribution(result)
+
     for level in ("orig", "base", "prof", "hds", "seq", "dyn"):
-        section.run_case(
-            lambda lv=level: check_conservation(run_workload(factory(), lv))
-        )
+        section.run_case(lambda lv=level: conservation_and_attribution(lv))
     section.run_case(lambda: check_architectural_state(factory))
     section.run_case(lambda: check_observer_effect(factory))
+    section.run_case(lambda: check_tracing_observer_effect(factory))
     section.run_case(lambda: check_disabled_resilience_identical(factory))
     relabel_rounds = max(1, min(runs, 5))
     for _ in range(relabel_rounds):

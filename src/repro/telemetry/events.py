@@ -103,6 +103,34 @@ class BurstEnd(Event):
     index: int
 
 
+# ------------------------------------------------------ simulator span tree
+
+
+@dataclass(frozen=True, slots=True)
+class SpanBegin(Event):
+    """A causal span opened (run / optimizer epoch / analysis / ...).
+
+    Spans trace the *simulator's* own activity on the simulated-cycle
+    timeline (:mod:`repro.tracing`), as opposed to the profiling events,
+    which describe the subject program.  ``span_id`` is unique within a
+    session; ``parent_id`` is 0 for root spans.  ``category`` is one of the
+    :data:`repro.tracing.spans.SPAN_CATEGORIES` taxonomy tags.
+    """
+
+    span_id: int
+    parent_id: int
+    name: str
+    category: str
+    detail: str
+
+
+@dataclass(frozen=True, slots=True)
+class SpanEnd(Event):
+    """The span opened by the matching :class:`SpanBegin` closed."""
+
+    span_id: int
+
+
 # ------------------------------------------------ optimizer phases (Fig. 1)
 
 

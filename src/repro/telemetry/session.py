@@ -35,6 +35,8 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
 )
 from repro.telemetry.sinks import JsonlSink, ListSink
+from repro.tracing.ledger import PrefetchLedger
+from repro.tracing.spans import NULL_TRACER, SpanCollector, SpanTracer
 
 #: Default sampling period for CacheMiss events (1 = every miss).
 DEFAULT_MISS_SAMPLE_EVERY = 64
@@ -69,6 +71,8 @@ class TelemetrySession:
         sinks: Sequence = (),
         miss_sample_every: int = DEFAULT_MISS_SAMPLE_EVERY,
         prefetch_sample_every: int = DEFAULT_PREFETCH_SAMPLE_EVERY,
+        tracing: bool = False,
+        track_prefetches: bool = False,
     ) -> None:
         self.registry = MetricsRegistry()
         self.bus = EventBus()
@@ -76,8 +80,20 @@ class TelemetrySession:
         self.prefetch_sample_every = max(1, prefetch_sample_every)
         self.context: dict[str, str] = {}
         self._optimizer: Optional[dict] = None
+        #: causal span tracing (repro.tracing): ``tracing=True`` routes span
+        #: events through the bus and keeps a reconstructed tree in ``spans``
+        self.tracer = SpanTracer(self.bus) if tracing else NULL_TRACER
+        self.spans: Optional[SpanCollector] = SpanCollector() if tracing else None
+        #: per-prefetch lifecycle ledger; ``track_prefetches=True`` attaches
+        #: it to the hierarchy at :meth:`wire`
+        self.ledger: Optional[PrefetchLedger] = (
+            PrefetchLedger() if track_prefetches else None
+        )
+        self._run_span = 0
         for sink in sinks:
             self.bus.attach(sink)
+        if self.spans is not None:
+            self.bus.attach(self.spans)
         if self.bus.enabled:
             self.bus.attach(MetricsSink(self.registry))
 
@@ -88,12 +104,16 @@ class TelemetrySession:
         cls,
         miss_sample_every: int = DEFAULT_MISS_SAMPLE_EVERY,
         prefetch_sample_every: int = DEFAULT_PREFETCH_SAMPLE_EVERY,
+        tracing: bool = False,
+        track_prefetches: bool = False,
     ) -> "TelemetrySession":
         """Session collecting events in memory (``session.events``)."""
         return cls(
             sinks=[ListSink()],
             miss_sample_every=miss_sample_every,
             prefetch_sample_every=prefetch_sample_every,
+            tracing=tracing,
+            track_prefetches=track_prefetches,
         )
 
     @classmethod
@@ -123,8 +143,10 @@ class TelemetrySession:
     def wire(self, interp) -> None:
         """Attach this session to an interpreter and its memory hierarchy."""
         interp.telemetry = self.bus
+        interp.tracer = self.tracer
         hierarchy = interp.hierarchy
         hierarchy.telemetry = self.bus
+        hierarchy.ledger = self.ledger
         hierarchy.miss_sample_every = self.miss_sample_every
         hierarchy.prefetch_sample_every = self.prefetch_sample_every
 
@@ -133,6 +155,8 @@ class TelemetrySession:
         self.context = {"workload": workload, "level": level}
         if self.bus.enabled:
             self.bus.emit(RunBegin(0, workload, level))
+        if self.tracer.enabled:
+            self._run_span = self.tracer.begin(0, f"{workload}/{level}", "run")
 
     # ------------------------------------------------------------- finalizing
 
@@ -144,6 +168,9 @@ class TelemetrySession:
         ``summary`` an optional :class:`~repro.core.stats.OptimizerSummary`
         (duck-typed to keep this package import-free of the simulation).
         """
+        # Wind down the span stack (epochs, the run span) before the RunEnd
+        # delimiter so collectors see a fully closed tree.
+        self.tracer.close_all(stats.cycles)
         if self.bus.enabled:
             self.bus.emit(RunEnd(stats.cycles, stats.instructions, stats.bursts))
         reg = self.registry
@@ -156,6 +183,7 @@ class TelemetrySession:
             ("exec.checks_executed", stats.checks_executed),
             ("exec.bursts", stats.bursts),
             ("exec.traced_refs", stats.traced_refs),
+            ("exec.trace_charges", stats.trace_charges),
             ("exec.detects_executed", stats.detects_executed),
             ("exec.detect_cycles", stats.detect_cycles),
             ("exec.prefetches_issued", stats.prefetches_issued),
@@ -174,6 +202,10 @@ class TelemetrySession:
             ("prefetch.wasted", hierarchy.prefetch.wasted),
         ):
             reg.set_counter(name, value)
+        for source in sorted(hierarchy.prefetch.by_source):
+            reg.set_counter(
+                f"prefetch.issued.{source}", hierarchy.prefetch.by_source[source]
+            )
         prefetch = hierarchy.prefetch
         reg.set_gauge("exec.cpi", stats.cpi, now)
         reg.set_gauge("cache.l1.miss_rate", hierarchy.l1_miss_rate, now)

@@ -1,0 +1,101 @@
+"""Cycle attribution: charge every simulated cycle to one category.
+
+The interpreter's cost model is a sum of explicit charges (see
+:class:`~repro.machine.config.MachineConfig`), so a finished run's cycle
+count decomposes *exactly*:
+
+``cycles = instructions + mem_stall + checks*check_cost +
+trace_charges*trace_cost + detect_cycles + prefetches*prefetch_issue_cost +
+charged_cycles``
+
+:class:`CycleAttribution` materializes that identity per run — the per-
+workload version of Figure 11's Base/Prof/Hds decomposition, with the "Hds"
+bar further split into trace recording, DFSM detection, prefetch issue and
+analysis.  ``conserved`` asserts the identity holds to the cycle; the oracle
+invariant :func:`repro.oracle.invariants.check_cycle_attribution` runs it on
+every measurement level.
+
+Everything here is arithmetic over counters the run already produced —
+building an attribution never touches the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids interp import
+    from repro.interp.interpreter import ExecStats
+    from repro.machine.config import MachineConfig
+
+#: Attribution categories, in report order, with display labels.
+CATEGORY_LABELS = (
+    ("user_work", "user work (1 cycle/instruction)"),
+    ("mem_stall", "memory stall"),
+    ("check_overhead", "bursty-tracing checks (Base)"),
+    ("trace_record", "trace recording (Prof)"),
+    ("dfsm_detect", "DFSM detection handlers"),
+    ("prefetch_issue", "prefetch issue"),
+    ("analysis", "online analysis (Hds)"),
+)
+CATEGORIES = tuple(name for name, _ in CATEGORY_LABELS)
+
+
+@dataclass(frozen=True)
+class CycleAttribution:
+    """Exact decomposition of one run's simulated cycles."""
+
+    total: int
+    user_work: int
+    mem_stall: int
+    check_overhead: int
+    trace_record: int
+    dfsm_detect: int
+    prefetch_issue: int
+    analysis: int
+
+    @classmethod
+    def from_run(cls, stats: "ExecStats", machine: "MachineConfig") -> "CycleAttribution":
+        """Attribute a finished run's cycles from its counters + cost model."""
+        return cls(
+            total=stats.cycles,
+            user_work=stats.instructions,
+            mem_stall=stats.mem_stall_cycles,
+            check_overhead=stats.checks_executed * machine.check_cost,
+            trace_record=stats.trace_charges * machine.trace_cost,
+            dfsm_detect=stats.detect_cycles,
+            prefetch_issue=stats.prefetches_issued * machine.prefetch_issue_cost,
+            analysis=stats.charged_cycles,
+        )
+
+    @property
+    def attributed(self) -> int:
+        """Sum over all categories; equals ``total`` when conserved."""
+        return sum(getattr(self, name) for name in CATEGORIES)
+
+    @property
+    def unattributed(self) -> int:
+        """Cycles the categories fail to cover (0 on a healthy run)."""
+        return self.total - self.attributed
+
+    @property
+    def conserved(self) -> bool:
+        """True when every simulated cycle is charged to exactly one category."""
+        return self.unattributed == 0
+
+    def share(self, category: str) -> float:
+        """Fraction of total cycles charged to ``category``."""
+        return getattr(self, category) / self.total if self.total else 0.0
+
+    def rows(self) -> list[tuple[str, int, float]]:
+        """(label, cycles, share) per category, report order, nonzero-last-kept."""
+        return [
+            (label, getattr(self, name), self.share(name))
+            for name, label in CATEGORY_LABELS
+        ]
+
+    def to_dict(self) -> dict[str, int]:
+        out: dict[str, int] = {"total": self.total}
+        for name in CATEGORIES:
+            out[name] = getattr(self, name)
+        return out

@@ -1,0 +1,231 @@
+"""`repro-bench explain`: per-stream prefetch scorecards with cycle context.
+
+Answers the question the aggregate tables can't: *which* hot data streams
+earned their keep.  One instrumented run (span tracing + prefetch ledger at
+full sampling) is executed per workload, and every stream that issued a
+prefetch gets a scorecard — fate histogram, timeliness distribution,
+watchdog verdicts, and an estimated cycles-saved figure set against the
+run's cycle-attribution breakdown.
+
+Kept out of ``repro.tracing.__init__`` on purpose: this module pulls in the
+bench runner (and through it the whole workload stack), while the package
+root stays importable from the interpreter's hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import OptimizerConfig
+from repro.errors import ConfigError
+from repro.machine.config import PAPER_MACHINE, MachineConfig
+from repro.telemetry.session import TelemetrySession
+from repro.telemetry.sinks import ListSink
+from repro.tracing.attribution import CycleAttribution
+from repro.tracing.ledger import StreamLedgerStats
+
+
+def _percentile(values: list, fraction: float) -> int:
+    """Nearest-rank percentile of an unsorted list (0 when empty)."""
+    if not values:
+        return 0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[rank]
+
+
+@dataclass
+class StreamScorecard:
+    """One stream's prefetch ledger rolled up for presentation."""
+
+    sid: str
+    name: str
+    stats: StreamLedgerStats
+    #: watchdog rollback verdicts that named this stream (reason strings)
+    verdicts: list = field(default_factory=list)
+    #: stall cycles the hierarchy would have charged without this stream's
+    #: prefetches — useful hits save a full memory round trip, late ones
+    #: save the portion already covered when the demand access arrived.
+    #: An upper bound: it ignores second-order cache-occupancy effects.
+    est_saved: int = 0
+
+    @property
+    def fate_row(self) -> tuple:
+        s = self.stats
+        return (s.useful, s.late, s.redundant, s.polluting, s.wasted, s.inflight)
+
+
+@dataclass
+class WorkloadExplanation:
+    """Everything ``repro-bench explain`` knows about one workload run."""
+
+    workload: str
+    level: str
+    cycles: int
+    attribution: CycleAttribution
+    scorecards: list
+    #: ledger-vs-PrefetchStats mismatches (empty on a healthy run)
+    mismatches: list = field(default_factory=list)
+
+    def scorecard(self, sid: str) -> StreamScorecard:
+        for card in self.scorecards:
+            if card.sid == sid:
+                return card
+        known = ", ".join(c.sid for c in self.scorecards) or "(none)"
+        raise ConfigError(f"unknown stream id {sid!r}; known: {known}")
+
+
+def explain_level(
+    name: str,
+    level: str = "dyn",
+    machine: MachineConfig = PAPER_MACHINE,
+    opt: Optional[OptimizerConfig] = None,
+    passes: Optional[int] = None,
+) -> WorkloadExplanation:
+    """Run ``name`` at ``level`` with full tracing and build its explanation."""
+    from repro.bench.runner import run_level
+
+    sink = ListSink()
+    session = TelemetrySession(
+        sinks=[sink],
+        miss_sample_every=1,
+        prefetch_sample_every=1,
+        tracing=True,
+        track_prefetches=True,
+    )
+    result = run_level(name, level, machine, opt, passes=passes, telemetry=session)
+    ledger = session.ledger
+    hierarchy = result.hierarchy
+
+    verdicts: dict[str, list] = {}
+    for event in sink.events:
+        if event.kind == "StreamDeoptimized":
+            verdicts.setdefault(event.stream, []).append(event.reason)
+
+    cards = []
+    per_stream = ledger.per_stream()
+    ordered = sorted(per_stream.items(), key=lambda kv: (-kv[1].issued, str(kv[0])))
+    for index, (key, stats) in enumerate(ordered, start=1):
+        stream_name = hierarchy.stream_names.get(key, str(key))
+        saved = stats.useful * machine.memory_latency
+        for residual in stats.residuals:
+            saved += max(0, machine.memory_latency - residual)
+        cards.append(
+            StreamScorecard(
+                sid=f"s{index}",
+                name=stream_name,
+                stats=stats,
+                verdicts=verdicts.get(stream_name, []),
+                est_saved=saved,
+            )
+        )
+
+    mismatches = ledger.reconcile(hierarchy.prefetch)
+    for key, stats in per_stream.items():
+        hier = hierarchy.stream_stats.get(key)
+        if hier is None:
+            mismatches.append(f"ledger stream {key!r} unknown to the hierarchy")
+            continue
+        for attr in ("issued", "useful", "late"):
+            if getattr(hier, attr) != getattr(stats, attr):
+                mismatches.append(
+                    f"stream {key!r} {attr}: ledger {getattr(stats, attr)} "
+                    f"!= hierarchy {getattr(hier, attr)}"
+                )
+
+    return WorkloadExplanation(
+        workload=name,
+        level=level,
+        cycles=result.cycles,
+        attribution=CycleAttribution.from_run(result.stats, machine),
+        scorecards=cards,
+        mismatches=mismatches,
+    )
+
+
+def render_explanation(exp: WorkloadExplanation, stream: Optional[str] = None) -> str:
+    """Render an explanation (or one stream's detailed view) as text."""
+    from repro.bench.reporting import format_table
+
+    blocks = []
+    att = exp.attribution
+    rows = [(label, cycles, f"{share:6.2%}") for label, cycles, share in att.rows()]
+    rows.append(("total", att.total, f"{1.0:6.2%}"))
+    blocks.append(
+        format_table(
+            ("category", "cycles", "share"),
+            rows,
+            title=f"{exp.workload}/{exp.level}: cycle attribution ({exp.cycles} cycles)",
+        )
+    )
+
+    if stream is not None:
+        card = exp.scorecard(stream)
+        s = card.stats
+        detail = [
+            f"stream {card.sid}: {card.name}",
+            f"  issued     {s.issued}",
+            f"  useful     {s.useful}",
+            f"  late       {s.late}",
+            f"  redundant  {s.redundant}",
+            f"  polluting  {s.polluting}",
+            f"  wasted     {s.wasted}",
+            f"  inflight   {s.inflight}",
+            f"  accuracy   {s.accuracy:.2%}  timeliness {s.timeliness:.2%}",
+            f"  lead p50/p90 (cycles)  {_percentile(s.leads, 0.5)}/{_percentile(s.leads, 0.9)}",
+            f"  est. stall cycles saved  {card.est_saved}"
+            f"  ({card.est_saved / exp.cycles:.2%} of run)",
+        ]
+        if card.verdicts:
+            detail.append("  watchdog verdicts: " + "; ".join(card.verdicts))
+        else:
+            detail.append("  watchdog verdicts: none")
+        blocks.append("\n".join(detail))
+    else:
+        rows = []
+        for card in exp.scorecards:
+            s = card.stats
+            rows.append(
+                (
+                    card.sid,
+                    card.name,
+                    s.issued,
+                    s.useful,
+                    s.late,
+                    s.redundant,
+                    s.polluting + s.wasted,
+                    f"{s.accuracy:.0%}",
+                    _percentile(s.leads, 0.5),
+                    card.est_saved,
+                    len(card.verdicts),
+                )
+            )
+        if rows:
+            blocks.append(
+                format_table(
+                    (
+                        "id",
+                        "stream",
+                        "issued",
+                        "useful",
+                        "late",
+                        "redun",
+                        "bad",
+                        "acc",
+                        "lead-p50",
+                        "est-saved",
+                        "verdicts",
+                    ),
+                    rows,
+                    title=f"per-stream scorecards ({len(rows)} streams)",
+                )
+            )
+        else:
+            blocks.append("no stream issued a prefetch at this level")
+
+    if exp.mismatches:
+        blocks.append(
+            "LEDGER MISMATCHES:\n" + "\n".join(f"  - {m}" for m in exp.mismatches)
+        )
+    return "\n\n".join(blocks)

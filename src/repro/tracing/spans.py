@@ -1,0 +1,231 @@
+"""Causal span tracing for the simulator itself.
+
+:mod:`repro.profiling` profiles the *subject* program (the paper's bursty
+tracing); this module traces the *simulator* — which phase the optimizer was
+in, when analysis ran and what it cost, when handlers were injected and when
+the watchdog intervened — as a tree of **spans** keyed on simulated cycles.
+
+A span is an interval ``[begin_cycle, end_cycle]`` with a name, a taxonomy
+``category`` and an optional free-form ``detail`` string.  Spans nest: the
+run span contains the optimizer's epoch spans, which contain analysis /
+injection / watchdog spans; profiling bursts (``BurstBegin``/``BurstEnd``)
+are synthesized into spans by the collector so the existing events need no
+change.
+
+Zero-overhead guarantee: :class:`SpanTracer` rides the existing telemetry
+:class:`~repro.telemetry.events.EventBus`.  With no sinks attached the bus is
+disabled, ``begin`` returns 0 without emitting, and instrumented code pays
+one attribute check — and because span events are *descriptive only* (like
+every telemetry event), enabling them never charges simulated cycles.  The
+oracle invariant :func:`repro.oracle.invariants.check_tracing_observer_effect`
+pins both properties down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.telemetry.events import (
+    BurstBegin,
+    BurstEnd,
+    Event,
+    RunEnd,
+    SpanBegin,
+    SpanEnd,
+)
+
+#: Span taxonomy (DESIGN §5d): every span carries one of these tags.
+SPAN_CATEGORIES = (
+    "run",        # one (workload, level) execution
+    "epoch",      # one optimizer phase period (awake or hibernating)
+    "burst",      # one instrumented burst (synthesized from Burst* events)
+    "analysis",   # hot-stream analysis / reinstall work charged to sim time
+    "injection",  # dynamic Vulcan patching (instantaneous in the cost model)
+    "watchdog",   # a watchdog poll, containing any targeted rollback
+)
+
+
+class SpanTracer:
+    """Emits ``SpanBegin``/``SpanEnd`` through a telemetry bus.
+
+    The tracer keeps the stack of open span ids so ``begin`` can default a
+    new span's parent to the innermost open span, and ``close_all`` can wind
+    the stack down at end of run (innermost first, so B/E pairs nest).
+    """
+
+    __slots__ = ("bus", "_next_id", "_open")
+
+    def __init__(self, bus) -> None:
+        self.bus = bus
+        self._next_id = 0
+        self._open: list[int] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.bus.enabled
+
+    def begin(self, cycle: int, name: str, category: str, parent: int = 0, detail: str = "") -> int:
+        """Open a span at ``cycle``; returns its id (0 when tracing is off).
+
+        ``parent=0`` means "the innermost currently-open span" (the natural
+        nesting); pass an explicit id to attach elsewhere in the tree.
+        """
+        if not self.bus.enabled:
+            return 0
+        self._next_id += 1
+        sid = self._next_id
+        if parent == 0 and self._open:
+            parent = self._open[-1]
+        self.bus.emit(SpanBegin(cycle, sid, parent, name, category, detail))
+        self._open.append(sid)
+        return sid
+
+    def end(self, cycle: int, span_id: int) -> None:
+        """Close the span ``span_id`` at ``cycle`` (no-op for id 0)."""
+        if not span_id or not self.bus.enabled:
+            return
+        try:
+            self._open.remove(span_id)
+        except ValueError:
+            pass
+        self.bus.emit(SpanEnd(cycle, span_id))
+
+    def close_all(self, cycle: int) -> None:
+        """Close every still-open span (end of run), innermost first."""
+        if not self.bus.enabled:
+            self._open.clear()
+            return
+        for sid in reversed(self._open):
+            self.bus.emit(SpanEnd(cycle, sid))
+        self._open.clear()
+
+
+class NullTracer:
+    """Disabled tracer: ``begin`` returns 0 and everything is a no-op."""
+
+    enabled = False
+
+    def begin(self, cycle: int, name: str, category: str, parent: int = 0, detail: str = "") -> int:
+        return 0
+
+    def end(self, cycle: int, span_id: int) -> None:
+        pass
+
+    def close_all(self, cycle: int) -> None:
+        pass
+
+
+#: Shared default for components that hold a tracer slot.
+NULL_TRACER = NullTracer()
+
+
+@dataclass
+class Span:
+    """One reconstructed span of the tree."""
+
+    span_id: int
+    parent_id: int
+    name: str
+    category: str
+    detail: str
+    begin: int
+    end: Optional[int] = None
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> int:
+        """Cycles covered; an unclosed span reports 0."""
+        return (self.end - self.begin) if self.end is not None else 0
+
+
+class SpanCollector:
+    """Telemetry sink reconstructing the span tree from the event stream.
+
+    Also synthesizes ``burst`` spans from the interpreter's existing
+    ``BurstBegin``/``BurstEnd`` events (negative synthetic ids, parented to
+    the innermost open ``epoch`` span when there is one), so the hot CHECK
+    path needs no extra instrumentation.  ``RunEnd`` closes a burst left
+    open at the end of the run.
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._by_id: dict[int, Span] = {}
+        self._open: list[Span] = []
+        self._burst: Optional[Span] = None
+        self._next_synthetic = -1
+
+    def handle(self, event: Event) -> None:
+        if isinstance(event, SpanBegin):
+            span = Span(
+                span_id=event.span_id,
+                parent_id=event.parent_id,
+                name=event.name,
+                category=event.category,
+                detail=event.detail,
+                begin=event.cycle,
+            )
+            self.spans.append(span)
+            self._by_id[span.span_id] = span
+            parent = self._by_id.get(span.parent_id)
+            if parent is not None:
+                parent.children.append(span)
+            self._open.append(span)
+        elif isinstance(event, SpanEnd):
+            span = self._by_id.get(event.span_id)
+            if span is not None and span.end is None:
+                span.end = event.cycle
+                if span in self._open:
+                    self._open.remove(span)
+        elif isinstance(event, BurstBegin):
+            parent_id = 0
+            for open_span in reversed(self._open):
+                if open_span.category == "epoch":
+                    parent_id = open_span.span_id
+                    break
+            burst = Span(
+                span_id=self._next_synthetic,
+                parent_id=parent_id,
+                name="burst",
+                category="burst",
+                detail="",
+                begin=event.cycle,
+            )
+            self._next_synthetic -= 1
+            self.spans.append(burst)
+            self._by_id[burst.span_id] = burst
+            parent = self._by_id.get(parent_id)
+            if parent is not None:
+                parent.children.append(burst)
+            self._burst = burst
+        elif isinstance(event, BurstEnd):
+            if self._burst is not None:
+                self._burst.end = event.cycle
+                self._burst = None
+        elif isinstance(event, RunEnd):
+            if self._burst is not None:
+                self._burst.end = event.cycle
+                self._burst = None
+
+    def roots(self) -> list[Span]:
+        """Spans whose parent was never seen (normally just the run span)."""
+        return [s for s in self.spans if s.parent_id not in self._by_id]
+
+    def tree_lines(self, max_children: int = 8) -> list[str]:
+        """Indented text rendering of the tree (for reports and debugging)."""
+        lines: list[str] = []
+
+        def visit(span: Span, depth: int) -> None:
+            extent = f"[{span.begin}..{span.end if span.end is not None else '?'}]"
+            detail = f"  {span.detail}" if span.detail else ""
+            lines.append(f"{'  ' * depth}{span.category}:{span.name} {extent}{detail}")
+            shown = span.children[:max_children]
+            for child in shown:
+                visit(child, depth + 1)
+            if len(span.children) > len(shown):
+                lines.append(f"{'  ' * (depth + 1)}... {len(span.children) - len(shown)} more")
+
+        for root in self.roots():
+            visit(root, 0)
+        return lines

@@ -9,9 +9,11 @@ from repro.errors import OracleError
 from repro.oracle import (
     check_architectural_state,
     check_conservation,
+    check_cycle_attribution,
     check_disabled_resilience_identical,
     check_observer_effect,
     check_relabel_invariance,
+    check_tracing_observer_effect,
     relabel_stride,
     run_fingerprint,
 )
@@ -52,6 +54,22 @@ class TestBitIdenticalToggles:
         fp = run_fingerprint(run_workload(factory(), "dyn", machine=tiny_machine, opt=small_opt))
         for key in ("cycles", "l1.hits", "l2.misses", "issued", "useful", "return_value"):
             assert key in fp
+
+    def test_tracing_observer_effect(self, factory, tiny_machine, small_opt):
+        check_tracing_observer_effect(factory, machine=tiny_machine, opt=small_opt)
+
+
+class TestCycleAttribution:
+    @pytest.mark.parametrize("level", ["orig", "base", "prof", "dyn"])
+    def test_holds_on_small_runs(self, factory, tiny_machine, small_opt, level):
+        result = run_workload(factory(), level, machine=tiny_machine, opt=small_opt)
+        check_cycle_attribution(result, machine=tiny_machine)
+
+    def test_detects_tampered_counters(self, factory, tiny_machine, small_opt):
+        result = run_workload(factory(), "dyn", machine=tiny_machine, opt=small_opt)
+        result.stats.trace_charges += 1
+        with pytest.raises(OracleError, match="not conserved"):
+            check_cycle_attribution(result, machine=tiny_machine)
 
 
 class TestRelabelInvariance:

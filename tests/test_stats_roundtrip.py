@@ -1,0 +1,92 @@
+"""Property tests: optimizer summary serialization round-trips exactly.
+
+``OptimizerSummary.to_dict`` is the shape the telemetry metrics exporter
+embeds; hypothesis drives arbitrary summaries (including the cycle
+attribution fields ``analysis_charged``/``at_cycle``) through a
+JSON-serialize/parse/``from_dict`` cycle and requires loss-free recovery.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import OptCycleStats, OptimizerSummary
+
+counters = st.integers(min_value=0, max_value=2**40)
+
+opt_cycle_stats = st.builds(
+    OptCycleStats,
+    cycle=st.integers(min_value=1, max_value=100),
+    traced_refs=counters,
+    num_streams=st.integers(min_value=0, max_value=200),
+    dfsm_states=counters,
+    dfsm_transitions=counters,
+    injected_checks=counters,
+    procs_modified=st.integers(min_value=0, max_value=500),
+    stream_lengths=st.lists(st.integers(min_value=2, max_value=100), max_size=20),
+    analysis_charged=counters,
+    at_cycle=counters,
+)
+
+summaries = st.builds(
+    OptimizerSummary,
+    cycles=st.lists(opt_cycle_stats, max_size=8),
+    guard_rejections=counters,
+    stream_deopts=counters,
+    early_wakes=counters,
+    optimizer_errors=counters,
+    faults_injected=counters,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(stats=opt_cycle_stats)
+def test_opt_cycle_stats_round_trip(stats):
+    through_json = json.loads(json.dumps(stats.to_dict()))
+    assert OptCycleStats.from_dict(through_json) == stats
+
+
+@settings(max_examples=100, deadline=None)
+@given(summary=summaries)
+def test_optimizer_summary_round_trip(summary):
+    through_json = json.loads(json.dumps(summary.to_dict()))
+    recovered = OptimizerSummary.from_dict(through_json)
+    assert recovered == summary
+    # Derived aggregates recompute identically from the recovered cycles.
+    assert recovered.to_dict() == summary.to_dict()
+    assert recovered.analysis_charged == summary.analysis_charged
+
+
+@settings(max_examples=50, deadline=None)
+@given(summary=summaries)
+def test_to_dict_is_json_serializable_and_complete(summary):
+    data = summary.to_dict()
+    json.dumps(data)  # no TypeError
+    assert data["num_cycles"] == len(summary.cycles)
+    assert data["analysis_charged"] == sum(c.analysis_charged for c in summary.cycles)
+    for record, stats in zip(data["cycles"], summary.cycles):
+        assert record["analysis_charged"] == stats.analysis_charged
+        assert record["at_cycle"] == stats.at_cycle
+
+
+def test_from_dict_tolerates_pre_attribution_records():
+    # Metrics snapshots written before the attribution fields existed load
+    # with zero defaults rather than KeyError.
+    legacy = {
+        "cycle": 1,
+        "traced_refs": 10,
+        "num_streams": 2,
+        "dfsm_states": 3,
+        "dfsm_transitions": 4,
+        "injected_checks": 5,
+        "procs_modified": 1,
+        "stream_lengths": [2, 3],
+    }
+    stats = OptCycleStats.from_dict(legacy)
+    assert stats.analysis_charged == 0
+    assert stats.at_cycle == 0
+    summary = OptimizerSummary.from_dict({"cycles": [legacy]})
+    assert summary.analysis_charged == 0

@@ -66,6 +66,8 @@ SAMPLE_EVENTS = {
         99, "optimize", "InjectedFault", "injected fault: analysis_error", 1, False
     ),
     "RecordSkipped": lambda: EVENT_TYPES["RecordSkipped"](0, 7, "invalid JSON", "{trunc"),
+    "SpanBegin": lambda: EVENT_TYPES["SpanBegin"](5, 1, 0, "run:vpr/dyn", "run", ""),
+    "SpanEnd": lambda: EVENT_TYPES["SpanEnd"](95, 1),
 }
 
 

@@ -1,0 +1,138 @@
+"""Tests for repro.tracing.attribution: exact cycle accounting.
+
+The headline invariant: at every measurement level, the seven attribution
+categories sum *exactly* to the run's cycle count — no rounding, no slack
+term.  This is Figure 11's decomposition held to conservation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import LEVELS, run_workload
+from repro.machine.config import PAPER_MACHINE
+from repro.tracing.attribution import CATEGORIES, CATEGORY_LABELS, CycleAttribution
+from repro.workloads.chainmix import build_chainmix
+
+
+# Module-scoped copies of the conftest fixtures so one run ladder is shared
+# by every test in this file.
+@pytest.fixture(scope="module")
+def small_params():
+    from repro.workloads.chainmix import ChainMixParams
+
+    return ChainMixParams(
+        name="small",
+        groups=2,
+        hot_chains=6,
+        cold_chains=20,
+        chain_len=9,
+        hot_fraction=0.75,
+        schedule_len=32,
+        passes=8,
+        cold_refs_per_step=4,
+        cold_array_blocks=64,
+        node_compute=1,
+        unroll=4,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_opt():
+    from repro.analysis.hotstreams import AnalysisConfig
+    from repro.core.config import OptimizerConfig
+    from repro.profiling.sampling import BurstyCounters
+
+    return OptimizerConfig(
+        counters=BurstyCounters(16, 16),
+        n_awake=12,
+        n_hibernate=48,
+        head_len=2,
+        analysis=AnalysisConfig(
+            heat_ratio=0.002, min_length=4, max_length=64, min_unique=3, max_streams=16
+        ),
+        max_prefetches=32,
+        max_dfsm_states=512,
+    )
+
+
+@pytest.fixture(scope="module")
+def runs(small_params, small_opt):
+    results = {}
+    for level in LEVELS:
+        wl = build_chainmix(small_params, passes=8)
+        results[level] = run_workload(wl, level, opt=small_opt)
+    return results
+
+
+@pytest.mark.parametrize("level", LEVELS)
+def test_attribution_conserves_at_every_level(runs, level):
+    result = runs[level]
+    att = CycleAttribution.from_run(result.stats, PAPER_MACHINE)
+    assert att.total == result.cycles
+    assert att.attributed == att.total, (
+        f"{level}: attributed {att.attributed} != total {att.total} "
+        f"(unattributed {att.unattributed})"
+    )
+    assert att.conserved
+    assert att.unattributed == 0
+    # The exact sum, spelled out category by category.
+    assert sum(getattr(att, c) for c in CATEGORIES) == result.cycles
+
+
+def test_orig_charges_no_instrumentation(runs):
+    att = CycleAttribution.from_run(runs["orig"].stats, PAPER_MACHINE)
+    assert att.check_overhead == 0
+    assert att.trace_record == 0
+    assert att.dfsm_detect == 0
+    assert att.analysis == 0
+    assert att.prefetch_issue == 0
+    assert att.user_work + att.mem_stall == att.total
+
+
+def test_base_adds_only_checks(runs):
+    att = CycleAttribution.from_run(runs["base"].stats, PAPER_MACHINE)
+    assert att.check_overhead > 0
+    assert att.trace_record == 0
+    assert att.analysis == 0
+
+
+def test_prof_adds_trace_recording(runs):
+    att = CycleAttribution.from_run(runs["prof"].stats, PAPER_MACHINE)
+    assert att.trace_record > 0
+    assert att.check_overhead > 0
+
+
+def test_dyn_populates_every_pipeline_category(runs):
+    att = CycleAttribution.from_run(runs["dyn"].stats, PAPER_MACHINE)
+    assert att.check_overhead > 0
+    assert att.trace_record > 0
+    assert att.analysis > 0
+    assert att.prefetch_issue > 0
+
+
+def test_trace_charges_counts_every_instrumented_reference(runs):
+    # trace_charges is the exact multiplier behind the trace_record category;
+    # traced_refs only counts records a telemetry sink consumed, so on a
+    # sink-less run it stays 0 while trace_charges does not.
+    stats = runs["prof"].stats
+    assert stats.trace_charges > 0
+    assert stats.traced_refs <= stats.trace_charges
+
+
+def test_shares_sum_to_one(runs):
+    att = CycleAttribution.from_run(runs["dyn"].stats, PAPER_MACHINE)
+    assert att.total > 0
+    assert sum(att.share(c) for c in CATEGORIES) == pytest.approx(1.0)
+    rows = att.rows()
+    assert len(rows) == len(CATEGORY_LABELS)
+    assert sum(r[1] for r in rows) == att.total
+
+
+def test_to_dict_round_trips_fields(runs):
+    att = CycleAttribution.from_run(runs["dyn"].stats, PAPER_MACHINE)
+    data = att.to_dict()
+    assert data["total"] == att.total
+    for category in CATEGORIES:
+        assert data[category] == getattr(att, category)

@@ -1,0 +1,86 @@
+"""Tests for repro.tracing.explain: per-stream scorecards + rendering.
+
+The acceptance bar: explain produces scorecards for every preset workload,
+and every scorecard's counters reconcile exactly against the hierarchy's
+:class:`StreamPrefetchStats` (``explanation.mismatches`` stays empty).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.tracing.explain import explain_level, render_explanation
+from repro.workloads import presets
+
+
+@pytest.fixture(scope="module")
+def explanations():
+    return {name: explain_level(name, passes=2) for name in presets.names()}
+
+
+@pytest.mark.parametrize("name", presets.names())
+def test_scorecards_reconcile_for_every_workload(explanations, name):
+    exp = explanations[name]
+    assert exp.mismatches == []
+    assert exp.scorecards, f"{name}/dyn should install at least one stream"
+    total_issued = sum(card.stats.issued for card in exp.scorecards)
+    assert total_issued > 0
+    for card in exp.scorecards:
+        s = card.stats
+        assert s.issued == s.useful + s.late + s.redundant + s.polluting + s.wasted
+        assert card.name, "every stream needs a human-readable name"
+
+
+@pytest.mark.parametrize("name", presets.names())
+def test_attribution_conserves_in_explanation(explanations, name):
+    att = explanations[name].attribution
+    assert att.conserved
+    assert att.total == explanations[name].cycles
+
+
+def test_scorecards_sorted_by_issued(explanations):
+    exp = explanations["vpr"]
+    issued = [card.stats.issued for card in exp.scorecards]
+    assert issued == sorted(issued, reverse=True)
+    assert [card.sid for card in exp.scorecards] == [
+        f"s{i}" for i in range(1, len(exp.scorecards) + 1)
+    ]
+
+
+def test_est_saved_bounded_by_memory_latency(explanations):
+    from repro.machine.config import PAPER_MACHINE
+
+    for exp in explanations.values():
+        for card in exp.scorecards:
+            ceiling = (card.stats.useful + card.stats.late) * PAPER_MACHINE.memory_latency
+            assert 0 <= card.est_saved <= ceiling
+
+
+def test_render_summary_contains_tables(explanations):
+    text = render_explanation(explanations["vpr"])
+    assert "cycle attribution" in text
+    assert "per-stream scorecards" in text
+    assert "memory stall" in text
+    assert "s1" in text
+
+
+def test_render_single_stream_view(explanations):
+    exp = explanations["vpr"]
+    text = render_explanation(exp, stream="s1")
+    assert f"stream s1: {exp.scorecards[0].name}" in text
+    assert "lead p50/p90" in text
+    assert "watchdog verdicts" in text
+
+
+def test_unknown_stream_rejected(explanations):
+    with pytest.raises(ConfigError, match="unknown stream"):
+        render_explanation(explanations["vpr"], stream="s999")
+
+
+def test_nopref_level_explains_without_scorecards():
+    exp = explain_level("vortex", level="nopref", passes=2)
+    assert exp.scorecards == []
+    assert exp.mismatches == []
+    text = render_explanation(exp)
+    assert "no stream issued a prefetch" in text

@@ -1,0 +1,140 @@
+"""Tests for the Chrome trace-event exporter in repro.telemetry.export.
+
+A traced run must serialize to a document chrome://tracing and Perfetto can
+load: every entry carries the required keys, duration events balance per
+thread, and the writer/loader pair round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.cli import main as cli_main
+from repro.bench.runner import run_level
+from repro.errors import ConfigError
+from repro.telemetry.export import (
+    chrome_trace_events,
+    load_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.telemetry.session import TelemetrySession
+from repro.telemetry.sinks import ListSink
+
+
+@pytest.fixture(scope="module")
+def traced_events():
+    sink = ListSink()
+    session = TelemetrySession(sinks=[sink], tracing=True)
+    run_level("vpr", "dyn", passes=2, telemetry=session)
+    return sink.events
+
+
+class TestChromeTraceEvents:
+    def test_required_keys_on_every_entry(self, traced_events):
+        for entry in chrome_trace_events(traced_events):
+            for key in ("ph", "ts", "pid", "name"):
+                assert key in entry
+
+    def test_duration_events_balance_per_thread(self, traced_events):
+        stacks = {}
+        for entry in chrome_trace_events(traced_events):
+            thread = (entry["pid"], entry["tid"])
+            if entry["ph"] == "B":
+                stacks.setdefault(thread, []).append(entry["name"])
+            elif entry["ph"] == "E":
+                assert stacks.get(thread), f"E without B on {thread}"
+                assert stacks[thread].pop() == entry["name"]
+        assert all(not stack for stack in stacks.values())
+
+    def test_timestamps_are_sorted(self, traced_events):
+        ts = [e["ts"] for e in chrome_trace_events(traced_events) if e["ph"] != "M"]
+        assert ts == sorted(ts)
+
+    def test_span_and_burst_events_become_durations(self, traced_events):
+        entries = chrome_trace_events(traced_events)
+        names = {e["name"] for e in entries if e["ph"] == "B"}
+        assert any(name.startswith("epoch-") for name in names)
+        assert "burst" in names
+        assert any(e["ph"] == "i" for e in entries), "instants for non-span events"
+
+    def test_process_label_and_thread_names(self, traced_events):
+        entries = chrome_trace_events(traced_events, pid=7, label="vpr/dyn")
+        meta = [e for e in entries if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" and e["args"]["name"] == "vpr/dyn" for e in meta)
+        assert all(e["pid"] == 7 for e in entries)
+
+
+class TestWriteLoadValidate:
+    def test_round_trip(self, traced_events, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace([("vpr/dyn", traced_events)], path)
+        document = load_chrome_trace(path)
+        assert len(document["traceEvents"]) == count
+        validate_chrome_trace(document)  # idempotent, no exception
+
+    def test_multiple_runs_get_distinct_pids(self, traced_events, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(
+            [("vpr/dyn", traced_events), ("vpr/dyn-again", traced_events)], path
+        )
+        document = load_chrome_trace(path)
+        assert {e["pid"] for e in document["traceEvents"]} == {1, 2}
+
+    def test_validate_rejects_non_object(self):
+        with pytest.raises(ConfigError, match="JSON object"):
+            validate_chrome_trace([1, 2, 3])
+
+    def test_validate_rejects_missing_trace_events(self):
+        with pytest.raises(ConfigError, match="traceEvents"):
+            validate_chrome_trace({"displayTimeUnit": "ms"})
+
+    def test_validate_rejects_empty_trace_events(self):
+        with pytest.raises(ConfigError, match="traceEvents"):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_validate_rejects_missing_required_key(self):
+        doc = {"traceEvents": [{"ph": "i", "ts": 0, "pid": 1}]}  # no name
+        with pytest.raises(ConfigError, match="name"):
+            validate_chrome_trace(doc)
+
+    def test_validate_rejects_unknown_phase(self):
+        doc = {"traceEvents": [{"ph": "Z", "ts": 0, "pid": 1, "name": "x"}]}
+        with pytest.raises(ConfigError, match="phase"):
+            validate_chrome_trace(doc)
+
+    def test_validate_rejects_unbalanced_begin(self):
+        doc = {"traceEvents": [{"ph": "B", "ts": 0, "pid": 1, "tid": 0, "name": "x"}]}
+        with pytest.raises(ConfigError, match="unclosed"):
+            validate_chrome_trace(doc)
+
+    def test_validate_rejects_stray_end(self):
+        doc = {"traceEvents": [{"ph": "E", "ts": 0, "pid": 1, "tid": 0, "name": "x"}]}
+        with pytest.raises(ConfigError, match="without matching"):
+            validate_chrome_trace(doc)
+
+    def test_validate_rejects_mismatched_nesting(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "B", "ts": 0, "pid": 1, "tid": 0, "name": "a"},
+                {"ph": "E", "ts": 5, "pid": 1, "tid": 0, "name": "b"},
+            ]
+        }
+        with pytest.raises(ConfigError, match="closes"):
+            validate_chrome_trace(doc)
+
+
+def test_cli_trace_writes_valid_chrome_trace(tmp_path, capsys):
+    out = tmp_path / "trace-vortex.json"
+    code = cli_main(
+        ["trace", "--workloads", "vortex", "--scale", "0.1", "--out", str(out)]
+    )
+    assert code == 0
+    assert "chrome trace written" in capsys.readouterr().out
+    with open(out, encoding="utf-8") as fh:
+        document = json.load(fh)
+    validate_chrome_trace(document)
+    names = {e["name"] for e in document["traceEvents"]}
+    assert "vortex/dyn" in names  # the run span

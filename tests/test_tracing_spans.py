@@ -1,0 +1,193 @@
+"""Tests for repro.tracing.spans: the tracer, the null tracer, the collector.
+
+Covers the zero-overhead disabled path, auto-parenting, close-out ordering,
+the collector's tree reconstruction (including synthetic burst spans), and
+the span tree produced by a real traced run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_level
+from repro.telemetry.events import BurstBegin, BurstEnd, EventBus, SpanBegin, SpanEnd
+from repro.telemetry.session import TelemetrySession
+from repro.telemetry.sinks import ListSink
+from repro.tracing.spans import (
+    NULL_TRACER,
+    SPAN_CATEGORIES,
+    SpanCollector,
+    SpanTracer,
+)
+
+
+def _traced_bus():
+    bus = EventBus()
+    sink = ListSink()
+    collector = SpanCollector()
+    bus.attach(sink)
+    bus.attach(collector)
+    return bus, sink, collector
+
+
+class TestSpanTracer:
+    def test_disabled_bus_returns_zero_ids(self):
+        tracer = SpanTracer(EventBus())  # no sinks -> disabled
+        assert not tracer.enabled
+        assert tracer.begin(0, "run", "run") == 0
+        tracer.end(10, 0)  # must be a no-op, not an error
+
+    def test_null_tracer_is_inert(self):
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.begin(5, "x", "run") == 0
+        NULL_TRACER.end(9, 0)
+        NULL_TRACER.close_all(9)
+
+    def test_ids_are_unique_and_nonzero(self):
+        bus, _, _ = _traced_bus()
+        tracer = SpanTracer(bus)
+        ids = [tracer.begin(i, f"s{i}", "epoch") for i in range(5)]
+        assert 0 not in ids
+        assert len(set(ids)) == 5
+
+    def test_auto_parenting_uses_innermost_open_span(self):
+        bus, sink, _ = _traced_bus()
+        tracer = SpanTracer(bus)
+        outer = tracer.begin(0, "run", "run")
+        inner = tracer.begin(10, "epoch-1", "epoch")
+        leaf = tracer.begin(20, "analysis", "analysis")
+        begins = {e.span_id: e for e in sink.events if isinstance(e, SpanBegin)}
+        assert begins[outer].parent_id == 0
+        assert begins[inner].parent_id == outer
+        assert begins[leaf].parent_id == inner
+
+    def test_explicit_parent_wins_over_stack(self):
+        bus, sink, _ = _traced_bus()
+        tracer = SpanTracer(bus)
+        outer = tracer.begin(0, "run", "run")
+        tracer.begin(5, "epoch", "epoch")
+        pinned = tracer.begin(7, "aside", "analysis", parent=outer)
+        begins = {e.span_id: e for e in sink.events if isinstance(e, SpanBegin)}
+        assert begins[pinned].parent_id == outer
+
+    def test_end_removes_from_open_stack(self):
+        bus, sink, _ = _traced_bus()
+        tracer = SpanTracer(bus)
+        outer = tracer.begin(0, "run", "run")
+        inner = tracer.begin(5, "epoch", "epoch")
+        tracer.end(9, inner)
+        sibling = tracer.begin(10, "epoch-2", "epoch")
+        begins = {e.span_id: e for e in sink.events if isinstance(e, SpanBegin)}
+        assert begins[sibling].parent_id == outer
+
+    def test_close_all_closes_innermost_first(self):
+        bus, sink, _ = _traced_bus()
+        tracer = SpanTracer(bus)
+        a = tracer.begin(0, "a", "run")
+        b = tracer.begin(1, "b", "epoch")
+        c = tracer.begin(2, "c", "analysis")
+        tracer.close_all(50)
+        ends = [e.span_id for e in sink.events if isinstance(e, SpanEnd)]
+        assert ends == [c, b, a]
+        assert all(e.cycle == 50 for e in sink.events if isinstance(e, SpanEnd))
+
+
+class TestSpanCollector:
+    def test_builds_tree(self):
+        bus, _, collector = _traced_bus()
+        tracer = SpanTracer(bus)
+        run = tracer.begin(0, "run", "run")
+        epoch = tracer.begin(1, "e1", "epoch")
+        tracer.end(90, epoch)
+        tracer.end(100, run)
+        roots = collector.roots()
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "run" and root.begin == 0 and root.end == 100
+        assert root.duration == 100
+        assert [c.name for c in root.children] == ["e1"]
+        assert root.children[0].duration == 89
+
+    def test_synthesizes_burst_spans_under_open_epoch(self):
+        bus, _, collector = _traced_bus()
+        tracer = SpanTracer(bus)
+        tracer.begin(0, "run", "run")
+        epoch = tracer.begin(1, "e1", "epoch")
+        bus.emit(BurstBegin(cycle=10))
+        bus.emit(BurstEnd(cycle=30, index=0))
+        tracer.end(90, epoch)
+        tracer.close_all(100)
+        (root,) = collector.roots()
+        epoch_span = root.children[0]
+        burst = epoch_span.children[0]
+        assert burst.category == "burst"
+        assert (burst.begin, burst.end) == (10, 30)
+        assert burst.span_id < 0  # synthetic ids never collide with real ones
+
+    def test_tree_lines_render_and_elide(self):
+        bus, _, collector = _traced_bus()
+        tracer = SpanTracer(bus)
+        run = tracer.begin(0, "run", "run")
+        for i in range(12):
+            sid = tracer.begin(i, f"e{i}", "epoch", parent=run)
+            tracer.end(i + 1, sid)
+        tracer.close_all(20)
+        lines = collector.tree_lines(max_children=8)
+        assert lines[0].startswith("run:run")
+        assert any("more" in line for line in lines)
+
+
+class TestTracedRun:
+    def test_real_run_produces_well_formed_tree(self):
+        session = TelemetrySession(sinks=[ListSink()], tracing=True)
+        result = run_level("vortex", "dyn", passes=2, telemetry=session)
+        roots = session.spans.roots()
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.category == "run"
+        assert root.name == "vortex/dyn"
+        assert root.begin == 0 and root.end == result.cycles
+        categories = set()
+
+        def walk(span):
+            categories.add(span.category)
+            assert span.category in SPAN_CATEGORIES
+            assert span.end is not None, "close_all must close every span"
+            assert span.begin <= span.end
+            for child in span.children:
+                assert span.begin <= child.begin
+                walk(child)
+
+        walk(root)
+        # A dyn run must show epochs, profiling bursts and analyses.
+        assert {"run", "epoch", "burst", "analysis"} <= categories
+
+    def test_tracing_off_emits_no_span_events(self):
+        sink = ListSink()
+        session = TelemetrySession(sinks=[sink])
+        run_level("vortex", "dyn", passes=2, telemetry=session)
+        kinds = {e.kind for e in sink.events}
+        assert "SpanBegin" not in kinds and "SpanEnd" not in kinds
+        assert session.spans is None
+
+    def test_injection_spans_present_when_optimizing(self):
+        session = TelemetrySession(sinks=[ListSink()], tracing=True)
+        run_level("vortex", "dyn", passes=2, telemetry=session)
+
+        found = []
+
+        def walk(span):
+            if span.category == "injection":
+                found.append(span)
+            for child in span.children:
+                walk(child)
+
+        for root in session.spans.roots():
+            walk(root)
+        assert found, "dyn run with injection should record injection spans"
+        assert all(s.duration == 0 for s in found), "injection spans are instants"
+
+
+@pytest.mark.parametrize("category", SPAN_CATEGORIES)
+def test_categories_are_known_strings(category):
+    assert isinstance(category, str) and category
