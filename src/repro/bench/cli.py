@@ -45,7 +45,20 @@ for the run/epoch/analysis span tree, profiling bursts and instant events.
 (the Figure 11 decomposition, conservation-checked) and a per-stream prefetch
 scorecard built from the lifecycle ledger; ``--stream s3`` (with a single
 ``--workloads`` entry) zooms into one stream's fate histogram, timeliness
-distribution and watchdog verdicts.
+distribution and watchdog verdicts.  ``--against orig`` diffs the
+attribution tables of two levels instead — both sides replay from the result
+cache when warm.
+
+Experiment engine (:mod:`repro.engine`): every simulated run is described by
+a content-fingerprinted :class:`~repro.engine.spec.RunSpec` and memoized in
+the on-disk result cache (default ``.repro-cache/``; override with
+``--cache-dir`` or ``$REPRO_CACHE_DIR``, disable with ``--no-cache``).  A
+warm rerun replays bit-identical results instead of simulating; the session
+summary (hits/misses/stored) goes to **stderr** so stdout stays byte-for-byte
+comparable between cold and warm runs.  ``--jobs N`` fans uncached runs out
+over N worker processes — output is deterministic and identical to serial.
+``repro-bench cache`` prints the store's stats; ``repro-bench cache --clear``
+empties it.
 """
 
 from __future__ import annotations
@@ -59,6 +72,7 @@ from repro.bench import figures
 from repro.bench.figures import ResultCache
 from repro.bench.reporting import Ratio, format_table
 from repro.core.config import OptimizerConfig
+from repro.engine.cache import ResultStore
 from repro.resilience import FaultPlan, WatchdogConfig
 from repro.telemetry.session import TelemetryRecorder
 from repro.workloads import presets
@@ -168,7 +182,9 @@ def _print_table2(cache: ResultCache, names: Sequence[str]) -> None:
 
 def _print_ablation_headlen(names: Sequence[str], cache: ResultCache) -> None:
     for name in names:
-        rows = figures.ablation_headlen(name, passes=cache.passes_for(name))
+        rows = figures.ablation_headlen(
+            name, passes=cache.passes_for(name), store=cache.store, jobs=cache.jobs
+        )
         print(
             format_table(
                 ["headLen", "Dyn-pref %", "accuracy", "issued"],
@@ -178,9 +194,12 @@ def _print_ablation_headlen(names: Sequence[str], cache: ResultCache) -> None:
         )
 
 
-def _print_ablation_watchdog(scale: float, fault_seed: Optional[int]) -> None:
+def _print_ablation_watchdog(cache: ResultCache, fault_seed: Optional[int]) -> None:
+    scale = cache.passes_scale
     passes = None if scale == 1.0 else max(2, int(PhaseShiftParams().passes * scale))
-    rows = figures.ablation_watchdog(passes=passes, fault_seed=fault_seed)
+    rows = figures.ablation_watchdog(
+        passes=passes, fault_seed=fault_seed, store=cache.store, jobs=cache.jobs
+    )
     print(
         format_table(
             [
@@ -219,7 +238,9 @@ def _print_ablation_watchdog(scale: float, fault_seed: Optional[int]) -> None:
 
 def _print_ablation_hwpref(names: Sequence[str], cache: ResultCache) -> None:
     for name in names:
-        rows = figures.ablation_hwpref(name, passes=cache.passes_for(name))
+        rows = figures.ablation_hwpref(
+            name, passes=cache.passes_for(name), store=cache.store, jobs=cache.jobs
+        )
         print(
             format_table(
                 ["scheme", "overhead %", "accuracy", "useful", "wasted"],
@@ -267,10 +288,30 @@ def _run_trace(args, names: Sequence[str], cache: ResultCache) -> int:
 
 
 def _run_explain(args, names: Sequence[str], cache: ResultCache, parser) -> int:
-    from repro.tracing.explain import explain_level, render_explanation
+    from repro.tracing.explain import (
+        diff_levels,
+        explain_level,
+        render_explanation,
+        render_level_diff,
+    )
 
     if args.stream is not None and len(names) != 1:
         parser.error("--stream needs a single workload (use --workloads <name>)")
+    if args.against is not None:
+        if args.stream is not None:
+            parser.error("--against diffs whole levels; it cannot combine with --stream")
+        for name in names:
+            diff = diff_levels(
+                name,
+                args.level,
+                against=args.against,
+                opt=cache.opt,
+                passes=cache.passes_for(name),
+                store=cache.store,
+            )
+            print(render_level_diff(diff))
+            print()
+        return 0
     status = 0
     for name in names:
         exp = explain_level(
@@ -283,13 +324,14 @@ def _run_explain(args, names: Sequence[str], cache: ResultCache, parser) -> int:
     return status
 
 
-def _run_verify(args) -> int:
+def _run_verify(args, store: Optional[ResultStore]) -> int:
     from repro.oracle import golden as golden_corpus
     from repro.oracle.verify import run_verify
 
     golden_dir = args.golden_dir
     if args.update_golden:
-        written = golden_corpus.record_corpus(golden_dir)
+        # Recording must freeze what the simulator *does*, never a replay.
+        written = golden_corpus.record_corpus(golden_dir, jobs=args.jobs)
         for path in written:
             print(f"recorded {path}")
         print(f"golden corpus updated ({len(written)} runs)")
@@ -300,9 +342,32 @@ def _run_verify(args) -> int:
         golden_dir=golden_dir,
         include_golden=not args.skip_golden,
         progress=lambda message: print(f"  .. {message}"),
+        store=store,
+        jobs=args.jobs,
     )
     print(report.format())
+    _print_cache_summary(store)
     return 0 if report.ok else 1
+
+
+def _run_cache(args, parser) -> int:
+    """``repro-bench cache``: inspect or clear the result store."""
+    store = ResultStore(args.cache_dir)
+    if args.clear:
+        removed = store.clear()
+        print(f"result cache cleared: {removed} entries removed ({store.root})")
+        return 0
+    stats = store.stats()
+    print(f"result cache at {stats['root']}")
+    print(f"  entries {stats['entries']}")
+    print(f"  bytes   {stats['bytes']}")
+    return 0
+
+
+def _print_cache_summary(store: Optional[ResultStore]) -> None:
+    """Session hit/miss summary on stderr (stdout stays cold/warm-identical)."""
+    if store is not None and (store.hits or store.misses or store.stored):
+        print(store.summary_line(), file=sys.stderr)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -321,14 +386,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "ablation-hwpref",
             "ablation-watchdog",
             "tables",
+            "figures",
             "trace",
             "explain",
             "verify",
+            "cache",
             "all",
         ],
     )
     parser.add_argument("--scale", type=float, default=1.0, help="workload pass-count scale")
     parser.add_argument("--workloads", default="", help="comma-separated subset of benchmarks")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run uncached simulations across N worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither replay from nor write to the result cache",
+    )
+    parser.add_argument(
+        "--clear",
+        action="store_true",
+        help="cache: delete every stored result instead of printing stats",
+    )
     parser.add_argument(
         "--telemetry",
         metavar="OUT.JSONL",
@@ -385,6 +475,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="explain: zoom into one stream's scorecard (id from the summary table)",
     )
     parser.add_argument(
+        "--against",
+        metavar="LEVEL",
+        default=None,
+        help="explain: diff --level's attribution against this level (e.g. orig)",
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=0,
@@ -415,8 +511,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.artifact == "cache":
+        return _run_cache(args, parser)
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+
     if args.artifact == "verify":
-        return _run_verify(args)
+        return _run_verify(args, store)
 
     names = [n for n in args.workloads.split(",") if n] or presets.names()
     unknown = set(names) - set(presets.names())
@@ -442,16 +544,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         opt = replace(opt, watchdog=WatchdogConfig())
     if args.fault_seed is not None:
         opt = replace(opt, faults=FaultPlan(seed=args.fault_seed))
-    cache = ResultCache(opt=opt, passes_scale=args.scale, recorder=recorder)
+    cache = ResultCache(
+        opt=opt, passes_scale=args.scale, recorder=recorder, store=store, jobs=args.jobs
+    )
 
     if args.artifact in ("trace", "explain"):
         from repro.bench.runner import LEVELS
 
-        if args.level not in LEVELS:
-            parser.error(f"unknown level {args.level!r}; known: {', '.join(LEVELS)}")
+        for level in (args.level, args.against):
+            if level is not None and level not in LEVELS:
+                parser.error(f"unknown level {level!r}; known: {', '.join(LEVELS)}")
         if args.artifact == "trace":
             return _run_trace(args, names, cache)
-        return _run_explain(args, names, cache, parser)
+        status = _run_explain(args, names, cache, parser)
+        _print_cache_summary(store)
+        return status
 
     if args.artifact == "tables":
         _print_tables()
@@ -462,24 +569,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _print_table1()
     if args.artifact in ("figure8", "all"):
         _print_figure8()
-    if args.artifact in ("figure11", "all"):
+    if args.artifact in ("figure11", "figures", "all"):
         _print_figure11(cache, names)
-    if args.artifact in ("figure12", "all"):
+    if args.artifact in ("figure12", "figures", "all"):
         _print_figure12(cache, names)
-    if args.artifact in ("table2", "all"):
+    if args.artifact in ("table2", "figures", "all"):
         _print_table2(cache, names)
     if args.artifact in ("ablation-headlen", "all"):
         _print_ablation_headlen(names, cache)
     if args.artifact in ("ablation-hwpref", "all"):
         _print_ablation_hwpref(names, cache)
     if args.artifact in ("ablation-watchdog", "all"):
-        _print_ablation_watchdog(args.scale, args.fault_seed)
+        _print_ablation_watchdog(cache, args.fault_seed)
     if recorder is not None:
         recorder.close()
         if args.telemetry:
             print(f"telemetry events written to {args.telemetry}")
         if args.metrics:
             print(f"metrics snapshots written to {args.metrics}")
+    _print_cache_summary(store)
     return 0
 
 

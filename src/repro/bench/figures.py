@@ -17,8 +17,12 @@ Each function reproduces one artifact (see DESIGN.md's experiment index):
                           an adversarial phase-shift workload
 ========================  ====================================================
 
-Workload executions are memoized in a :class:`ResultCache` so a full bench
-session runs each (workload, level) pair once.
+Workload executions are memoized in a :class:`ResultCache`, which sits on
+the experiment engine (:mod:`repro.engine`): every execution is described by
+a :class:`~repro.engine.spec.RunSpec`, replayed from the content-addressed
+:class:`~repro.engine.cache.ResultStore` when one is attached, and batched
+through :func:`~repro.engine.executor.execute_plan` (``jobs > 1`` fans the
+simulations out over a process pool) by :meth:`ResultCache.warm`.
 """
 
 from __future__ import annotations
@@ -28,16 +32,19 @@ from typing import Optional, Sequence
 
 from repro.analysis.hotstreams import AnalysisConfig, analyze_grammar
 from repro.analysis.stream import HotDataStream
-from repro.bench.runner import RunResult, run_level, run_workload
 from repro.core.config import OptimizerConfig
 from repro.dfsm.build import build_dfsm
 from repro.dfsm.machine import PrefixDFSM
-from repro.machine.config import CacheGeometry, MachineConfig
+from repro.engine.cache import ResultStore
+from repro.engine.executor import execute_plan, run_spec
+from repro.engine.result import RunResult
+from repro.engine.spec import RunPlan, RunSpec
+from repro.machine.config import CacheGeometry, MachineConfig, PAPER_MACHINE
 from repro.resilience import FaultPlan, WatchdogConfig
 from repro.sequitur.sequitur import Sequitur
-from repro.telemetry.session import TelemetryRecorder, TelemetrySession
+from repro.telemetry.session import TelemetryRecorder
 from repro.workloads import presets
-from repro.workloads.phaseshift import build_phaseshift
+from repro.workloads.phaseshift import PhaseShiftParams
 
 #: The paper's worked-example string (Figure 4/6, Table 1).
 EXAMPLE_STRING = "abaabcabcabcabc"
@@ -106,9 +113,18 @@ def figure8_dfsm(head_len: int = 3) -> PrefixDFSM:
 class ResultCache:
     """Memoizes (workload, level, passes, config-ish) executions.
 
+    A thin session-scoped layer over the experiment engine: each requested
+    pair becomes a :class:`~repro.engine.spec.RunSpec`, replayed from the
+    attached :class:`~repro.engine.cache.ResultStore` when its fingerprint is
+    already on disk.  :meth:`warm` resolves a batch of pairs up front —
+    across a process pool when ``jobs > 1`` — so the figure functions can
+    declare their whole grid before rendering row by row.
+
     When a :class:`~repro.telemetry.session.TelemetryRecorder` is attached,
-    every fresh execution streams its events into the recorder's shared JSONL
-    log and contributes a ``workload/level`` metrics snapshot.
+    every execution runs live and in-process (events cannot be replayed from
+    the store nor shipped across a pool boundary), streams its events into
+    the recorder's shared JSONL log and contributes a ``workload/level``
+    metrics snapshot.
     """
 
     def __init__(
@@ -116,36 +132,73 @@ class ResultCache:
         opt: Optional[OptimizerConfig] = None,
         passes_scale: float = 1.0,
         recorder: Optional[TelemetryRecorder] = None,
+        store: Optional[ResultStore] = None,
+        jobs: int = 1,
     ) -> None:
         self.opt = opt if opt is not None else OptimizerConfig()
         self.passes_scale = passes_scale
         self.recorder = recorder
+        self.store = store
+        self.jobs = max(1, jobs)
         self._results: dict[tuple[str, str], RunResult] = {}
 
     def passes_for(self, name: str) -> Optional[int]:
         if self.passes_scale == 1.0:
             return None
-        for params in presets.ALL_PARAMS:
-            if params.name == name:
-                return max(2, int(params.passes * self.passes_scale))
-        raise KeyError(name)
+        if name == "phaseshift":
+            return max(2, int(PhaseShiftParams().passes * self.passes_scale))
+        return max(2, int(presets.params_for(name).passes * self.passes_scale))
+
+    def spec_for(self, name: str, level: str) -> RunSpec:
+        """The engine spec this cache would execute for ``(name, level)``."""
+        return RunSpec(
+            workload=name,
+            level=level,
+            passes=self.passes_for(name),
+            machine=PAPER_MACHINE,
+            opt=self.opt,
+        )
+
+    @property
+    def _recording(self) -> bool:
+        return self.recorder is not None and self.recorder.enabled
+
+    def warm(self, pairs: Sequence[tuple[str, str]]) -> None:
+        """Resolve a batch of (workload, level) pairs before rendering.
+
+        No-op for already-memoized pairs and under a telemetry recorder
+        (those runs must stay live and serial); otherwise cache hits replay
+        instantly and the misses simulate, in parallel when ``jobs > 1``.
+        """
+        if self._recording:
+            return
+        todo = [p for p in dict.fromkeys(pairs) if p not in self._results]
+        if not todo:
+            return
+        plan = RunPlan.of(*(self.spec_for(n, lvl) for n, lvl in todo))
+        for pair, result in zip(todo, execute_plan(plan, jobs=self.jobs, store=self.store)):
+            self._results[pair] = result
 
     def get(self, name: str, level: str) -> RunResult:
         key = (name, level)
         if key not in self._results:
-            session = self.recorder.session_for(name, level) if self.recorder else None
-            self._results[key] = run_level(
-                name, level, opt=self.opt, passes=self.passes_for(name), telemetry=session
-            )
-            if session is not None:
+            spec = self.spec_for(name, level)
+            if self._recording:
+                session = self.recorder.session_for(name, level)
+                result = run_spec(spec, telemetry=session)
                 self.recorder.record(name, level, session)
+            else:
+                result = run_spec(spec, store=self.store)
+            self._results[key] = result
         return self._results[key]
 
 
 def figure11_rows(cache: ResultCache, names: Optional[Sequence[str]] = None) -> list[dict]:
     """Figure 11: Base / Prof / Hds overhead (percent) per benchmark."""
+    names = list(names or presets.names())
+    cache.warm([(n, lvl) for n in names for lvl in ("orig", "base", "prof", "hds")])
     rows = []
-    for name in names or presets.names():
+    for name in names:
         orig = cache.get(name, "orig")
         rows.append(
             {
@@ -160,8 +213,10 @@ def figure11_rows(cache: ResultCache, names: Optional[Sequence[str]] = None) -> 
 
 def figure12_rows(cache: ResultCache, names: Optional[Sequence[str]] = None) -> list[dict]:
     """Figure 12: No-pref / Seq-pref / Dyn-pref overhead (percent)."""
+    names = list(names or presets.names())
+    cache.warm([(n, lvl) for n in names for lvl in ("orig", "nopref", "seq", "dyn")])
     rows = []
-    for name in names or presets.names():
+    for name in names:
         orig = cache.get(name, "orig")
         rows.append(
             {
@@ -187,8 +242,10 @@ def figure12_quality_rows(
     (non-redundant), timeliness = in-time / used, pollution = evicted-unused /
     issued (non-redundant).
     """
+    names = list(names or presets.names())
+    cache.warm([(n, lvl) for n in names for lvl in levels])
     rows = []
-    for name in names or presets.names():
+    for name in names:
         for level in levels:
             metrics = cache.get(name, level).metrics
             assert metrics is not None
@@ -207,8 +264,10 @@ def figure12_quality_rows(
 
 def table2_rows(cache: ResultCache, names: Optional[Sequence[str]] = None) -> list[dict]:
     """Table 2: per-optimization-cycle characterization of the dyn runs."""
+    names = list(names or presets.names())
+    cache.warm([(n, "dyn") for n in names])
     rows = []
-    for name in names or presets.names():
+    for name in names:
         result = cache.get(name, "dyn")
         summary = result.summary
         assert summary is not None
@@ -232,6 +291,8 @@ def ablation_headlen(
     head_lens: Sequence[int] = (1, 2, 3),
     opt: Optional[OptimizerConfig] = None,
     passes: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    jobs: int = 1,
 ) -> list[dict]:
     """Section 4.3: vary the matched prefix length before prefetching.
 
@@ -239,10 +300,16 @@ def ablation_headlen(
     matching overhead without accuracy gains.
     """
     base_opt = opt if opt is not None else OptimizerConfig()
-    orig = run_level(name, "orig", passes=passes)
+    plan = RunPlan.of(
+        RunSpec(name, "orig", passes=passes),
+        *(
+            RunSpec(name, "dyn", passes=passes, opt=replace(base_opt, head_len=head_len))
+            for head_len in head_lens
+        ),
+    )
+    orig, *variants = execute_plan(plan, jobs=jobs, store=store)
     rows = []
-    for head_len in head_lens:
-        result = run_level(name, "dyn", opt=replace(base_opt, head_len=head_len), passes=passes)
+    for head_len, result in zip(head_lens, variants):
         prefetch = result.hierarchy.prefetch
         rows.append(
             {
@@ -276,7 +343,10 @@ ABLATION_WATCHDOG_CONFIG = WatchdogConfig(check_every=4, min_samples=16, wake_on
 
 
 def ablation_watchdog(
-    passes: Optional[int] = None, fault_seed: Optional[int] = None
+    passes: Optional[int] = None,
+    fault_seed: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    jobs: int = 1,
 ) -> list[dict]:
     """Extension: the prefetch watchdog on an adversarial phase-shift workload.
 
@@ -301,19 +371,22 @@ def ablation_watchdog(
         variants.append(
             ("dyn+watchdog+faults", "dyn", replace(wd_opt, faults=FaultPlan(seed=fault_seed)))
         )
-    rows: list[dict] = []
-    baseline: Optional[RunResult] = None
-    for label, level, opt in variants:
-        session = TelemetrySession.recording()
-        result = run_workload(
-            build_phaseshift(passes=passes),
-            level,
-            machine=ABLATION_WATCHDOG_MACHINE,
-            opt=opt,
-            telemetry=session,
+    plan = RunPlan.of(
+        *(
+            RunSpec(
+                "phaseshift",
+                level,
+                passes=passes,
+                machine=ABLATION_WATCHDOG_MACHINE,
+                opt=opt,
+            )
+            for _, level, opt in variants
         )
-        if baseline is None:
-            baseline = result
+    )
+    results = execute_plan(plan, jobs=jobs, store=store)
+    baseline = results[0]
+    rows: list[dict] = []
+    for (label, _level, _opt), result in zip(variants, results):
         summary = result.summary
         assert summary is not None
         prefetch = result.hierarchy.prefetch
@@ -330,13 +403,20 @@ def ablation_watchdog(
                 "issued": prefetch.issued,
                 "useful": prefetch.useful,
                 "wasted": prefetch.wasted,
-                "deopt_events": sum(1 for e in session.events if e.kind == "StreamDeoptimized"),
+                # Every rollback emits one StreamDeoptimized event alongside
+                # the summary counter; the summary survives cache replay.
+                "deopt_events": summary.stream_deopts,
             }
         )
     return rows
 
 
-def ablation_hwpref(name: str, passes: Optional[int] = None) -> list[dict]:
+def ablation_hwpref(
+    name: str,
+    passes: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    jobs: int = 1,
+) -> list[dict]:
     """Section 4.3/5.1: hardware stride and Markov prefetchers vs. dyn.
 
     The hardware baselines are cost-free in the model (no instruction
@@ -344,10 +424,14 @@ def ablation_hwpref(name: str, passes: Optional[int] = None) -> list[dict]:
     streams ("many will not be successfully prefetched using a simple
     stride-based prefetching scheme").
     """
-    orig = run_level(name, "orig", passes=passes)
+    schemes = ("stride", "markov", "dyn")
+    plan = RunPlan.of(
+        RunSpec(name, "orig", passes=passes),
+        *(RunSpec(name, level, passes=passes) for level in schemes),
+    )
+    orig, *variants = execute_plan(plan, jobs=jobs, store=store)
     rows = []
-    for level in ("stride", "markov", "dyn"):
-        result = run_level(name, level, passes=passes)
+    for level, result in zip(schemes, variants):
         prefetch = result.hierarchy.prefetch
         rows.append(
             {

@@ -1,85 +1,36 @@
-"""Experiment runner: executes workloads at the paper's measurement levels.
+"""Compatibility facade over the experiment engine.
 
-The levels form the ladder both evaluation figures climb:
+The run orchestration that used to live here — the measurement-level ladder,
+its if/elif dispatch and the :class:`RunResult` container — moved into
+:mod:`repro.engine` (a declarative :class:`~repro.engine.levels.LevelSpec`
+registry, a serializable result, a content-addressed cache and a parallel
+executor).  This module keeps the historical entry points with unchanged
+signatures:
 
-==========  =================================================================
-``orig``    unmodified binary (the normalization baseline)
-``base``    bursty-tracing checks only, (virtually) no tracing — Figure 11
-            "Base" (huge ``nCheck0``, ``nInstr0 = 1``, no listener)
-``prof``    temporal data-reference profiling at the configured sampling
-            rate, no analysis — Figure 11 "Prof"
-``hds``     profiling + online hot-data-stream analysis — Figure 11 "Hds"
-``nopref``  full pipeline incl. DFSM prefix matching, but no prefetches —
-            Figure 12 "No-pref"
-``seq``     prefetch sequentially-following blocks — Figure 12 "Seq-pref"
-``dyn``     prefetch the hot data stream tails — Figure 12 "Dyn-pref"
-==========  =================================================================
+- :data:`LEVELS` — the registered measurement levels, ladder order;
+- :func:`configure_level` — level -> optimizer-config derivation;
+- :class:`RunResult` — now :class:`repro.engine.result.RunResult`;
+- :func:`run_workload` / :func:`run_level` — one uncached, in-process
+  execution (exactly the old behaviour).
 
-Every level rebuilds the workload from scratch (runs mutate simulated
-memory) and returns a :class:`RunResult` carrying the cycle count, cache and
-prefetch statistics, and the optimizer's per-cycle characterization.
+Cache-aware and parallel execution live in :func:`repro.engine.run_spec`
+and :func:`repro.engine.execute_plan`; new levels register through
+:func:`repro.engine.register_level`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.core.config import OptimizerConfig
-from repro.core.optimizer import DynamicPrefetcher
-from repro.core.stats import OptimizerSummary
-from repro.errors import ConfigError
-from repro.interp.interpreter import ExecStats, Interpreter
+from repro.engine.levels import LEVELS, configure_level, execute_workload
+from repro.engine.result import RunResult
 from repro.machine.config import MachineConfig, PAPER_MACHINE
-from repro.machine.hierarchy import MemoryHierarchy
-from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.session import TelemetrySession
-from repro.vulcan.static_edit import instrument_program
 from repro.workloads import presets
 from repro.workloads.base import BuiltWorkload
 
-LEVELS = ("orig", "base", "prof", "hds", "nopref", "seq", "dyn", "static", "stride", "markov")
-#: levels that attach the full online optimizer
-_OPTIMIZED_LEVELS = ("prof", "hds", "nopref", "seq", "dyn", "static")
-#: hardware-prefetcher baselines running on the unmodified binary
-_HW_LEVELS = ("stride", "markov")
-
-
-@dataclass
-class RunResult:
-    """Outcome of one (workload, level) execution."""
-
-    workload: str
-    level: str
-    stats: ExecStats
-    hierarchy: MemoryHierarchy
-    summary: Optional[OptimizerSummary]
-    #: run-level metrics registry, always populated (exact, reconciled from
-    #: the simulation counters at finalize time)
-    metrics: Optional[MetricsRegistry] = None
-
-    @property
-    def cycles(self) -> int:
-        return self.stats.cycles
-
-    def overhead_vs(self, baseline: "RunResult") -> float:
-        """Percent overhead relative to ``baseline`` (negative = speedup)."""
-        return 100.0 * (self.cycles - baseline.cycles) / baseline.cycles
-
-
-def configure_level(level: str, opt: OptimizerConfig) -> OptimizerConfig:
-    """Derive the optimizer configuration implementing ``level``."""
-    if level == "prof":
-        return replace(opt, analyze=False, inject=False)
-    if level == "hds":
-        return replace(opt, analyze=True, inject=False)
-    if level == "nopref":
-        return replace(opt, analyze=True, inject=True, mode="nopref")
-    if level == "seq":
-        return replace(opt, analyze=True, inject=True, mode="seq")
-    if level in ("dyn", "static"):
-        return replace(opt, analyze=True, inject=True, mode="dyn")
-    raise ConfigError(f"level {level!r} does not use an optimizer config")
+__all__ = ["LEVELS", "RunResult", "configure_level", "run_level", "run_workload"]
 
 
 def run_workload(
@@ -96,51 +47,7 @@ def run_workload(
     carries an exact metrics registry.  Telemetry never alters simulated
     cycle counts.
     """
-    if level not in LEVELS:
-        raise ConfigError(f"unknown level {level!r}; known: {LEVELS}")
-    opt = opt if opt is not None else OptimizerConfig()
-    session = telemetry if telemetry is not None else TelemetrySession()
-    # Open the run (and its tracing span) before any component is built so
-    # the optimizer's epoch spans nest under the run span.
-    if not session.context:
-        session.begin_run(workload.name, level)
-    program = workload.program
-    summary: Optional[OptimizerSummary] = None
-    if level == "orig":
-        interp = Interpreter(program, workload.memory, machine)
-        session.wire(interp)
-    elif level in _HW_LEVELS:
-        from repro.core.hwpref import MarkovPrefetcher, StridePrefetcher
-
-        interp = Interpreter(program, workload.memory, machine)
-        session.wire(interp)
-        interp.hw_prefetcher = StridePrefetcher() if level == "stride" else MarkovPrefetcher()
-    else:
-        program, _report = instrument_program(program)
-        interp = Interpreter(program, workload.memory, machine)
-        session.wire(interp)
-        if level == "base":
-            # Checks execute, instrumented code (virtually) never does.
-            interp.set_counters(1 << 40, 1)
-        elif level == "static":
-            from repro.core.static_pref import StaticPrefetcher
-
-            optimizer = StaticPrefetcher(program, interp, machine, configure_level(level, opt))
-            summary = optimizer.summary
-        else:
-            optimizer = DynamicPrefetcher(program, interp, machine, configure_level(level, opt))
-            summary = optimizer.summary
-    stats = interp.run(workload.args)
-    interp.hierarchy.finalize(now=stats.cycles)
-    session.finalize_run(stats, interp.hierarchy, summary)
-    return RunResult(
-        workload=workload.name,
-        level=level,
-        stats=stats,
-        hierarchy=interp.hierarchy,
-        summary=summary,
-        metrics=session.registry,
-    )
+    return execute_workload(workload, level, machine, opt, telemetry)
 
 
 def run_level(

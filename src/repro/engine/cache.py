@@ -1,0 +1,152 @@
+"""Content-addressed on-disk result cache.
+
+:class:`ResultStore` memoizes :class:`~repro.engine.result.RunResult`s under
+a cache root (default ``.repro-cache/``, overridable via the
+``REPRO_CACHE_DIR`` environment variable), keyed by the spec fingerprint —
+so the key already covers the workload, level, machine, optimizer config
+*and* the simulator's own source code (:func:`repro.engine.spec.code_version`).
+
+Entries are plain JSON documents laid out git-style
+(``objects/<fp[:2]>/<fp>.json``) and written atomically (tmp file + rename),
+so a crashed writer can never leave a half-entry that a later reader would
+trust.  Anything unreadable — truncated JSON, a format bump, a fingerprint
+mismatch — degrades to a cache miss, never an error.
+
+The store keeps per-session hit/miss/stored counters and mirrors them as
+telemetry events (:class:`~repro.telemetry.events.ResultCacheHit` et al.) on
+its own bus; engine events happen *around* runs, not inside them, so they
+never pollute a run's event log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.engine.result import RunResult
+from repro.engine.spec import RunSpec
+from repro.telemetry.events import ResultCacheHit, ResultCacheMiss, ResultCacheStored
+from repro.telemetry.sinks import NULL_SINK
+
+#: Format version stamped into cache entries; bump on layout changes.
+CACHE_FORMAT = 1
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache root, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_root() -> Path:
+    """The cache root the CLI uses: ``$REPRO_CACHE_DIR`` or ``.repro-cache``."""
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+class ResultStore:
+    """Content-addressed store of serialized run results."""
+
+    def __init__(self, root: Union[str, os.PathLike, None] = None, bus=NULL_SINK) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.bus = bus
+        # Session counters (reset with the store object, not the directory).
+        self.hits = 0
+        self.misses = 0
+        self.stored = 0
+
+    # ------------------------------------------------------------- layout
+
+    def path_for(self, fingerprint: str) -> Path:
+        """Entry path for a fingerprint (git-style two-level fan-out)."""
+        return self.root / "objects" / fingerprint[:2] / f"{fingerprint}.json"
+
+    # ------------------------------------------------------------ load/store
+
+    def load(self, spec: RunSpec) -> Optional[RunResult]:
+        """Replay a cached result for ``spec``, or None on a miss.
+
+        Corrupt, foreign-format or fingerprint-mismatched entries count as
+        misses; the cache never raises on bad on-disk state.
+        """
+        fingerprint = spec.fingerprint()
+        path = self.path_for(fingerprint)
+        try:
+            doc = json.loads(path.read_text())
+            if doc.get("format") != CACHE_FORMAT or doc.get("fingerprint") != fingerprint:
+                raise ValueError("stale cache entry")
+            result = RunResult.from_dict(doc["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            if self.bus.enabled:
+                self.bus.emit(ResultCacheMiss(
+                    cycle=0, workload=spec.workload, level=spec.level,
+                    fingerprint=fingerprint,
+                ))
+            return None
+        result.from_cache = True
+        self.hits += 1
+        if self.bus.enabled:
+            self.bus.emit(ResultCacheHit(
+                cycle=0, workload=spec.workload, level=spec.level,
+                fingerprint=fingerprint,
+            ))
+        return result
+
+    def store(self, spec: RunSpec, result: RunResult) -> Path:
+        """Write ``result`` under ``spec``'s fingerprint (atomic)."""
+        fingerprint = spec.fingerprint()
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "format": CACHE_FORMAT,
+            "fingerprint": fingerprint,
+            "spec": spec.cache_key_dict(),
+            "result": result.to_dict(),
+        }
+        payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(payload)
+        os.replace(tmp, path)
+        self.stored += 1
+        if self.bus.enabled:
+            self.bus.emit(ResultCacheStored(
+                cycle=0, workload=spec.workload, level=spec.level,
+                fingerprint=fingerprint, bytes_written=len(payload),
+            ))
+        return path
+
+    # ------------------------------------------------------------ management
+
+    def entries(self) -> list[Path]:
+        """All entry files currently on disk, sorted."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return []
+        return sorted(objects.glob("*/*.json"))
+
+    def stats(self) -> dict[str, object]:
+        """Disk state plus this session's counters."""
+        entries = self.entries()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "session": {"hits": self.hits, "misses": self.misses, "stored": self.stored},
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink()
+            removed += 1
+        return removed
+
+    def summary_line(self) -> str:
+        """One-line session summary (the CLI prints this to stderr)."""
+        return (
+            f"result cache: {self.hits} hits, {self.misses} misses, "
+            f"{self.stored} stored ({self.root})"
+        )

@@ -82,6 +82,30 @@ class PrefetchStats:
         total = self.useful + self.late + self.wasted
         return self.wasted / total if total else 0.0
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable view (sorted ``by_source`` for stable diffs)."""
+        return {
+            "issued": self.issued,
+            "redundant": self.redundant,
+            "useful": self.useful,
+            "late": self.late,
+            "wasted": self.wasted,
+            "by_source": {k: self.by_source[k] for k in sorted(self.by_source)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "PrefetchStats":
+        """Inverse of :meth:`to_dict`."""
+        by_source = data.get("by_source", {}) or {}
+        return cls(
+            issued=int(data["issued"]),
+            redundant=int(data["redundant"]),
+            useful=int(data["useful"]),
+            late=int(data["late"]),
+            wasted=int(data["wasted"]),
+            by_source={str(k): int(v) for k, v in sorted(by_source.items())},
+        )
+
 
 @dataclass
 class StreamPrefetchStats:
@@ -109,6 +133,124 @@ class StreamPrefetchStats:
         used = self.useful + self.late
         total = used + self.wasted
         return used / total if total else 0.0
+
+    def to_dict(self) -> dict[str, int]:
+        """JSON-serializable view."""
+        return {
+            "issued": self.issued,
+            "redundant": self.redundant,
+            "useful": self.useful,
+            "late": self.late,
+            "wasted": self.wasted,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "StreamPrefetchStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**{k: int(data[k]) for k in ("issued", "redundant", "useful", "late", "wasted")})
+
+
+@dataclass
+class CacheLevelStats:
+    """Frozen counter view of one :class:`~repro.machine.cache.Cache` level.
+
+    Duck-types the counter surface of the live cache (``hits``/``misses``/
+    ``evictions``/``accesses``) so consumers of a deserialized
+    :class:`HierarchyStats` read the same attributes as on a live run.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def to_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "evictions": self.evictions}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "CacheLevelStats":
+        return cls(hits=int(data["hits"]), misses=int(data["misses"]), evictions=int(data["evictions"]))
+
+
+@dataclass
+class HierarchyStats:
+    """Serializable statistics snapshot of a finished hierarchy.
+
+    Carries everything the bench/oracle layers read off a finished run's
+    :class:`MemoryHierarchy` — per-level counters, the prefetch
+    classification and the per-stream attribution — without the live cache
+    state, so a :class:`~repro.engine.result.RunResult` can round-trip
+    through the result cache bit-identically.  Stream attribution keys are
+    the human-readable stream names (live hierarchies key by opaque stream
+    identity objects; the snapshot resolves them through ``stream_names``).
+    """
+
+    l1: CacheLevelStats = field(default_factory=CacheLevelStats)
+    l2: CacheLevelStats = field(default_factory=CacheLevelStats)
+    demand_accesses: int = 0
+    prefetch: PrefetchStats = field(default_factory=PrefetchStats)
+    stream_stats: dict[str, StreamPrefetchStats] = field(default_factory=dict)
+    stream_names: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def l1_miss_rate(self) -> float:
+        """L1 miss rate over all demand accesses (mirrors the live property)."""
+        return self.l1.misses / self.l1.accesses if self.l1.accesses else 0.0
+
+    def stats_snapshot(self) -> "HierarchyStats":
+        """A snapshot of a snapshot is itself (mirrors the live method)."""
+        return self
+
+    @classmethod
+    def capture(cls, hierarchy: "MemoryHierarchy") -> "HierarchyStats":
+        """Freeze the counters of a live (finalized) hierarchy."""
+        def name_of(key: object) -> str:
+            return hierarchy.stream_names.get(key, str(key))
+
+        return cls(
+            l1=CacheLevelStats(hierarchy.l1.hits, hierarchy.l1.misses, hierarchy.l1.evictions),
+            l2=CacheLevelStats(hierarchy.l2.hits, hierarchy.l2.misses, hierarchy.l2.evictions),
+            demand_accesses=hierarchy.demand_accesses,
+            prefetch=PrefetchStats.from_dict(hierarchy.prefetch.to_dict()),
+            stream_stats={
+                name_of(key): StreamPrefetchStats.from_dict(stats.to_dict())
+                for key, stats in sorted(
+                    hierarchy.stream_stats.items(), key=lambda kv: name_of(kv[0])
+                )
+            },
+            stream_names={
+                name_of(key): name_of(key) for key in sorted(hierarchy.stream_names, key=name_of)
+            },
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable view; inverse of :meth:`from_dict`."""
+        return {
+            "l1": self.l1.to_dict(),
+            "l2": self.l2.to_dict(),
+            "demand_accesses": self.demand_accesses,
+            "prefetch": self.prefetch.to_dict(),
+            "stream_stats": {name: s.to_dict() for name, s in sorted(self.stream_stats.items())},
+            "stream_names": {k: self.stream_names[k] for k in sorted(self.stream_names)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "HierarchyStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            l1=CacheLevelStats.from_dict(data["l1"]),
+            l2=CacheLevelStats.from_dict(data["l2"]),
+            demand_accesses=int(data["demand_accesses"]),
+            prefetch=PrefetchStats.from_dict(data["prefetch"]),
+            stream_stats={
+                str(name): StreamPrefetchStats.from_dict(s)
+                for name, s in sorted(data.get("stream_stats", {}).items())
+            },
+            stream_names={str(k): str(v) for k, v in sorted(data.get("stream_names", {}).items())},
+        )
 
 
 class MemoryHierarchy:
@@ -391,3 +533,7 @@ class MemoryHierarchy:
     def l1_miss_rate(self) -> float:
         """L1 miss rate over all demand accesses."""
         return self.l1.misses / self.l1.accesses if self.l1.accesses else 0.0
+
+    def stats_snapshot(self) -> HierarchyStats:
+        """Freeze this hierarchy's counters into a serializable snapshot."""
+        return HierarchyStats.capture(self)

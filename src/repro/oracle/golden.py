@@ -21,7 +21,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.bench.runner import RunResult, run_workload
+from repro.engine.cache import ResultStore
+from repro.engine.executor import execute_plan, run_spec
+from repro.engine.result import RunResult
+from repro.engine.spec import RunPlan, RunSpec
 from repro.errors import OracleError
 from repro.oracle.invariants import run_fingerprint
 from repro.workloads import presets
@@ -80,8 +83,23 @@ def build_golden_workload(run: GoldenRun) -> BuiltWorkload:
     return presets.build(run.workload, passes=run.passes)
 
 
-def execute_golden(run: GoldenRun) -> RunResult:
-    return run_workload(build_golden_workload(run), run.level)
+def golden_spec(run: GoldenRun) -> RunSpec:
+    """The engine spec equivalent to one corpus cell (default machine/opt)."""
+    return RunSpec(workload=run.workload, level=run.level, passes=run.passes)
+
+
+def execute_golden(run: GoldenRun, store: Optional[ResultStore] = None) -> RunResult:
+    return run_spec(golden_spec(run), store=store)
+
+
+def _execute_corpus(
+    runs: tuple[GoldenRun, ...],
+    store: Optional[ResultStore] = None,
+    jobs: int = 1,
+) -> list[RunResult]:
+    """Execute a batch of corpus cells (parallel when ``jobs > 1``)."""
+    plan = RunPlan.of(*(golden_spec(run) for run in runs))
+    return execute_plan(plan, jobs=jobs, store=store)
 
 
 def golden_record(run: GoldenRun, result: RunResult) -> dict:
@@ -103,14 +121,16 @@ def golden_record(run: GoldenRun, result: RunResult) -> dict:
 def record_corpus(
     directory: Union[str, Path, None] = None,
     runs: Optional[tuple[GoldenRun, ...]] = None,
+    store: Optional[ResultStore] = None,
+    jobs: int = 1,
 ) -> list[Path]:
     """(Re-)run every corpus entry and freeze its stats JSON; return paths."""
     runs = runs if runs is not None else GOLDEN_RUNS
     directory = Path(directory) if directory is not None else default_golden_dir()
     directory.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
-    for run in runs:
-        record = golden_record(run, execute_golden(run))
+    for run, result in zip(runs, _execute_corpus(runs, store=store, jobs=jobs)):
+        record = golden_record(run, result)
         path = directory / f"{run.stem}.json"
         path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
         written.append(path)
@@ -121,19 +141,25 @@ def verify_corpus(
     directory: Union[str, Path, None] = None,
     runs: Optional[tuple[GoldenRun, ...]] = None,
     workload: Optional[str] = None,
+    store: Optional[ResultStore] = None,
+    jobs: int = 1,
 ) -> list[str]:
     """Re-run the corpus and diff against the frozen files.
 
     Returns a list of human-readable mismatch descriptions (empty = all
     bit-identical).  A missing golden file is a mismatch, not an error — the
     caller decides whether to record.
+
+    ``store``/``jobs`` route the executions through the engine's result
+    cache and process pool; because the cache key covers the simulator's
+    code version, a cached replay verifies exactly what a live run would.
     """
     runs = runs if runs is not None else GOLDEN_RUNS
+    if workload is not None:
+        runs = tuple(run for run in runs if run.workload == workload)
     directory = Path(directory) if directory is not None else default_golden_dir()
     failures: list[str] = []
-    for run in runs:
-        if workload is not None and run.workload != workload:
-            continue
+    for run, result in zip(runs, _execute_corpus(runs, store=store, jobs=jobs)):
         path = directory / f"{run.stem}.json"
         if not path.is_file():
             failures.append(f"{run.stem}: golden file missing ({path})")
@@ -143,7 +169,7 @@ def verify_corpus(
         except json.JSONDecodeError as err:
             failures.append(f"{run.stem}: golden file unreadable: {err}")
             continue
-        fresh = golden_record(run, execute_golden(run))
+        fresh = golden_record(run, result)
         if frozen != fresh:
             failures.append(_describe_drift(run, frozen, fresh))
     return failures
@@ -152,9 +178,11 @@ def verify_corpus(
 def check_corpus(
     directory: Union[str, Path, None] = None,
     runs: Optional[tuple[GoldenRun, ...]] = None,
+    store: Optional[ResultStore] = None,
+    jobs: int = 1,
 ) -> None:
     """Raise :class:`OracleError` on any corpus drift (test-friendly form)."""
-    failures = verify_corpus(directory, runs)
+    failures = verify_corpus(directory, runs, store=store, jobs=jobs)
     if failures:
         raise OracleError("golden corpus drift:\n" + "\n".join(failures))
 

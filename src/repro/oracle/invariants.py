@@ -192,6 +192,36 @@ def check_tracing_observer_effect(
     )
 
 
+def check_cache_replay_identity(spec=None) -> None:
+    """A cached replay must be bit-identical to the live run it memoized.
+
+    Runs ``spec`` (default: vortex/dyn, one pass) twice against a throwaway
+    :class:`~repro.engine.cache.ResultStore`: the first simulates and stores,
+    the second must replay — with an identical counter fingerprint *and* an
+    identical full serialization (``to_dict``), which is the engine's license
+    to substitute replays for simulations everywhere.
+    """
+    import tempfile
+
+    from repro.engine.cache import ResultStore
+    from repro.engine.executor import run_spec
+    from repro.engine.spec import RunSpec
+
+    spec = spec if spec is not None else RunSpec("vortex", "dyn", passes=1)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(tmp)
+        live = run_spec(spec, store=store)
+        replay = run_spec(spec, store=store)
+        context = f"cache replay ({spec.label})"
+        _require(not live.from_cache, f"{context}: first run hit an empty cache")
+        _require(replay.from_cache, f"{context}: second run missed the cache")
+        _diff_fingerprints(run_fingerprint(live), run_fingerprint(replay), context)
+        _require(
+            live.to_dict() == replay.to_dict(),
+            f"{context}: serialized results differ beyond the counter fingerprint",
+        )
+
+
 def check_cycle_attribution(result: RunResult, machine: MachineConfig = PAPER_MACHINE) -> None:
     """Per-category cycle attribution must sum exactly to the cycle count."""
     from repro.tracing.attribution import CycleAttribution

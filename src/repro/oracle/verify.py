@@ -36,6 +36,7 @@ from repro.machine.config import CacheGeometry, MachineConfig
 from repro.oracle import fuzz, golden
 from repro.oracle.invariants import (
     check_architectural_state,
+    check_cache_replay_identity,
     check_conservation,
     check_cycle_attribution,
     check_disabled_resilience_identical,
@@ -180,6 +181,7 @@ def _verify_invariants(rng: random.Random, runs: int) -> SectionResult:
     section.run_case(lambda: check_observer_effect(factory))
     section.run_case(lambda: check_tracing_observer_effect(factory))
     section.run_case(lambda: check_disabled_resilience_identical(factory))
+    section.run_case(lambda: check_cache_replay_identity())
     relabel_rounds = max(1, min(runs, 5))
     for _ in range(relabel_rounds):
         ops = fuzz.gen_hierarchy_ops(rng, 200, STRESS_MACHINE)
@@ -187,10 +189,14 @@ def _verify_invariants(rng: random.Random, runs: int) -> SectionResult:
     return section
 
 
-def _verify_golden(golden_dir: Optional[Union[str, Path]]) -> SectionResult:
+def _verify_golden(
+    golden_dir: Optional[Union[str, Path]],
+    store=None,
+    jobs: int = 1,
+) -> SectionResult:
     section = SectionResult("golden")
     section.cases = len(golden.GOLDEN_RUNS)
-    section.failures = golden.verify_corpus(golden_dir)
+    section.failures = golden.verify_corpus(golden_dir, store=store, jobs=jobs)
     return section
 
 
@@ -200,6 +206,8 @@ def run_verify(
     golden_dir: Optional[Union[str, Path]] = None,
     include_golden: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    store=None,
+    jobs: int = 1,
 ) -> VerifyReport:
     """Run every oracle section; return the aggregate report.
 
@@ -207,6 +215,10 @@ def run_verify(
     section); the metamorphic and golden sections are fixed-size.  All
     randomness derives from ``seed`` — identical arguments give identical
     reports, including any minimal reproducers.
+
+    ``store``/``jobs`` accelerate the golden section through the engine's
+    result cache and process pool; the randomized differential sections are
+    in-process by construction (they fuzz components, not whole runs).
     """
     rng = random.Random(seed)
     report = VerifyReport(seed=seed, runs=runs)
@@ -218,7 +230,7 @@ def run_verify(
         lambda: _verify_invariants(rng, runs),
     ]
     if include_golden:
-        sections.append(lambda: _verify_golden(golden_dir))
+        sections.append(lambda: _verify_golden(golden_dir, store=store, jobs=jobs))
     for build in sections:
         section = build()
         report.sections.append(section)

@@ -40,6 +40,15 @@ class BurstyCounters:
         """The hibernation-phase counters with the same burst period."""
         return BurstyCounters(self.n_check0 + self.n_instr0 - 1, 1)
 
+    def to_dict(self) -> dict[str, int]:
+        """JSON-serializable view (the :class:`~repro.engine.spec.RunSpec` wire form)."""
+        return {"n_check0": self.n_check0, "n_instr0": self.n_instr0}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "BurstyCounters":
+        """Inverse of :meth:`to_dict`."""
+        return cls(n_check0=int(data["n_check0"]), n_instr0=int(data["n_instr0"]))
+
 
 def overall_sampling_rate(counters: BurstyCounters, n_awake: int, n_hibernate: int) -> float:
     """Effective sampling rate over a whole awake+hibernate cycle.

@@ -92,6 +92,29 @@ class FaultPlan:
         if self.patch_delay_bursts < 1:
             raise ConfigError("patch_delay_bursts must be >= 1")
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable view (the :class:`~repro.engine.spec.RunSpec` wire form)."""
+        return {
+            "seed": self.seed,
+            "rate": self.rate,
+            "kinds": list(self.kinds),
+            "max_per_kind": self.max_per_kind,
+            "record_corrupt_rate": self.record_corrupt_rate,
+            "patch_delay_bursts": self.patch_delay_bursts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            seed=int(data["seed"]),
+            rate=float(data["rate"]),
+            kinds=tuple(str(k) for k in data["kinds"]),
+            max_per_kind=int(data["max_per_kind"]),
+            record_corrupt_rate=float(data["record_corrupt_rate"]),
+            patch_delay_bursts=int(data["patch_delay_bursts"]),
+        )
+
 
 class FaultInjector:
     """Executes a :class:`FaultPlan` with per-kind deterministic PRNG streams."""

@@ -74,6 +74,23 @@ class GuardConfig:
         if self.quarantine_cycles < 0:
             raise ConfigError("quarantine_cycles must be >= 0")
 
+    def to_dict(self) -> dict[str, int]:
+        """JSON-serializable view (the :class:`~repro.engine.spec.RunSpec` wire form)."""
+        return {
+            "min_unique_refs": self.min_unique_refs,
+            "max_stream_length": self.max_stream_length,
+            "quarantine_cycles": self.quarantine_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "GuardConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            min_unique_refs=int(data["min_unique_refs"]),
+            max_stream_length=int(data["max_stream_length"]),
+            quarantine_cycles=int(data["quarantine_cycles"]),
+        )
+
 
 @dataclass(frozen=True)
 class GuardRejection:

@@ -305,6 +305,42 @@ class RecordSkipped(Event):
     snippet: str
 
 
+# ------------------------------------------------- experiment engine (cache)
+
+
+@dataclass(frozen=True, slots=True)
+class ResultCacheHit(Event):
+    """The result cache served a run without simulating (``cycle`` is 0).
+
+    Emitted by :class:`repro.engine.cache.ResultStore` on its own bus —
+    engine events happen *around* runs, not inside them, so they never
+    appear in a run's event log.
+    """
+
+    workload: str
+    level: str
+    fingerprint: str
+
+
+@dataclass(frozen=True, slots=True)
+class ResultCacheMiss(Event):
+    """No cache entry for a spec's fingerprint; the run will simulate."""
+
+    workload: str
+    level: str
+    fingerprint: str
+
+
+@dataclass(frozen=True, slots=True)
+class ResultCacheStored(Event):
+    """A fresh run's serialized result was written to the cache."""
+
+    workload: str
+    level: str
+    fingerprint: str
+    bytes_written: int
+
+
 class EventBus:
     """Fans events out to attached sinks.
 

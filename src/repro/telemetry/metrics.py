@@ -137,3 +137,23 @@ class MetricsRegistry:
             },
             "histograms": {name: h.snapshot() for name, h in sorted(self.histograms.items())},
         }
+
+    @classmethod
+    def from_snapshot(cls, data: dict[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` document.
+
+        Exact inverse: ``from_snapshot(snapshot()).snapshot() == snapshot()``,
+        which is what lets a cached :class:`~repro.engine.result.RunResult`
+        carry the same metrics a live run would.
+        """
+        reg = cls()
+        for name, value in data.get("counters", {}).items():
+            reg.set_counter(str(name), int(value))
+        for name, payload in data.get("gauges", {}).items():
+            reg.set_gauge(str(name), float(payload["value"]), int(payload["cycle"]))
+        for name, payload in data.get("histograms", {}).items():
+            hist = reg.histogram(str(name), tuple(int(b) for b in payload["bounds"]))
+            hist.counts = [int(c) for c in payload["counts"]]
+            hist.count = int(payload["count"])
+            hist.total = int(payload["total"])
+        return reg

@@ -144,6 +144,129 @@ def explain_level(
     )
 
 
+@dataclass
+class LevelDiff:
+    """Two runs of one workload at different levels, lined up for diffing.
+
+    Built from engine results (``repro-bench explain --against``), so both
+    sides replay from the result cache when their fingerprints are warm —
+    attribution and prefetch counters survive serialization, which is all a
+    diff needs.  ``from_cache`` flags report where each side came from.
+    """
+
+    workload: str
+    level_a: str
+    level_b: str
+    cycles_a: int
+    cycles_b: int
+    attribution_a: CycleAttribution
+    attribution_b: CycleAttribution
+    prefetch_a: dict[str, int]
+    prefetch_b: dict[str, int]
+    from_cache_a: bool = False
+    from_cache_b: bool = False
+
+    @property
+    def overhead_pct(self) -> float:
+        """Percent cycle change of side B relative to side A."""
+        if self.cycles_a == 0:
+            raise ConfigError(
+                f"cannot normalize {self.workload}/{self.level_b} against "
+                f"{self.workload}/{self.level_a}: baseline ran 0 cycles"
+            )
+        return 100.0 * (self.cycles_b - self.cycles_a) / self.cycles_a
+
+
+def _prefetch_counters(result) -> dict[str, int]:
+    pf = result.hierarchy.prefetch
+    return {
+        "issued": pf.issued,
+        "useful": pf.useful,
+        "late": pf.late,
+        "redundant": pf.redundant,
+        "wasted": pf.wasted,
+    }
+
+
+def diff_levels(
+    name: str,
+    level: str,
+    against: str = "orig",
+    machine: MachineConfig = PAPER_MACHINE,
+    opt: Optional[OptimizerConfig] = None,
+    passes: Optional[int] = None,
+    store=None,
+) -> LevelDiff:
+    """Compare ``level`` against ``against`` for one workload.
+
+    Both runs go through the engine (:func:`repro.engine.run_spec`), so with
+    a :class:`~repro.engine.cache.ResultStore` attached either side replays
+    from the content-addressed cache instead of simulating.
+    """
+    from repro.engine.executor import run_spec
+    from repro.engine.spec import RunSpec
+
+    opt = opt if opt is not None else OptimizerConfig()
+    result_a = run_spec(
+        RunSpec(name, against, passes=passes, machine=machine, opt=opt), store=store
+    )
+    result_b = run_spec(
+        RunSpec(name, level, passes=passes, machine=machine, opt=opt), store=store
+    )
+    return LevelDiff(
+        workload=name,
+        level_a=against,
+        level_b=level,
+        cycles_a=result_a.cycles,
+        cycles_b=result_b.cycles,
+        attribution_a=CycleAttribution.from_run(result_a.stats, machine),
+        attribution_b=CycleAttribution.from_run(result_b.stats, machine),
+        prefetch_a=_prefetch_counters(result_a),
+        prefetch_b=_prefetch_counters(result_b),
+        from_cache_a=result_a.from_cache,
+        from_cache_b=result_b.from_cache,
+    )
+
+
+def render_level_diff(diff: LevelDiff) -> str:
+    """Render a :class:`LevelDiff` as aligned attribution/prefetch tables."""
+    from repro.bench.reporting import format_table
+
+    def origin(from_cache: bool) -> str:
+        return "cached" if from_cache else "live"
+
+    title = (
+        f"{diff.workload}: {diff.level_a} ({origin(diff.from_cache_a)}) vs "
+        f"{diff.level_b} ({origin(diff.from_cache_b)}) — "
+        f"{diff.cycles_a} -> {diff.cycles_b} cycles ({diff.overhead_pct:+.1f}%)"
+    )
+    rows = []
+    for (label, cycles_a, _), (_, cycles_b, _) in zip(
+        diff.attribution_a.rows(), diff.attribution_b.rows()
+    ):
+        rows.append((label, cycles_a, cycles_b, cycles_b - cycles_a))
+    rows.append(("total", diff.cycles_a, diff.cycles_b, diff.cycles_b - diff.cycles_a))
+    blocks = [
+        format_table(
+            ("category", diff.level_a, diff.level_b, "delta"),
+            rows,
+            title=title,
+        )
+    ]
+    pf_rows = [
+        (key, diff.prefetch_a[key], diff.prefetch_b[key], diff.prefetch_b[key] - diff.prefetch_a[key])
+        for key in diff.prefetch_a
+    ]
+    blocks.append(
+        format_table(
+            ("prefetch", diff.level_a, diff.level_b, "delta"),
+            pf_rows,
+            title="prefetch fates",
+        )
+    )
+    return "\n\n".join(blocks)
+
+
 def render_explanation(exp: WorkloadExplanation, stream: Optional[str] = None) -> str:
     """Render an explanation (or one stream's detailed view) as text."""
     from repro.bench.reporting import format_table

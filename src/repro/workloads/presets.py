@@ -136,13 +136,18 @@ BOXSIM = ChainMixParams(
 ALL_PARAMS = (VPR, MCF, TWOLF, PARSER, VORTEX, BOXSIM)
 
 
-def build(name: str, passes: int | None = None) -> BuiltWorkload:
-    """Build a preset workload by benchmark name."""
+def params_for(name: str) -> ChainMixParams:
+    """Look up a preset's parameters by benchmark name."""
     for params in ALL_PARAMS:
         if params.name == name:
-            return build_chainmix(params, passes=passes)
+            return params
     known = ", ".join(p.name for p in ALL_PARAMS)
     raise KeyError(f"unknown workload {name!r}; known: {known}")
+
+
+def build(name: str, passes: int | None = None) -> BuiltWorkload:
+    """Build a preset workload by benchmark name."""
+    return build_chainmix(params_for(name), passes=passes)
 
 
 def names() -> list[str]:

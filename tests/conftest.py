@@ -15,6 +15,17 @@ from repro.profiling.sampling import BurstyCounters
 from repro.workloads.chainmix import ChainMixParams
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the engine's result cache at a per-test directory.
+
+    Keeps tests from seeding (or reading) a ``.repro-cache/`` in the repo or
+    in each other's working directories; tests that want a specific store
+    still construct ``ResultStore(path)`` explicitly.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def tiny_machine() -> MachineConfig:
     """A very small cache hierarchy: easy to overflow in tests."""

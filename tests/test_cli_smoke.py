@@ -22,9 +22,11 @@ ARTIFACTS = [
     "ablation-hwpref",
     "ablation-watchdog",
     "tables",
+    "figures",
     "trace",
     "explain",
     "verify",
+    "cache",
     "all",
 ]
 
@@ -36,6 +38,7 @@ _EXTRA_ARGS = {
     "ablation-headlen": ["--workloads", "vortex", "--scale", "0.05"],
     "ablation-hwpref": ["--workloads", "vortex", "--scale", "0.05"],
     "ablation-watchdog": ["--scale", "0.05"],
+    "figures": ["--workloads", "vortex", "--scale", "0.05"],
     "trace": ["--workloads", "vortex", "--scale", "0.05"],
     "explain": ["--workloads", "vortex", "--scale", "0.05"],
     "verify": ["--runs", "1", "--skip-golden"],

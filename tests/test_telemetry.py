@@ -68,6 +68,11 @@ SAMPLE_EVENTS = {
     "RecordSkipped": lambda: EVENT_TYPES["RecordSkipped"](0, 7, "invalid JSON", "{trunc"),
     "SpanBegin": lambda: EVENT_TYPES["SpanBegin"](5, 1, 0, "run:vpr/dyn", "run", ""),
     "SpanEnd": lambda: EVENT_TYPES["SpanEnd"](95, 1),
+    "ResultCacheHit": lambda: EVENT_TYPES["ResultCacheHit"](0, "vpr", "dyn", "ab" * 32),
+    "ResultCacheMiss": lambda: EVENT_TYPES["ResultCacheMiss"](0, "vpr", "dyn", "ab" * 32),
+    "ResultCacheStored": lambda: EVENT_TYPES["ResultCacheStored"](
+        0, "vpr", "dyn", "ab" * 32, 4096
+    ),
 }
 
 
