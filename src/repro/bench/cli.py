@@ -58,7 +58,18 @@ summary (hits/misses/stored) goes to **stderr** so stdout stays byte-for-byte
 comparable between cold and warm runs.  ``--jobs N`` fans uncached runs out
 over N worker processes — output is deterministic and identical to serial.
 ``repro-bench cache`` prints the store's stats; ``repro-bench cache --clear``
-empties it.
+empties it; ``repro-bench cache gc --max-age-days D --max-size-mb M`` bounds
+it (old entries first, then oldest-until-it-fits).
+
+Tenancy (:mod:`repro.tenancy`): ``repro-bench tenancy --tenants
+vpr:dyn,phaseshift:dyn`` interleaves several workloads on one shared
+hierarchy (``--quantum`` instructions per round-robin slice, ``--sharing
+shared|private-l1``) and prints the per-tenant scorecard plus the
+cross-tenant pollution matrix, exact and reconciled.  ``repro-bench
+ablation-tenancy`` runs the shared-L2 ablation: vpr at nopref/dyn/
+dyn+watchdog against the phaseshift thrasher.  ``--watchdog`` and
+``--fault-seed`` apply to every tenant; co-run results memoize in the same
+result cache under the plan fingerprint.
 """
 
 from __future__ import annotations
@@ -351,8 +362,20 @@ def _run_verify(args, store: Optional[ResultStore]) -> int:
 
 
 def _run_cache(args, parser) -> int:
-    """``repro-bench cache``: inspect or clear the result store."""
+    """``repro-bench cache``: inspect, clear or garbage-collect the store."""
     store = ResultStore(args.cache_dir)
+    if args.subcommand == "gc":
+        if args.max_age_days is None and args.max_size_mb is None:
+            parser.error("cache gc needs --max-age-days and/or --max-size-mb")
+        report = store.gc(max_age_days=args.max_age_days, max_size_mb=args.max_size_mb)
+        print(
+            f"result cache gc: {report['evicted']} entries evicted "
+            f"({report['bytes_freed']} bytes freed), "
+            f"{report['entries']} entries / {report['bytes']} bytes remain ({store.root})"
+        )
+        return 0
+    if args.subcommand is not None:
+        parser.error(f"unknown cache subcommand {args.subcommand!r} (known: gc)")
     if args.clear:
         removed = store.clear()
         print(f"result cache cleared: {removed} entries removed ({store.root})")
@@ -362,6 +385,66 @@ def _run_cache(args, parser) -> int:
     print(f"  entries {stats['entries']}")
     print(f"  bytes   {stats['bytes']}")
     return 0
+
+
+def _parse_tenants(args, parser, opt: OptimizerConfig, scale: float):
+    """``--tenants vpr:dyn,phaseshift:dyn`` -> tuple of TenantSpecs."""
+    from repro.engine.levels import level_names
+    from repro.tenancy import TenantSpec
+
+    known = set(presets.names()) | {"phaseshift"}
+    specs = []
+    for part in args.tenants.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, level = part.partition(":")
+        if not sep or not name or not level:
+            parser.error(f"bad tenant {part!r}; expected workload:level")
+        if name not in known:
+            parser.error(f"unknown tenant workload {name!r}; known: {sorted(known)}")
+        if level not in level_names():
+            parser.error(f"unknown tenant level {level!r}; known: {', '.join(level_names())}")
+        if scale == 1.0:
+            passes = None
+        elif name == "phaseshift":
+            passes = max(2, int(PhaseShiftParams().passes * scale))
+        else:
+            passes = max(2, int(presets.params_for(name).passes * scale))
+        specs.append(TenantSpec(name, level, passes=passes, opt=opt))
+    if not specs:
+        parser.error("--tenants needs at least one workload:level entry")
+    return tuple(specs)
+
+
+def _run_tenancy(args, parser, opt: OptimizerConfig, store: Optional[ResultStore]) -> int:
+    """``repro-bench tenancy``: one co-run, scorecard + pollution matrix."""
+    from repro.tenancy import TenantPlan, run_tenant_plan_cached
+    from repro.tenancy.ablation import check_result
+    from repro.tenancy.scorecard import render_scorecard
+
+    plan = TenantPlan(
+        tenants=_parse_tenants(args, parser, opt, args.scale),
+        quantum=args.quantum,
+        sharing=args.sharing,
+    )
+    result = run_tenant_plan_cached(plan, store)
+    print(render_scorecard(result))
+    problems = check_result(result)
+    if problems:
+        for problem in problems:
+            print(f"RECONCILIATION FAILURE: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _print_ablation_tenancy(cache: ResultCache) -> None:
+    from repro.tenancy.ablation import ablation_tenancy, render_ablation
+
+    scale = cache.passes_scale
+    passes = None if scale == 1.0 else max(2, int(PhaseShiftParams().passes * scale))
+    rows = ablation_tenancy(passes=passes, store=cache.store, jobs=cache.jobs)
+    print(render_ablation(rows))
 
 
 def _print_cache_summary(store: Optional[ResultStore]) -> None:
@@ -385,6 +468,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "ablation-headlen",
             "ablation-hwpref",
             "ablation-watchdog",
+            "ablation-tenancy",
+            "tenancy",
             "tables",
             "figures",
             "trace",
@@ -393,6 +478,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "cache",
             "all",
         ],
+    )
+    parser.add_argument(
+        "subcommand",
+        nargs="?",
+        default=None,
+        help="cache: optional subcommand (gc)",
     )
     parser.add_argument("--scale", type=float, default=1.0, help="workload pass-count scale")
     parser.add_argument("--workloads", default="", help="comma-separated subset of benchmarks")
@@ -418,6 +509,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--clear",
         action="store_true",
         help="cache: delete every stored result instead of printing stats",
+    )
+    parser.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="D",
+        help="cache gc: evict entries not written in the last D days",
+    )
+    parser.add_argument(
+        "--max-size-mb",
+        type=float,
+        default=None,
+        metavar="M",
+        help="cache gc: evict oldest entries until the store fits in M MiB",
+    )
+    parser.add_argument(
+        "--tenants",
+        default="vpr:dyn,phaseshift:dyn",
+        metavar="W:L,...",
+        help="tenancy: comma-separated workload:level tenant mix "
+        "(default vpr:dyn,phaseshift:dyn)",
+    )
+    parser.add_argument(
+        "--quantum",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="tenancy: round-robin slice length in instructions (default 4096)",
+    )
+    parser.add_argument(
+        "--sharing",
+        choices=["shared", "private-l1"],
+        default="private-l1",
+        help="tenancy: cache sharing mode (default private-l1: per-tenant L1s, shared L2)",
     )
     parser.add_argument(
         "--telemetry",
@@ -547,6 +672,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     cache = ResultCache(
         opt=opt, passes_scale=args.scale, recorder=recorder, store=store, jobs=args.jobs
     )
+
+    if args.artifact == "tenancy":
+        status = _run_tenancy(args, parser, opt, store)
+        _print_cache_summary(store)
+        return status
+    if args.artifact == "ablation-tenancy":
+        _print_ablation_tenancy(cache)
+        _print_cache_summary(store)
+        return 0
 
     if args.artifact in ("trace", "explain"):
         from repro.bench.runner import LEVELS

@@ -22,12 +22,19 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Optional, Union
 
 from repro.engine.result import RunResult
 from repro.engine.spec import RunSpec
-from repro.telemetry.events import ResultCacheHit, ResultCacheMiss, ResultCacheStored
+from repro.errors import ConfigError
+from repro.telemetry.events import (
+    ResultCacheEvicted,
+    ResultCacheHit,
+    ResultCacheMiss,
+    ResultCacheStored,
+)
 from repro.telemetry.sinks import NULL_SINK
 
 #: Format version stamped into cache entries; bump on layout changes.
@@ -55,6 +62,7 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.stored = 0
+        self.evicted = 0
 
     # ------------------------------------------------------------- layout
 
@@ -117,6 +125,65 @@ class ResultStore:
             ))
         return path
 
+    # ------------------------------------------------- generic payloads
+    # The same content-addressed layout for result documents that are not
+    # single RunResults (tenancy co-runs today).  ``kind`` is stored in the
+    # envelope and checked on load, so a tenancy fingerprint can never be
+    # satisfied by a single-run entry or vice versa.
+
+    def load_payload(self, fingerprint: str, kind: str, label: str) -> Optional[dict]:
+        """Replay an arbitrary cached document, or None on a miss.
+
+        Same degradation contract as :meth:`load`: anything unreadable or
+        mismatched is a miss, never an error.  ``label`` only feeds the
+        telemetry events (the fingerprint is the key).
+        """
+        path = self.path_for(fingerprint)
+        try:
+            doc = json.loads(path.read_text())
+            if (
+                doc.get("format") != CACHE_FORMAT
+                or doc.get("fingerprint") != fingerprint
+                or doc.get("kind") != kind
+            ):
+                raise ValueError("stale cache entry")
+            payload = doc["payload"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            if self.bus.enabled:
+                self.bus.emit(ResultCacheMiss(
+                    cycle=0, workload=label, level=kind, fingerprint=fingerprint,
+                ))
+            return None
+        self.hits += 1
+        if self.bus.enabled:
+            self.bus.emit(ResultCacheHit(
+                cycle=0, workload=label, level=kind, fingerprint=fingerprint,
+            ))
+        return payload
+
+    def store_payload(self, fingerprint: str, kind: str, label: str, payload: dict) -> Path:
+        """Write an arbitrary document under ``fingerprint`` (atomic)."""
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "format": CACHE_FORMAT,
+            "fingerprint": fingerprint,
+            "kind": kind,
+            "payload": payload,
+        }
+        text = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+        self.stored += 1
+        if self.bus.enabled:
+            self.bus.emit(ResultCacheStored(
+                cycle=0, workload=label, level=kind,
+                fingerprint=fingerprint, bytes_written=len(text),
+            ))
+        return path
+
     # ------------------------------------------------------------ management
 
     def entries(self) -> list[Path]:
@@ -133,7 +200,12 @@ class ResultStore:
             "root": str(self.root),
             "entries": len(entries),
             "bytes": sum(p.stat().st_size for p in entries),
-            "session": {"hits": self.hits, "misses": self.misses, "stored": self.stored},
+            "session": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stored": self.stored,
+                "evicted": self.evicted,
+            },
         }
 
     def clear(self) -> int:
@@ -144,9 +216,81 @@ class ResultStore:
             removed += 1
         return removed
 
+    def _evict(self, path: Path, reason: str) -> int:
+        """Remove one entry; returns the bytes freed (0 if already gone)."""
+        try:
+            size = path.stat().st_size
+            path.unlink()
+        except OSError:
+            return 0
+        self.evicted += 1
+        if self.bus.enabled:
+            self.bus.emit(ResultCacheEvicted(
+                cycle=0, fingerprint=path.stem, reason=reason, bytes_freed=size,
+            ))
+        return size
+
+    def gc(
+        self,
+        max_age_days: Optional[float] = None,
+        max_size_mb: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> dict[str, object]:
+        """Bound the cache by age and/or total size.
+
+        Entries older than ``max_age_days`` (by mtime) are removed first;
+        if the survivors still exceed ``max_size_mb``, oldest entries go
+        until the store fits.  ``now`` pins the reference clock for tests.
+        Returns ``{"evicted": n, "bytes_freed": b, "entries": remaining,
+        "bytes": remaining_bytes}``.
+        """
+        if max_age_days is None and max_size_mb is None:
+            raise ConfigError("cache gc needs --max-age-days and/or --max-size-mb")
+        if now is None:
+            now = time.time()
+        survivors: list[tuple[float, int, Path]] = []
+        evicted = 0
+        bytes_freed = 0
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            if max_age_days is not None and now - stat.st_mtime > max_age_days * 86400.0:
+                freed = self._evict(path, "age")
+                if freed:
+                    evicted += 1
+                    bytes_freed += freed
+                continue
+            survivors.append((stat.st_mtime, stat.st_size, path))
+        if max_size_mb is not None:
+            budget = max_size_mb * 1024.0 * 1024.0
+            total = sum(size for _mtime, size, _path in survivors)
+            survivors.sort()  # oldest first
+            index = 0
+            while total > budget and index < len(survivors):
+                _mtime, size, path = survivors[index]
+                freed = self._evict(path, "size")
+                if freed:
+                    evicted += 1
+                    bytes_freed += freed
+                    total -= size
+                index += 1
+            survivors = survivors[index:]
+        remaining = self.entries()
+        return {
+            "evicted": evicted,
+            "bytes_freed": bytes_freed,
+            "entries": len(remaining),
+            "bytes": sum(p.stat().st_size for p in remaining),
+        }
+
     def summary_line(self) -> str:
         """One-line session summary (the CLI prints this to stderr)."""
-        return (
+        line = (
             f"result cache: {self.hits} hits, {self.misses} misses, "
-            f"{self.stored} stored ({self.root})"
+            f"{self.stored} stored"
         )
+        if self.evicted:
+            line += f", {self.evicted} evicted"
+        return f"{line} ({self.root})"

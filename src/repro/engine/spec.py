@@ -130,15 +130,9 @@ class RunSpec:
     def build(self) -> BuiltWorkload:
         """Materialize the spec's workload (runs mutate simulated memory, so
         every execution rebuilds from scratch)."""
-        from repro.workloads import presets
-        from repro.workloads.phaseshift import build_phaseshift
+        from repro.workloads import build_named
 
-        if self.workload == "phaseshift":
-            return build_phaseshift(passes=self.passes)
-        try:
-            return presets.build(self.workload, passes=self.passes)
-        except KeyError as exc:
-            raise ConfigError(str(exc)) from exc
+        return build_named(self.workload, passes=self.passes)
 
 
 @dataclass(frozen=True)

@@ -111,6 +111,50 @@ class ExecStats:
         return cls(**{f.name: int(data.get(f.name, 0)) for f in fields(cls)})
 
 
+class ExecState:
+    """The dispatch loop's registers, parked between execution slices.
+
+    :meth:`Interpreter.run` drives the loop to completion in one call and
+    never exposes this object; :meth:`Interpreter.start` /
+    :meth:`Interpreter.run_slice` park the loop here at instruction-count
+    boundaries so a scheduler (``repro.tenancy``) can interleave several
+    programs on one shared hierarchy.  ``cycles`` doubles as the clock the
+    loop resumes from — a scheduler may advance it between slices to model
+    time spent running other tenants.
+    """
+
+    __slots__ = (
+        "proc", "code_pair", "mode", "ip", "regs", "stack",
+        "cycles", "icount", "mem_refs", "mem_stall", "nchecks", "bursts",
+        "traced", "trace_chg", "detect_cyc", "detects", "pf_issued", "charged",
+        "n_check", "n_instr", "finished", "return_value",
+    )
+
+    def __init__(self, proc, code_pair, regs, n_check: int, n_instr: int) -> None:
+        self.proc = proc
+        self.code_pair = code_pair
+        self.mode = CHECKING
+        self.ip = 0
+        self.regs = regs
+        self.stack: list[tuple] = []
+        self.cycles = 0
+        self.icount = 0
+        self.mem_refs = 0
+        self.mem_stall = 0
+        self.nchecks = 0
+        self.bursts = 0
+        self.traced = 0
+        self.trace_chg = 0
+        self.detect_cyc = 0
+        self.detects = 0
+        self.pf_issued = 0
+        self.charged = 0
+        self.n_check = n_check
+        self.n_instr = n_instr
+        self.finished = False
+        self.return_value = 0
+
+
 class Interpreter:
     """Executes a program against a memory image and a cache hierarchy."""
 
@@ -148,6 +192,10 @@ class Interpreter:
         #: dynamic pipeline; :class:`~repro.core.static_pref.StaticPrefetcher`
         #: rebrands it "static".
         self.prefetch_source = "sw"
+        #: Parked dispatch-loop state for slice execution (:meth:`start` /
+        #: :meth:`run_slice`); None until :meth:`start`, and untouched by
+        #: :meth:`run`.
+        self.exec_state: Optional[ExecState] = None
 
     def set_counters(self, n_check0: int, n_instr0: int) -> None:
         """Set the counter reload values (profiling rate, Section 2.1)."""
@@ -165,12 +213,54 @@ class Interpreter:
                 :class:`ExecutionError`.
         """
         try:
-            return self._run(args, max_instructions)
+            state = self._start(args)
+            limit = max_instructions if max_instructions is not None else (1 << 62)
+            stats = self._dispatch(state, limit, raise_on_limit=True)
+            assert stats is not None  # raise_on_limit=True never suspends
+            return stats
         except ZeroDivisionError as exc:
             raise ExecutionError("division by zero in simulated program") from exc
 
-    def _run(self, args: tuple[int, ...], max_instructions: Optional[int]) -> ExecStats:
-        stats = ExecStats()
+    def start(self, args: tuple[int, ...] = ()) -> None:
+        """Prepare slice execution from the entry procedure (see :meth:`run_slice`)."""
+        self.exec_state = self._start(args)
+
+    def run_slice(self, budget: int) -> Optional[ExecStats]:
+        """Execute up to ``budget`` more instructions; None while suspended.
+
+        Returns the final :class:`ExecStats` once the program reaches HALT or
+        its final RET (with ``cycles`` read off the state's clock, which a
+        scheduler may have advanced between slices).  Slicing is invisible to
+        the simulated program: running N slices of any budget produces the
+        same instruction stream, stats and hierarchy state as one
+        :meth:`run`, provided the clock was left alone.
+        """
+        state = self.exec_state
+        if state is None:
+            raise ExecutionError("run_slice() before start()")
+        if state.finished:
+            raise ExecutionError("run_slice() after the program finished")
+        if budget < 1:
+            raise ExecutionError("slice budget must be >= 1")
+        try:
+            return self._dispatch(state, state.icount + budget, raise_on_limit=False)
+        except ZeroDivisionError as exc:
+            raise ExecutionError("division by zero in simulated program") from exc
+
+    def _start(self, args: tuple[int, ...]) -> ExecState:
+        program = self.program
+        proc = program.resolve(program.entry)
+        if len(args) != proc.num_params:
+            raise ExecutionError(
+                f"entry {proc.name!r} takes {proc.num_params} args, got {len(args)}"
+            )
+        regs: list[int] = [0] * proc.num_regs
+        regs[: len(args)] = list(args)
+        return ExecState(proc, lower_procedure(proc), regs, self.n_check0, self.n_instr0)
+
+    def _dispatch(
+        self, state: ExecState, limit: int, raise_on_limit: bool
+    ) -> Optional[ExecStats]:
         program = self.program
         cfg = self.config
         hier = self.hierarchy
@@ -185,35 +275,30 @@ class Interpreter:
         detect_per_case = cfg.detect_per_case
         pf_cost = cfg.prefetch_issue_cost
 
-        proc = program.resolve(program.entry)
-        if len(args) != proc.num_params:
-            raise ExecutionError(
-                f"entry {proc.name!r} takes {proc.num_params} args, got {len(args)}"
-            )
-        code_pair = lower_procedure(proc)
-        mode = CHECKING
+        proc = state.proc
+        code_pair = state.code_pair
+        mode = state.mode
         code = code_pair[mode]
-        regs: list[int] = [0] * proc.num_regs
-        regs[: len(args)] = list(args)
-        ip = 0
-        stack: list[tuple] = []
+        regs = state.regs
+        ip = state.ip
+        stack = state.stack
 
-        cycles = 0
-        icount = 0
-        mem_refs = 0
-        mem_stall = 0
-        nchecks = 0
-        bursts = 0
-        traced = 0
-        trace_chg = 0
-        detect_cyc = 0
-        detects = 0
-        pf_issued = 0
-        charged = 0
-        return_value = 0
+        cycles = state.cycles
+        icount = state.icount
+        mem_refs = state.mem_refs
+        mem_stall = state.mem_stall
+        nchecks = state.nchecks
+        bursts = state.bursts
+        traced = state.traced
+        trace_chg = state.trace_chg
+        detect_cyc = state.detect_cyc
+        detects = state.detects
+        pf_issued = state.pf_issued
+        charged = state.charged
+        return_value = state.return_value
 
-        n_check = self.n_check0
-        n_instr = self.n_instr0
+        n_check = state.n_check
+        n_instr = state.n_instr
         tracing = self.tracing_enabled
         sink = self.trace_sink
         listener = self.check_listener
@@ -221,7 +306,7 @@ class Interpreter:
         telem = self.telemetry
         pf_source = self.prefetch_source
         dstate = self.dfsm_state
-        limit = max_instructions if max_instructions is not None else (1 << 62)
+        finished = False
 
         while True:
             t = code[ip]
@@ -370,6 +455,7 @@ class Interpreter:
                 value = regs[t[1]] if t[1] is not None else 0
                 if not stack:
                     return_value = value
+                    finished = True
                     break
                 proc, code_pair, ip, regs, dst = stack.pop()
                 code = code_pair[mode]
@@ -384,6 +470,7 @@ class Interpreter:
                     cycles += pf_cost
                 pf_issued += len(t[1])
             elif op == OP_HALT:
+                finished = True
                 break
             elif op == OP_NOP:
                 pass
@@ -391,9 +478,40 @@ class Interpreter:
                 raise ExecutionError(f"unknown opcode {op}")
 
             if icount >= limit:
-                raise ExecutionError(f"instruction limit {limit} exceeded in {proc.name}")
+                if raise_on_limit:
+                    raise ExecutionError(
+                        f"instruction limit {limit} exceeded in {proc.name}"
+                    )
+                break
 
+        # Park the loop registers — on suspension for the next slice, on
+        # completion so schedulers can still read the final clock/icount.
         self.dfsm_state = dstate
+        state.proc = proc
+        state.code_pair = code_pair
+        state.mode = mode
+        state.ip = ip
+        state.regs = regs
+        state.stack = stack
+        state.cycles = cycles
+        state.icount = icount
+        state.mem_refs = mem_refs
+        state.mem_stall = mem_stall
+        state.nchecks = nchecks
+        state.bursts = bursts
+        state.traced = traced
+        state.trace_chg = trace_chg
+        state.detect_cyc = detect_cyc
+        state.detects = detects
+        state.pf_issued = pf_issued
+        state.charged = charged
+        state.n_check = n_check
+        state.n_instr = n_instr
+        state.return_value = return_value
+        if not finished:
+            return None
+        state.finished = True
+        stats = ExecStats()
         stats.cycles = cycles
         stats.instructions = icount
         stats.memory_refs = mem_refs

@@ -45,6 +45,8 @@ from repro.oracle.invariants import (
     check_disabled_resilience_identical,
     check_observer_effect,
     check_relabel_invariance,
+    check_tenancy_pollution_reconciliation,
+    check_tenancy_single_equivalence,
     check_tracing_observer_effect,
     relabel_stride,
     run_fingerprint,
@@ -79,6 +81,8 @@ __all__ = [
     "check_tracing_observer_effect",
     "check_disabled_resilience_identical",
     "check_relabel_invariance",
+    "check_tenancy_single_equivalence",
+    "check_tenancy_pollution_reconciliation",
     "relabel_stride",
     "run_fingerprint",
     # fuzzing

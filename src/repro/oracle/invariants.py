@@ -356,3 +356,90 @@ def check_relabel_invariance(
                 f"{base_stalls[i]} -> {stalls[i]}"
             )
         _diff_fingerprints(base_counters, counters, f"relabeling by {k}*{stride}")
+
+
+def check_tenancy_single_equivalence(
+    workload: str = "vortex",
+    level: str = "dyn",
+    passes: Optional[int] = 1,
+    quantum: int = 2048,
+) -> None:
+    """An N=1 tenancy co-run is bit-identical to the single-tenant path.
+
+    Pinned headline claim of :mod:`repro.tenancy`: the scheduler's slicing,
+    the shared hierarchy's per-tenant lanes and the tenant-scoped stats are
+    all observationally invisible when there is nobody to share with.  The
+    quantum is deliberately small so the run suspends/resumes many times;
+    both sharing modes must agree with the plain ``run_workload`` result on
+    the full serialized document — stats, hierarchy snapshot, per-stream
+    attribution, optimizer summary and metrics.
+    """
+    from repro.tenancy import TenantPlan, TenantSpec, run_tenant_plan
+    from repro.workloads import build_named
+
+    single = run_workload(build_named(workload, passes=passes), level).to_dict()
+    for sharing in ("shared", "private-l1"):
+        plan = TenantPlan(
+            tenants=(TenantSpec(workload, level, passes=passes),),
+            quantum=quantum,
+            sharing=sharing,
+        )
+        tenancy = run_tenant_plan(plan).as_single_run_result().to_dict()
+        if tenancy != single:
+            diff_keys = [k for k in single if tenancy.get(k) != single[k]]
+            raise OracleError(
+                f"N=1 tenancy ({sharing}, quantum={quantum}) diverged from the "
+                f"single-tenant run for {workload}/{level}; differing keys: {diff_keys}"
+            )
+
+
+def check_tenancy_pollution_reconciliation(
+    quantum: int = 1024,
+    machine: Optional[MachineConfig] = None,
+) -> None:
+    """The pollution matrix reconciles exactly against eviction counts.
+
+    Runs a two-tenant co-run (both at ``dyn``) on a deliberately small
+    shared hierarchy, then checks the accounting identities on the
+    *serialized* result: matrix total == prefetch-caused shared evictions,
+    cause split sums to the shared caches' own eviction counters, tenant
+    occupancies sum to the global clock — and that the check is not vacuous
+    (the co-run really did evict shared lines via prefetches, in both
+    sharing modes).
+    """
+    from repro.machine.config import CacheGeometry
+    from repro.tenancy import TenantPlan, TenantSpec, run_tenant_plan
+    from repro.tenancy.ablation import check_result
+
+    if machine is None:
+        machine = MachineConfig(
+            l1=CacheGeometry(512, 2),
+            l2=CacheGeometry(4096, 4),
+            l2_latency=10,
+            memory_latency=100,
+        )
+    tenants = (
+        TenantSpec("vortex", "dyn", passes=1),
+        TenantSpec("vpr", "dyn", passes=1),
+    )
+    for sharing in ("shared", "private-l1"):
+        plan = TenantPlan(
+            tenants=tenants, quantum=quantum, sharing=sharing, machine=machine
+        )
+        result = run_tenant_plan(plan)
+        problems = check_result(result)
+        if problems:
+            raise OracleError(
+                f"tenancy accounting failed to reconcile ({sharing}): "
+                + "; ".join(problems)
+            )
+        _require(
+            result.prefetch_shared_evictions > 0,
+            f"pollution reconciliation is vacuous ({sharing}): the co-run "
+            "caused no prefetch-triggered shared evictions",
+        )
+        _require(
+            result.pollution.suffered_by(0) + result.pollution.suffered_by(1) > 0,
+            f"pollution reconciliation is vacuous ({sharing}): no cross-tenant "
+            "evictions occurred",
+        )

@@ -42,6 +42,8 @@ from repro.oracle.invariants import (
     check_disabled_resilience_identical,
     check_observer_effect,
     check_relabel_invariance,
+    check_tenancy_pollution_reconciliation,
+    check_tenancy_single_equivalence,
     check_tracing_observer_effect,
 )
 from repro.workloads import presets
@@ -189,6 +191,13 @@ def _verify_invariants(rng: random.Random, runs: int) -> SectionResult:
     return section
 
 
+def _verify_tenancy() -> SectionResult:
+    section = SectionResult("tenancy")
+    section.run_case(lambda: check_tenancy_single_equivalence())
+    section.run_case(lambda: check_tenancy_pollution_reconciliation())
+    return section
+
+
 def _verify_golden(
     golden_dir: Optional[Union[str, Path]],
     store=None,
@@ -228,6 +237,7 @@ def run_verify(
         lambda: _verify_sequitur(rng, runs),
         lambda: _verify_streams(rng, runs),
         lambda: _verify_invariants(rng, runs),
+        _verify_tenancy,
     ]
     if include_golden:
         sections.append(lambda: _verify_golden(golden_dir, store=store, jobs=jobs))

@@ -16,7 +16,13 @@ This package closes the loop:
   plan used by the robustness tests and the adversarial benchmarks.
 """
 
-from repro.resilience.faults import FAULT_KINDS, FaultInjector, FaultPlan, InjectedFault
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    derive_tenant_seed,
+)
 from repro.resilience.guards import GuardConfig, GuardRejection, StreamGuard
 from repro.resilience.watchdog import PrefetchWatchdog, StreamScore, WatchdogConfig
 
@@ -31,4 +37,5 @@ __all__ = [
     "StreamGuard",
     "StreamScore",
     "WatchdogConfig",
+    "derive_tenant_seed",
 ]

@@ -29,8 +29,9 @@ optimizer) emitted as a ``FaultInjected`` telemetry event.
 
 from __future__ import annotations
 
+import hashlib
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import AnalysisError, ConfigError
 from repro.ir.instructions import Pc
@@ -45,6 +46,22 @@ FAULT_KINDS = (
 
 #: Name of the nonexistent procedure corrupted pcs point at.
 CORRUPT_PROC = "__faultinjected__"
+
+
+def derive_tenant_seed(seed: int, tenant_id: int) -> int:
+    """Per-tenant fault seed, stable across tenant-mix changes.
+
+    Derivation is a pure function of (base seed, tenant id) — a hash, not an
+    offset — so adding/removing/reordering *other* tenants never perturbs a
+    tenant's fault sequence, and no arithmetic relationship between base
+    seeds can make two tenants' streams collide systematically.  Tenant 0
+    keeps the base seed unchanged: a single-tenant plan injects exactly the
+    faults the equivalent single run does (the N=1 equivalence invariant).
+    """
+    if tenant_id == 0:
+        return seed
+    digest = hashlib.sha256(f"fault-seed:{seed}:{tenant_id}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 class InjectedFault(AnalysisError):
@@ -114,6 +131,11 @@ class FaultPlan:
             record_corrupt_rate=float(data["record_corrupt_rate"]),
             patch_delay_bursts=int(data["patch_delay_bursts"]),
         )
+
+    def for_tenant(self, tenant_id: int) -> "FaultPlan":
+        """The same plan with its seed re-derived for one tenant
+        (:func:`derive_tenant_seed`; identity for tenant 0)."""
+        return replace(self, seed=derive_tenant_seed(self.seed, tenant_id))
 
 
 class FaultInjector:

@@ -341,6 +341,15 @@ class ResultCacheStored(Event):
     bytes_written: int
 
 
+@dataclass(frozen=True, slots=True)
+class ResultCacheEvicted(Event):
+    """``cache gc`` removed an entry (``reason`` is ``age`` or ``size``)."""
+
+    fingerprint: str
+    reason: str
+    bytes_freed: int
+
+
 class EventBus:
     """Fans events out to attached sinks.
 

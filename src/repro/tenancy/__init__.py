@@ -1,0 +1,42 @@
+"""Multi-tenant interleaved execution on a shared memory hierarchy.
+
+Answers the ROADMAP's server-scale question: does dynamic hot-data-stream
+prefetching still pay off when other tenants contend for shared cache
+capacity — and when one of them is an adversarial thrasher?
+
+* :mod:`repro.tenancy.plan` — :class:`TenantPlan`/:class:`TenantSpec`:
+  frozen, fingerprintable co-run descriptions.
+* :mod:`repro.tenancy.hierarchy` — :class:`TenantHierarchy`: one shared
+  hierarchy, tenant-scoped attribution, the cross-tenant pollution matrix.
+* :mod:`repro.tenancy.scheduler` — deterministic round-robin interleaving,
+  result-store memoization, multi-process plan execution.
+* :mod:`repro.tenancy.stats` — :class:`TenantStats`/:class:`TenancyResult`/
+  :class:`PollutionMatrix`, all JSON-round-trippable.
+* :mod:`repro.tenancy.scorecard` — the ``repro-bench tenancy`` per-tenant
+  scorecard and pollution-matrix rendering.
+* :mod:`repro.tenancy.ablation` — dyn-vs-off under a thrashing co-tenant,
+  with and without the watchdog (EXPERIMENTS.md §tenancy).
+"""
+
+from repro.tenancy.hierarchy import TenantHierarchy, TenantView
+from repro.tenancy.plan import SHARING_MODES, TenantPlan, TenantSpec
+from repro.tenancy.scheduler import (
+    execute_tenant_plans,
+    run_tenant_plan,
+    run_tenant_plan_cached,
+)
+from repro.tenancy.stats import PollutionMatrix, TenancyResult, TenantStats
+
+__all__ = [
+    "SHARING_MODES",
+    "PollutionMatrix",
+    "TenancyResult",
+    "TenantHierarchy",
+    "TenantPlan",
+    "TenantSpec",
+    "TenantStats",
+    "TenantView",
+    "execute_tenant_plans",
+    "run_tenant_plan",
+    "run_tenant_plan_cached",
+]

@@ -1,0 +1,97 @@
+"""Per-tenant scorecards for co-runs (the ``repro-bench tenancy`` output).
+
+The explain-style report for a finished :class:`TenancyResult`: one row per
+tenant with its occupancy, memory behaviour and prefetch outcome, the
+cross-tenant pollution matrix, and the shared-eviction cause split with its
+reconciliation stated inline — the same philosophy as ``repro-trace
+explain``: every printed number is an exact counter, never an estimate.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import Ratio, format_table
+from repro.tenancy.stats import TenancyResult
+
+
+def scorecard_rows(result: TenancyResult) -> list[dict[str, object]]:
+    """One row of exact per-tenant facts per tenant."""
+    rows = []
+    for t in result.tenants:
+        share = t.stats.cycles / result.global_cycles if result.global_cycles else 0.0
+        rows.append({
+            "tenant": t.name,
+            "level": t.level,
+            "cycles": t.stats.cycles,
+            "share": share,
+            "instructions": t.stats.instructions,
+            "slices": t.slices,
+            "l1_miss_rate": t.hierarchy.l1_miss_rate,
+            "l2_misses": t.hierarchy.l2.misses,
+            "pf_issued": t.hierarchy.prefetch.issued,
+            "pf_useful": t.hierarchy.prefetch.useful,
+            "pf_wasted": t.hierarchy.prefetch.wasted,
+            "accuracy": t.hierarchy.prefetch.accuracy,
+            "polluted_others": result.pollution.inflicted_by(t.tenant_id),
+            "polluted_by_others": result.pollution.suffered_by(t.tenant_id),
+            "self_pollution": result.pollution.self_inflicted(t.tenant_id),
+        })
+    return rows
+
+
+def render_scorecard(result: TenancyResult) -> str:
+    """The full human-readable co-run report."""
+    plan = result.plan
+    rows = scorecard_rows(result)
+    table = format_table(
+        ["tenant", "level", "cycles", "share", "instrs", "slices",
+         "L1miss", "L2miss", "pf", "useful", "wasted", "acc",
+         "pol>out", "pol<in", "pol=self"],
+        [
+            [r["tenant"], r["level"], r["cycles"], Ratio(r["share"]),
+             r["instructions"], r["slices"], Ratio(r["l1_miss_rate"]),
+             r["l2_misses"], r["pf_issued"], r["pf_useful"], r["pf_wasted"],
+             Ratio(r["accuracy"]), r["polluted_others"],
+             r["polluted_by_others"], r["self_pollution"]]
+            for r in rows
+        ],
+        title=(
+            f"Tenancy scorecard — {plan.label} "
+            f"(quantum={plan.quantum}, sharing={plan.sharing})"
+        ),
+    )
+    lines = [table, ""]
+    lines.append(render_pollution_matrix(result))
+    lines.append("")
+    lines.append(
+        f"shared-cache evictions: {result.shared_cache_evictions} total = "
+        f"{result.demand_shared_evictions} demand-caused + "
+        f"{result.prefetch_shared_evictions} prefetch-caused; "
+        f"pollution matrix total {result.pollution.total()} "
+        f"(reconciles exactly with the prefetch-caused count)"
+    )
+    lines.append(f"global interleaved clock: {result.global_cycles} cycles")
+    return "\n".join(lines)
+
+
+def render_pollution_matrix(result: TenancyResult) -> str:
+    """The issuer-by-victim eviction matrix as an aligned table."""
+    n = len(result.tenants)
+    names = [t.name for t in result.tenants]
+    headers = ["issuer \\ victim"] + names + ["total"]
+    rows = []
+    for issuer in range(n):
+        row_total = sum(result.pollution.get(issuer, victim) for victim in range(n))
+        rows.append(
+            [names[issuer]]
+            + [result.pollution.get(issuer, victim) for victim in range(n)]
+            + [row_total]
+        )
+    rows.append(
+        ["(evicted total)"]
+        + [sum(result.pollution.get(i, v) for i in range(n)) for v in range(n)]
+        + [result.pollution.total()]
+    )
+    return format_table(
+        headers, rows,
+        title="Cross-tenant pollution matrix (prefetch-caused shared-cache evictions)",
+    )

@@ -18,7 +18,25 @@ from repro.workloads.presets import (
     names,
 )
 
+
+def build_named(name: str, passes=None) -> BuiltWorkload:
+    """Materialize any runnable workload by name, presets and ``phaseshift``
+    alike (the lookup both :class:`~repro.engine.spec.RunSpec` and tenant
+    plans share).  Raises :class:`~repro.errors.ConfigError` for unknown
+    names."""
+    from repro.errors import ConfigError
+    from repro.workloads.phaseshift import build_phaseshift
+
+    if name == "phaseshift":
+        return build_phaseshift(passes=passes)
+    try:
+        return build(name, passes=passes)
+    except KeyError as exc:
+        raise ConfigError(str(exc)) from exc
+
+
 __all__ = [
+    "build_named",
     "BuiltWorkload",
     "ChainMixParams",
     "build_chainmix",

@@ -18,7 +18,7 @@ class TestRunVerify:
     def test_all_sections_pass(self, quick_report):
         assert quick_report.ok
         assert [s.name for s in quick_report.sections] == [
-            "cache", "hierarchy", "sequitur", "streams", "invariants",
+            "cache", "hierarchy", "sequitur", "streams", "invariants", "tenancy",
         ]
         assert all(s.cases > 0 for s in quick_report.sections)
 
@@ -26,7 +26,7 @@ class TestRunVerify:
         text = quick_report.format()
         assert "VERIFY PASSED" in text
         assert "seed=0" in text
-        for name in ("cache", "hierarchy", "sequitur", "streams", "invariants"):
+        for name in ("cache", "hierarchy", "sequitur", "streams", "invariants", "tenancy"):
             assert name in text
 
     def test_seeds_are_reproducible(self):

@@ -73,6 +73,9 @@ SAMPLE_EVENTS = {
     "ResultCacheStored": lambda: EVENT_TYPES["ResultCacheStored"](
         0, "vpr", "dyn", "ab" * 32, 4096
     ),
+    "ResultCacheEvicted": lambda: EVENT_TYPES["ResultCacheEvicted"](
+        0, "ab" * 32, "age", 4096
+    ),
 }
 
 

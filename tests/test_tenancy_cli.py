@@ -1,0 +1,81 @@
+"""CLI coverage: ``repro-bench tenancy`` and ``repro-bench cache gc``."""
+
+import pytest
+
+from repro.bench.cli import main
+
+TENANCY_ARGS = [
+    "tenancy",
+    "--tenants", "vortex:dyn,vpr:orig",
+    "--scale", "0.1",
+    "--quantum", "2048",
+]
+
+
+class TestTenancyArtifact:
+    def test_scorecard_and_exit_code(self, capsys):
+        assert main(TENANCY_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Tenancy scorecard" in out
+        assert "pollution matrix total" in out
+        assert "reconciles exactly" in out
+        # Both tenants show up by their derived names.
+        assert "t0:vortex" in out and "t1:vpr" in out
+
+    def test_warm_rerun_replays_identical_stdout(self, capsys):
+        assert main(TENANCY_ARGS) == 0
+        cold = capsys.readouterr()
+        assert main(TENANCY_ARGS) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "1 hits" in warm.err
+
+    def test_sharing_flag_changes_the_run(self, capsys):
+        assert main([*TENANCY_ARGS, "--sharing", "shared"]) == 0
+        shared = capsys.readouterr().out
+        assert main([*TENANCY_ARGS, "--sharing", "private-l1"]) == 0
+        private = capsys.readouterr().out
+        assert shared != private
+
+
+class TestTenantParsing:
+    @pytest.mark.parametrize(
+        "tenants",
+        [
+            "vpr",                 # missing :level
+            "nosuchworkload:dyn",  # unknown workload
+            "vpr:nosuchlevel",     # unknown level
+            ",",                   # empty list
+        ],
+    )
+    def test_bad_tenants_are_usage_errors(self, tenants, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["tenancy", "--tenants", tenants])
+        assert err.value.code == 2
+
+
+class TestCacheGcSubcommand:
+    def test_gc_without_bounds_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["cache", "gc"])
+        assert err.value.code == 2
+        assert "--max-age-days" in capsys.readouterr().err
+
+    def test_unknown_subcommand_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["cache", "defrag"])
+        assert err.value.code == 2
+
+    def test_gc_evicts_what_tenancy_stored(self, capsys):
+        assert main(TENANCY_ARGS) == 0
+        capsys.readouterr()
+        assert main(["cache", "gc", "--max-size-mb", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries evicted" in out
+        # The next tenancy run is a genuine miss again.
+        assert main(TENANCY_ARGS) == 0
+        assert "1 misses" in capsys.readouterr().err
+
+    def test_gc_on_empty_cache_reports_zero(self, capsys):
+        assert main(["cache", "gc", "--max-age-days", "7"]) == 0
+        assert "0 entries evicted" in capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""Scheduler determinism, N=1 equivalence and quantum invariance."""
+
+import pytest
+
+from repro.bench.runner import run_workload
+from repro.errors import ConfigError
+from repro.machine.config import CacheGeometry, MachineConfig
+from repro.tenancy import TenantPlan, TenantSpec, run_tenant_plan
+from repro.workloads import build_named
+
+SMALL_MACHINE = MachineConfig(
+    l1=CacheGeometry(512, 2),
+    l2=CacheGeometry(4096, 4),
+    l2_latency=10,
+    memory_latency=100,
+)
+
+TWO_TENANTS = (
+    TenantSpec("vortex", "dyn", passes=1),
+    TenantSpec("vpr", "orig", passes=1),
+)
+
+
+def small_plan(quantum=2048, sharing="private-l1", tenants=TWO_TENANTS):
+    return TenantPlan(
+        tenants=tenants, quantum=quantum, sharing=sharing, machine=SMALL_MACHINE
+    )
+
+
+class TestDeterminism:
+    def test_same_plan_twice_byte_identical(self):
+        a = run_tenant_plan(small_plan())
+        b = run_tenant_plan(small_plan())
+        assert a.to_dict() == b.to_dict()
+
+    def test_shared_mode_deterministic(self):
+        a = run_tenant_plan(small_plan(sharing="shared"))
+        b = run_tenant_plan(small_plan(sharing="shared"))
+        assert a.to_dict() == b.to_dict()
+
+
+class TestSingleTenantEquivalence:
+    @pytest.mark.parametrize("sharing", ["shared", "private-l1"])
+    @pytest.mark.parametrize("level", ["orig", "dyn"])
+    def test_n1_equals_run_workload(self, sharing, level):
+        plan = TenantPlan(
+            tenants=(TenantSpec("vortex", level, passes=1),),
+            quantum=2048,
+            sharing=sharing,
+        )
+        tenancy = run_tenant_plan(plan).as_single_run_result()
+        single = run_workload(build_named("vortex", passes=1), level)
+        assert tenancy.to_dict() == single.to_dict()
+
+    def test_as_single_run_result_rejects_multi(self):
+        result = run_tenant_plan(small_plan())
+        with pytest.raises(ConfigError, match="exactly one tenant"):
+            result.as_single_run_result()
+
+
+class TestQuantumInvariance:
+    def test_instruction_counts_survive_quantum_sweep(self):
+        reference = None
+        for quantum in (256, 2048, 65536):
+            result = run_tenant_plan(small_plan(quantum=quantum))
+            facts = [
+                (t.stats.instructions, t.stats.memory_refs, t.stats.return_value)
+                for t in result.tenants
+            ]
+            if reference is None:
+                reference = facts
+            assert facts == reference
+
+    def test_occupancy_sums_to_global_clock(self):
+        for quantum in (512, 4096):
+            result = run_tenant_plan(small_plan(quantum=quantum))
+            assert sum(t.stats.cycles for t in result.tenants) == result.global_cycles
+            assert all(t.slices >= 1 for t in result.tenants)
+
+
+class TestPlanValidation:
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ConfigError, match="at least one tenant"):
+            TenantPlan(tenants=())
+
+    def test_bad_quantum_rejected(self):
+        with pytest.raises(ConfigError, match="quantum"):
+            TenantPlan(tenants=TWO_TENANTS, quantum=0)
+
+    def test_bad_sharing_rejected(self):
+        with pytest.raises(ConfigError, match="sharing"):
+            TenantPlan(tenants=TWO_TENANTS, sharing="numa")
+
+    def test_session_count_mismatch_rejected(self):
+        from repro.telemetry.session import TelemetrySession
+
+        with pytest.raises(ConfigError, match="per tenant"):
+            run_tenant_plan(small_plan(), sessions=[TelemetrySession()])

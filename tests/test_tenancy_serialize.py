@@ -1,0 +1,145 @@
+"""Round-trip properties for the tenancy serialization surface."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.interp.interpreter import ExecStats
+from repro.machine.hierarchy import HierarchyStats
+from repro.tenancy import PollutionMatrix, TenantPlan, TenantSpec, TenantStats
+from repro.tenancy.plan import TENANCY_FORMAT
+from repro.tenancy.stats import TENANCY_RESULT_FORMAT, TenancyResult
+
+counters = st.integers(min_value=0, max_value=1 << 40)
+tenant_ids = st.integers(min_value=0, max_value=7)
+
+
+@st.composite
+def pollution_matrices(draw):
+    cells = draw(
+        st.dictionaries(
+            st.tuples(tenant_ids, tenant_ids),
+            st.integers(min_value=1, max_value=1 << 30),
+            max_size=16,
+        )
+    )
+    return PollutionMatrix(cells)
+
+
+@st.composite
+def tenant_stats(draw):
+    stats = ExecStats(
+        cycles=draw(counters),
+        instructions=draw(counters),
+        memory_refs=draw(counters),
+        return_value=draw(st.integers(min_value=0, max_value=1 << 60)),
+    )
+    return TenantStats(
+        tenant_id=draw(tenant_ids),
+        name=draw(st.text(min_size=1, max_size=12)),
+        workload=draw(st.sampled_from(["vpr", "mcf", "phaseshift"])),
+        level=draw(st.sampled_from(["orig", "dyn", "nopref"])),
+        stats=stats,
+        hierarchy=HierarchyStats(),
+        slices=draw(st.integers(min_value=0, max_value=1 << 20)),
+    )
+
+
+class TestPollutionMatrixRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(pollution_matrices())
+    def test_roundtrip_exact(self, matrix):
+        again = PollutionMatrix.from_dict(matrix.to_dict())
+        assert again.counts == matrix.counts
+        assert again.to_dict() == matrix.to_dict()
+        assert again.total() == matrix.total()
+
+    @settings(max_examples=50, deadline=None)
+    @given(pollution_matrices(), tenant_ids)
+    def test_marginals_consistent(self, matrix, tid):
+        assert (
+            matrix.inflicted_by(tid)
+            + matrix.self_inflicted(tid)
+            == sum(n for (i, _v), n in matrix.counts.items() if i == tid)
+        )
+
+    def test_cells_are_sorted_for_stable_diffs(self):
+        matrix = PollutionMatrix({(1, 0): 2, (0, 1): 3, (0, 0): 1})
+        assert matrix.to_dict()["cells"] == [[0, 0, 1], [0, 1, 3], [1, 0, 2]]
+
+
+class TestTenantStatsRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(tenant_stats())
+    def test_roundtrip_exact(self, stats):
+        again = TenantStats.from_dict(stats.to_dict())
+        assert again.to_dict() == stats.to_dict()
+
+
+class TestPlanRoundTrip:
+    def test_plan_roundtrip_and_fingerprint_stability(self):
+        plan = TenantPlan(
+            tenants=(
+                TenantSpec("vpr", "dyn", passes=3, name="alpha"),
+                TenantSpec("phaseshift", "nopref"),
+            ),
+            quantum=512,
+            sharing="shared",
+        )
+        again = TenantPlan.from_dict(plan.to_dict())
+        assert again == plan
+        assert again.fingerprint() == plan.fingerprint()
+
+    def test_fingerprint_sensitive_to_plan_content(self):
+        base = TenantPlan(tenants=(TenantSpec("vpr", "dyn"),))
+        assert (
+            TenantPlan(tenants=(TenantSpec("vpr", "dyn"),), quantum=8192).fingerprint()
+            != base.fingerprint()
+        )
+        assert (
+            TenantPlan(tenants=(TenantSpec("vpr", "dyn"),), sharing="shared").fingerprint()
+            != base.fingerprint()
+        )
+
+    def test_fingerprint_normalizes_opt_for_opt_free_levels(self):
+        from repro.core.config import OptimizerConfig
+
+        a = TenantPlan(tenants=(TenantSpec("vpr", "orig"),))
+        b = TenantPlan(
+            tenants=(TenantSpec("vpr", "orig", opt=OptimizerConfig(n_awake=99)),)
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_foreign_format_rejected(self):
+        doc = TenantPlan(tenants=(TenantSpec("vpr", "dyn"),)).to_dict()
+        doc["format"] = TENANCY_FORMAT + 1
+        with pytest.raises(ConfigError, match="format"):
+            TenantPlan.from_dict(doc)
+
+
+class TestTenancyResultRoundTrip:
+    def test_result_roundtrip_from_real_corun(self):
+        from repro.machine.config import CacheGeometry, MachineConfig
+        from repro.tenancy import run_tenant_plan
+
+        plan = TenantPlan(
+            tenants=(
+                TenantSpec("vortex", "dyn", passes=1),
+                TenantSpec("vpr", "orig", passes=1),
+            ),
+            quantum=2048,
+            machine=MachineConfig(
+                l1=CacheGeometry(512, 2),
+                l2=CacheGeometry(4096, 4),
+                l2_latency=10,
+                memory_latency=100,
+            ),
+        )
+        result = run_tenant_plan(plan)
+        again = TenancyResult.from_dict(result.to_dict())
+        assert again.to_dict() == result.to_dict()
+
+    def test_foreign_format_rejected(self):
+        with pytest.raises(ConfigError, match="format"):
+            TenancyResult.from_dict({"format": TENANCY_RESULT_FORMAT + 1})
