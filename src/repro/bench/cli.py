@@ -57,9 +57,24 @@ warm rerun replays bit-identical results instead of simulating; the session
 summary (hits/misses/stored) goes to **stderr** so stdout stays byte-for-byte
 comparable between cold and warm runs.  ``--jobs N`` fans uncached runs out
 over N worker processes — output is deterministic and identical to serial.
-``repro-bench cache`` prints the store's stats; ``repro-bench cache --clear``
-empties it; ``repro-bench cache gc --max-age-days D --max-size-mb M`` bounds
-it (old entries first, then oldest-until-it-fits).
+``repro-bench cache`` prints the store's stats (including a corrupt-entry
+audit); ``repro-bench cache --clear`` empties it; ``repro-bench cache gc
+--max-age-days D --max-size-mb M`` bounds it (old entries first, then
+oldest-until-it-fits), and ``--dry-run`` reports the eviction set without
+deleting anything.
+
+Durability (:mod:`repro.durability`): ``--resume`` replays the write-ahead
+journal of an interrupted ``figures``/``tables``/``verify`` run and restarts
+only the unfinished tasks, so a SIGKILLed long run picks up where it died —
+with output byte-identical to a straight-through run.  ``--task-timeout S``
+bounds each task's wall-clock (stalled or crashed workers are SIGKILLed and
+retried with backoff, resuming their own checkpoints); ``--checkpoint-every
+N`` sets the checkpoint cadence in simulated instructions; ``--chaos-seed
+SEED`` arms the deterministic chaos harness (worker kills, stalls, torn
+checkpoints, corrupt cache entries, flipped journal bytes) — the run must
+still produce byte-identical output.  Any of these flags routes execution
+through the supervised executor; journals and checkpoints live under
+``<cache root>/journal/``.
 
 Tenancy (:mod:`repro.tenancy`): ``repro-bench tenancy --tenants
 vpr:dyn,phaseshift:dyn`` interleaves several workloads on one shared
@@ -194,7 +209,11 @@ def _print_table2(cache: ResultCache, names: Sequence[str]) -> None:
 def _print_ablation_headlen(names: Sequence[str], cache: ResultCache) -> None:
     for name in names:
         rows = figures.ablation_headlen(
-            name, passes=cache.passes_for(name), store=cache.store, jobs=cache.jobs
+            name,
+            passes=cache.passes_for(name),
+            store=cache.store,
+            jobs=cache.jobs,
+            durability=cache.durability,
         )
         print(
             format_table(
@@ -209,7 +228,11 @@ def _print_ablation_watchdog(cache: ResultCache, fault_seed: Optional[int]) -> N
     scale = cache.passes_scale
     passes = None if scale == 1.0 else max(2, int(PhaseShiftParams().passes * scale))
     rows = figures.ablation_watchdog(
-        passes=passes, fault_seed=fault_seed, store=cache.store, jobs=cache.jobs
+        passes=passes,
+        fault_seed=fault_seed,
+        store=cache.store,
+        jobs=cache.jobs,
+        durability=cache.durability,
     )
     print(
         format_table(
@@ -250,7 +273,11 @@ def _print_ablation_watchdog(cache: ResultCache, fault_seed: Optional[int]) -> N
 def _print_ablation_hwpref(names: Sequence[str], cache: ResultCache) -> None:
     for name in names:
         rows = figures.ablation_hwpref(
-            name, passes=cache.passes_for(name), store=cache.store, jobs=cache.jobs
+            name,
+            passes=cache.passes_for(name),
+            store=cache.store,
+            jobs=cache.jobs,
+            durability=cache.durability,
         )
         print(
             format_table(
@@ -335,14 +362,49 @@ def _run_explain(args, names: Sequence[str], cache: ResultCache, parser) -> int:
     return status
 
 
-def _run_verify(args, store: Optional[ResultStore]) -> int:
+def _durability_policy(args):
+    """Build the DurabilityPolicy the flags ask for, or None for the plain path.
+
+    Any durability flag engages the supervised executor; absent all of them
+    the engine keeps its zero-overhead direct path.  The stall deadline
+    tracks the task timeout but never exceeds 10s — a live worker heartbeats
+    every quarter second, so silence is a stall long before it is a timeout.
+    """
+    engaged = (
+        args.resume
+        or args.chaos_seed is not None
+        or args.task_timeout is not None
+        or args.checkpoint_every is not None
+    )
+    if not engaged:
+        return None
+    from repro.durability import ChaosPlan, DurabilityPolicy, SupervisorConfig
+    from repro.durability.runner import DEFAULT_CHECKPOINT_EVERY
+
+    task_timeout = args.task_timeout if args.task_timeout is not None else 600.0
+    return DurabilityPolicy(
+        resume=args.resume,
+        checkpoint_every=(
+            args.checkpoint_every
+            if args.checkpoint_every is not None
+            else DEFAULT_CHECKPOINT_EVERY
+        ),
+        supervisor=SupervisorConfig(
+            task_timeout=task_timeout,
+            stall_timeout=min(10.0, task_timeout),
+        ),
+        chaos=ChaosPlan(seed=args.chaos_seed) if args.chaos_seed is not None else None,
+    )
+
+
+def _run_verify(args, store: Optional[ResultStore], durability=None) -> int:
     from repro.oracle import golden as golden_corpus
     from repro.oracle.verify import run_verify
 
     golden_dir = args.golden_dir
     if args.update_golden:
         # Recording must freeze what the simulator *does*, never a replay.
-        written = golden_corpus.record_corpus(golden_dir, jobs=args.jobs)
+        written = golden_corpus.record_corpus(golden_dir, jobs=args.jobs, durability=durability)
         for path in written:
             print(f"recorded {path}")
         print(f"golden corpus updated ({len(written)} runs)")
@@ -355,6 +417,7 @@ def _run_verify(args, store: Optional[ResultStore]) -> int:
         progress=lambda message: print(f"  .. {message}"),
         store=store,
         jobs=args.jobs,
+        durability=durability,
     )
     print(report.format())
     _print_cache_summary(store)
@@ -367,11 +430,17 @@ def _run_cache(args, parser) -> int:
     if args.subcommand == "gc":
         if args.max_age_days is None and args.max_size_mb is None:
             parser.error("cache gc needs --max-age-days and/or --max-size-mb")
-        report = store.gc(max_age_days=args.max_age_days, max_size_mb=args.max_size_mb)
+        report = store.gc(
+            max_age_days=args.max_age_days,
+            max_size_mb=args.max_size_mb,
+            dry_run=args.dry_run,
+        )
+        verb = "would evict" if args.dry_run else "evicted"
         print(
-            f"result cache gc: {report['evicted']} entries evicted "
-            f"({report['bytes_freed']} bytes freed), "
-            f"{report['entries']} entries / {report['bytes']} bytes remain ({store.root})"
+            f"result cache gc: {report['evicted']} entries {verb} "
+            f"({report['bytes_freed']} bytes), "
+            f"{report['entries']} entries / {report['bytes']} bytes "
+            f"{'would ' if args.dry_run else ''}remain ({store.root})"
         )
         return 0
     if args.subcommand is not None:
@@ -384,6 +453,7 @@ def _run_cache(args, parser) -> int:
     print(f"result cache at {stats['root']}")
     print(f"  entries {stats['entries']}")
     print(f"  bytes   {stats['bytes']}")
+    print(f"  corrupt {stats['corrupt']}")
     return 0
 
 
@@ -525,6 +595,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="cache gc: evict oldest entries until the store fits in M MiB",
     )
     parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="cache gc: report what would be evicted without deleting anything",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the write-ahead journal of an interrupted run and "
+        "restart only its unfinished tasks (engages the supervised executor)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="supervised executor: SIGKILL and retry any task running/stalled "
+        "past S seconds (default 600 once engaged)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="supervised executor: checkpoint each run every N simulated "
+        "instructions (default 250000 once engaged)",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="deterministically inject engine-level faults (worker kills, "
+        "stalls, torn checkpoints, corrupt cache/journal bytes) from SEED; "
+        "output must stay byte-identical",
+    )
+    parser.add_argument(
         "--tenants",
         default="vpr:dyn,phaseshift:dyn",
         metavar="W:L,...",
@@ -638,12 +744,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        parser.error("--task-timeout must be > 0")
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        parser.error("--checkpoint-every must be >= 1")
     if args.artifact == "cache":
         return _run_cache(args, parser)
     store = None if args.no_cache else ResultStore(args.cache_dir)
+    durability = _durability_policy(args)
 
     if args.artifact == "verify":
-        return _run_verify(args, store)
+        return _run_verify(args, store, durability=durability)
 
     names = [n for n in args.workloads.split(",") if n] or presets.names()
     unknown = set(names) - set(presets.names())
@@ -670,7 +781,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.fault_seed is not None:
         opt = replace(opt, faults=FaultPlan(seed=args.fault_seed))
     cache = ResultCache(
-        opt=opt, passes_scale=args.scale, recorder=recorder, store=store, jobs=args.jobs
+        opt=opt,
+        passes_scale=args.scale,
+        recorder=recorder,
+        store=store,
+        jobs=args.jobs,
+        durability=durability,
     )
 
     if args.artifact == "tenancy":

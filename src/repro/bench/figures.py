@@ -134,12 +134,17 @@ class ResultCache:
         recorder: Optional[TelemetryRecorder] = None,
         store: Optional[ResultStore] = None,
         jobs: int = 1,
+        durability=None,
     ) -> None:
         self.opt = opt if opt is not None else OptimizerConfig()
         self.passes_scale = passes_scale
         self.recorder = recorder
         self.store = store
         self.jobs = max(1, jobs)
+        #: Optional :class:`~repro.durability.supervisor.DurabilityPolicy`:
+        #: batches route through the supervised executor (journal +
+        #: checkpoints + retries), byte-identical to the plain path.
+        self.durability = durability
         self._results: dict[tuple[str, str], RunResult] = {}
 
     def passes_for(self, name: str) -> Optional[int]:
@@ -176,7 +181,10 @@ class ResultCache:
         if not todo:
             return
         plan = RunPlan.of(*(self.spec_for(n, lvl) for n, lvl in todo))
-        for pair, result in zip(todo, execute_plan(plan, jobs=self.jobs, store=self.store)):
+        results = execute_plan(
+            plan, jobs=self.jobs, store=self.store, durability=self.durability
+        )
+        for pair, result in zip(todo, results):
             self._results[pair] = result
 
     def get(self, name: str, level: str) -> RunResult:
@@ -293,6 +301,7 @@ def ablation_headlen(
     passes: Optional[int] = None,
     store: Optional[ResultStore] = None,
     jobs: int = 1,
+    durability=None,
 ) -> list[dict]:
     """Section 4.3: vary the matched prefix length before prefetching.
 
@@ -307,7 +316,7 @@ def ablation_headlen(
             for head_len in head_lens
         ),
     )
-    orig, *variants = execute_plan(plan, jobs=jobs, store=store)
+    orig, *variants = execute_plan(plan, jobs=jobs, store=store, durability=durability)
     rows = []
     for head_len, result in zip(head_lens, variants):
         prefetch = result.hierarchy.prefetch
@@ -347,6 +356,7 @@ def ablation_watchdog(
     fault_seed: Optional[int] = None,
     store: Optional[ResultStore] = None,
     jobs: int = 1,
+    durability=None,
 ) -> list[dict]:
     """Extension: the prefetch watchdog on an adversarial phase-shift workload.
 
@@ -383,7 +393,7 @@ def ablation_watchdog(
             for _, level, opt in variants
         )
     )
-    results = execute_plan(plan, jobs=jobs, store=store)
+    results = execute_plan(plan, jobs=jobs, store=store, durability=durability)
     baseline = results[0]
     rows: list[dict] = []
     for (label, _level, _opt), result in zip(variants, results):
@@ -416,6 +426,7 @@ def ablation_hwpref(
     passes: Optional[int] = None,
     store: Optional[ResultStore] = None,
     jobs: int = 1,
+    durability=None,
 ) -> list[dict]:
     """Section 4.3/5.1: hardware stride and Markov prefetchers vs. dyn.
 
@@ -429,7 +440,7 @@ def ablation_hwpref(
         RunSpec(name, "orig", passes=passes),
         *(RunSpec(name, level, passes=passes) for level in schemes),
     )
-    orig, *variants = execute_plan(plan, jobs=jobs, store=store)
+    orig, *variants = execute_plan(plan, jobs=jobs, store=store, durability=durability)
     rows = []
     for level, result in zip(schemes, variants):
         prefetch = result.hierarchy.prefetch

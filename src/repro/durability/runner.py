@@ -1,0 +1,113 @@
+"""Durable single-run execution: slice, checkpoint, resume, finish.
+
+:func:`run_spec_durable` is the checkpointed twin of
+:func:`~repro.engine.executor.run_spec`'s simulate path.  It drives the
+interpreter through :meth:`~repro.interp.interpreter.Interpreter.run_slice`
+in ``checkpoint_every``-instruction slices — slicing is invisible to the
+simulated program, so the result is bit-identical to one
+:meth:`~repro.interp.interpreter.Interpreter.run` — and writes an
+architectural-state checkpoint at each boundary.  A later call with
+``resume=True`` restores the newest valid checkpoint and finishes the run
+from there; anything wrong with the checkpoint (version bump, digest
+mismatch, truncation, foreign spec/code fingerprint) degrades to
+recompute-from-start.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.durability.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.engine.levels import finish_workload, prepare_workload
+from repro.engine.result import RunResult
+from repro.engine.spec import RunSpec
+from repro.telemetry.events import CheckpointLoaded
+from repro.telemetry.sinks import NULL_SINK
+
+#: Default checkpoint cadence, in simulated instructions.  Small enough that
+#: the golden-corpus workloads cross several boundaries, large enough that
+#: pickling cost stays a rounding error next to simulation time.
+DEFAULT_CHECKPOINT_EVERY = 250_000
+
+
+def run_spec_durable(
+    spec: RunSpec,
+    checkpoint_path: Union[str, os.PathLike, None] = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    resume: bool = True,
+    bus=NULL_SINK,
+    stop_after_checkpoints: Optional[int] = None,
+) -> Optional[RunResult]:
+    """Execute one spec with checkpointing; resumes a valid prior checkpoint.
+
+    Without a ``checkpoint_path`` this is simply a sliced (still
+    bit-identical) execution.  ``stop_after_checkpoints`` is the
+    crash-simulation hook used by tests, the oracle invariant and the chaos
+    harness: after writing that many checkpoints the function returns None —
+    from the caller's point of view, the process died mid-run with its
+    progress on disk.
+
+    The checkpoint binds to ``spec.fingerprint()`` (which covers the
+    simulator's code version): a stale or foreign checkpoint is rejected and
+    the run restarts from scratch.  On success the checkpoint is removed.
+    """
+    fingerprint = spec.fingerprint()
+    checkpoint_path = Path(checkpoint_path) if checkpoint_path is not None else None
+    prepared = prepare_workload(spec.build(), spec.level, spec.machine, spec.opt)
+    resumed = False
+    if checkpoint_path is not None and resume and checkpoint_path.is_file():
+        try:
+            cp = load_checkpoint(checkpoint_path, fingerprint=fingerprint, bus=bus)
+        except CheckpointError:
+            # Rejected (and reported via the bus): recompute from the start.
+            try:
+                checkpoint_path.unlink()
+            except OSError:
+                pass
+        else:
+            # Swap the restored graph in under the freshly prepared session;
+            # metrics-only sessions reconcile purely from the final counters,
+            # so re-wiring is exact (the resume-identity oracle pins this).
+            prepared.interp = cp.interp
+            prepared.summary = cp.summary
+            prepared.session.wire(cp.interp)
+            resumed = True
+            if bus.enabled:
+                bus.emit(CheckpointLoaded(
+                    cycle=0, workload=spec.workload, level=spec.level,
+                    path=str(checkpoint_path), icount=cp.icount,
+                ))
+    interp = prepared.interp
+    if not resumed:
+        interp.start(prepared.args)
+    saved = 0
+    while True:
+        stats = interp.run_slice(checkpoint_every)
+        if stats is not None:
+            break
+        if checkpoint_path is not None:
+            written = save_checkpoint(
+                checkpoint_path,
+                interp,
+                prepared.summary,
+                workload=spec.workload,
+                level=spec.level,
+                fingerprint=fingerprint,
+                bus=bus,
+            )
+            if written is not None:
+                saved += 1
+                if stop_after_checkpoints is not None and saved >= stop_after_checkpoints:
+                    return None
+    if checkpoint_path is not None:
+        try:
+            checkpoint_path.unlink()
+        except OSError:
+            pass
+    return finish_workload(prepared, stats)

@@ -1,0 +1,389 @@
+"""Supervised plan execution: heartbeats, timeouts, retries, journaling.
+
+:func:`execute_plan_supervised` is the crash-safe sibling of
+:func:`~repro.engine.executor.execute_plan`, engaged through its
+``durability`` parameter.  Same contract — results in plan order,
+bit-identical to serial execution — plus a production posture:
+
+* every task runs in its own killable ``multiprocessing.Process``, with a
+  heartbeat thread stamping a shared monotonic clock so the supervisor can
+  tell *stuck* from *slow*;
+* a worker that crashes, stalls past ``stall_timeout`` or runs past
+  ``task_timeout`` is SIGKILLed and retried with exponential backoff, up to
+  ``max_attempts``; the final attempt runs serially in-process, so a plan
+  always completes;
+* workers checkpoint their runs (:mod:`repro.durability.runner`), so a
+  retried task resumes mid-run instead of restarting;
+* every finished task is appended to the write-ahead
+  :class:`~repro.durability.journal.RunJournal` (fsync'd, digest-tagged,
+  result inline) *before* the plan moves on — ``resume=True`` replays the
+  journal and restarts only unfinished tasks;
+* an optional :class:`~repro.durability.chaos.ChaosPlan` deterministically
+  injects the very failures the machinery defends (worker SIGKILL, stalls,
+  torn checkpoints, corrupt cache entries, flipped journal bytes), with a
+  telemetry event on every recovery path.
+
+Failure handling is strictly *recompute, never trust damaged state*: a torn
+journal line, truncated checkpoint or corrupt cache entry costs time, not
+correctness.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.durability.chaos import ChaosInjector, ChaosPlan
+from repro.durability.journal import RunJournal, journal_path, plan_fingerprint
+from repro.durability.runner import DEFAULT_CHECKPOINT_EVERY, run_spec_durable
+from repro.engine.cache import ResultStore, default_cache_root
+from repro.engine.result import RunResult
+from repro.engine.spec import RunPlan, RunSpec
+from repro.telemetry.events import TaskRetried, WorkerCrashed, WorkerTimedOut
+from repro.telemetry.sinks import NULL_SINK
+
+ProgressHook = Callable[[RunSpec, RunResult], None]
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Deadlines and retry policy for supervised workers.
+
+    ``task_timeout`` bounds one attempt's wall-clock; ``stall_timeout``
+    bounds the gap between heartbeats (a live worker beats every
+    ``heartbeat_every`` seconds).  Retries back off exponentially:
+    ``backoff_base * backoff_factor ** attempt`` seconds.
+    """
+
+    task_timeout: float = 600.0
+    stall_timeout: float = 10.0
+    heartbeat_every: float = 0.25
+    max_attempts: int = 3
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    poll_every: float = 0.02
+
+
+@dataclass
+class DurabilityPolicy:
+    """Everything the engine needs to run a plan durably.
+
+    ``journal_root`` defaults to ``<cache root>/journal`` (the store's root
+    when one is attached, else the global default), keeping journals and
+    checkpoints under the same ``.repro-cache/`` umbrella the ``.gitignore``
+    already covers.
+    """
+
+    journal_root: Union[str, os.PathLike, None] = None
+    resume: bool = False
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
+    supervisor: SupervisorConfig = field(default_factory=SupervisorConfig)
+    chaos: Optional[ChaosPlan] = None
+    bus: object = NULL_SINK
+
+    def resolve_journal_root(self, store: Optional[ResultStore]) -> Path:
+        if self.journal_root is not None:
+            return Path(self.journal_root)
+        root = store.root if store is not None else default_cache_root()
+        return Path(root) / "journal"
+
+
+def _durable_worker(
+    conn,
+    spec_doc: dict,
+    checkpoint_path: str,
+    checkpoint_every: int,
+    heartbeat,
+    heartbeat_every: float,
+    directive: Optional[str],
+) -> None:
+    """Worker process: execute one spec durably, heartbeating throughout.
+
+    ``directive`` carries a chaos order decided by the parent: ``kill``
+    makes the worker SIGKILL itself mid-task (after checkpointing, so the
+    retry exercises resume); ``stall`` makes it stop heartbeating and hang.
+    """
+    spec = RunSpec.from_dict(spec_doc)
+    if directive == "stall":
+        # Never beat; the supervisor's stall deadline must catch this.
+        time.sleep(3600.0)
+        return
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.is_set():
+            heartbeat.value = time.monotonic()
+            stop.wait(heartbeat_every)
+
+    heartbeat.value = time.monotonic()
+    threading.Thread(target=beat, daemon=True).start()
+    if directive == "kill":
+        # Die mid-run with progress on disk (one checkpoint if the run is
+        # long enough to reach a boundary).
+        run_spec_durable(
+            spec, checkpoint_path, checkpoint_every,
+            resume=True, stop_after_checkpoints=1,
+        )
+        os.kill(os.getpid(), signal.SIGKILL)
+    result = run_spec_durable(spec, checkpoint_path, checkpoint_every, resume=True)
+    conn.send(result.to_dict())
+    conn.close()
+    stop.set()
+
+
+class _Task:
+    """Supervisor-side state of one plan entry."""
+
+    __slots__ = (
+        "index", "spec", "fingerprint", "checkpoint_path", "attempts",
+        "proc", "conn", "heartbeat", "started", "eligible_at",
+    )
+
+    def __init__(self, index: int, spec: RunSpec, fingerprint: str, checkpoint_path: Path) -> None:
+        self.index = index
+        self.spec = spec
+        self.fingerprint = fingerprint
+        self.checkpoint_path = checkpoint_path
+        self.attempts = 0
+        self.proc = None
+        self.conn = None
+        self.heartbeat = None
+        self.started = 0.0
+        self.eligible_at = 0.0
+
+
+def execute_plan_supervised(
+    plan: RunPlan,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    progress: Optional[ProgressHook] = None,
+    policy: Optional[DurabilityPolicy] = None,
+) -> list[RunResult]:
+    """Execute ``plan`` under supervision; results in plan order, always.
+
+    Resolution order per task: journal replay (``policy.resume``), then the
+    result store, then supervised worker execution with retries, then the
+    in-process fallback.  Completed tasks are journaled write-ahead and
+    stored, so any interruption — including SIGKILL of this very process —
+    is resumable.
+    """
+    policy = policy if policy is not None else DurabilityPolicy()
+    cfg = policy.supervisor
+    bus = policy.bus
+    chaos = ChaosInjector(policy.chaos, bus=bus) if policy.chaos is not None else None
+    root = policy.resolve_journal_root(store)
+    plan_fp = plan_fingerprint(plan)
+    journal = RunJournal(journal_path(root, plan_fp), bus=bus)
+    fingerprints = [spec.fingerprint() for spec in plan]
+    results: list[Optional[RunResult]] = [None] * len(plan)
+
+    def resolve(index: int, result: RunResult, journal_it: bool) -> None:
+        if journal_it:
+            journal.task_done(index, fingerprints[index], result.to_dict())
+        if store is not None:
+            store.store(plan[index], result)
+            if chaos is not None and chaos.fire("corrupt_cache_entry", fingerprints[index]):
+                chaos.corrupt_file(store.path_for(fingerprints[index]), "corrupt_cache_entry")
+        if chaos is not None and journal_it and chaos.fire("flip_journal_byte", str(journal.path)):
+            chaos.corrupt_file(journal.path, "flip_journal_byte")
+        results[index] = result
+        if progress is not None:
+            progress(plan[index], result)
+
+    # Phase 0: replay the journal (only when resuming; a fresh execution
+    # discards any stale journal so it can never leak into a later resume).
+    if policy.resume:
+        replay = journal.replay(plan_fp)
+        for index, fingerprint in enumerate(fingerprints):
+            doc = replay.results.get(fingerprint)
+            if doc is None:
+                continue
+            try:
+                result = RunResult.from_dict(doc)
+            except Exception:
+                continue  # malformed-but-digest-valid: recompute
+            resolve(index, result, journal_it=False)
+    else:
+        journal.discard()
+
+    # Phase 1: the result store (hits are exact replays; corrupt entries
+    # already degrade to misses inside the store).
+    if store is not None:
+        for index, spec in enumerate(plan):
+            if results[index] is not None:
+                continue
+            cached = store.load(spec)
+            if cached is not None:
+                results[index] = cached
+                if progress is not None:
+                    progress(spec, cached)
+
+    pending = [
+        _Task(i, plan[i], fingerprints[i], root / "checkpoints" / f"{fingerprints[i]}.ckpt")
+        for i in range(len(plan))
+        if results[i] is None
+    ]
+    if pending and journal.appended == 0:
+        journal.plan_begin(plan_fp, len(plan))
+
+    # Phase 2: supervised workers.
+    _supervise(pending, jobs, cfg, policy, chaos, bus, resolve)
+
+    # Phase 3: the journal marks completion, then retires; checkpoints of
+    # killed final attempts retire with it.
+    if journal.appended:
+        journal.plan_end()
+    journal.discard()
+    for task in pending:
+        try:
+            task.checkpoint_path.unlink()
+        except OSError:
+            pass
+    return [r for r in results if r is not None]
+
+
+def _supervise(
+    pending: list[_Task],
+    jobs: int,
+    cfg: SupervisorConfig,
+    policy: DurabilityPolicy,
+    chaos: Optional[ChaosInjector],
+    bus,
+    resolve: Callable[[int, RunResult, bool], None],
+) -> None:
+    """Drive the worker fleet until every pending task has a result."""
+    queue = list(pending)
+    running: list[_Task] = []
+    mp = multiprocessing.get_context()
+
+    def launch(task: _Task) -> bool:
+        directive = None
+        if chaos is not None:
+            if chaos.fire("kill_worker", task.spec.label):
+                directive = "kill"
+            elif chaos.fire("stall_worker", task.spec.label):
+                directive = "stall"
+        try:
+            recv, send = mp.Pipe(duplex=False)
+            task.heartbeat = mp.Value("d", time.monotonic())
+            task.conn = recv
+            task.proc = mp.Process(
+                target=_durable_worker,
+                args=(
+                    send,
+                    task.spec.to_dict(),
+                    str(task.checkpoint_path),
+                    policy.checkpoint_every,
+                    task.heartbeat,
+                    cfg.heartbeat_every,
+                    directive,
+                ),
+                daemon=True,
+            )
+            task.proc.start()
+            send.close()
+        except Exception:
+            return False
+        task.started = time.monotonic()
+        return True
+
+    def reap(task: _Task) -> None:
+        if task.proc is not None:
+            if task.proc.is_alive():
+                task.proc.kill()
+            task.proc.join(timeout=10.0)
+            task.proc = None
+        if task.conn is not None:
+            task.conn.close()
+            task.conn = None
+
+    def run_inline(task: _Task) -> None:
+        # The availability backstop: exhausted retries run here, in-process,
+        # resuming the worker's last checkpoint.
+        result = run_spec_durable(
+            task.spec, task.checkpoint_path, policy.checkpoint_every,
+            resume=True, bus=bus,
+        )
+        resolve(task.index, result, True)
+
+    def fail(task: _Task, reason: str, elapsed: float) -> None:
+        reap(task)
+        task.attempts += 1
+        if bus.enabled:
+            if reason == "crash":
+                bus.emit(WorkerCrashed(
+                    cycle=0, workload=task.spec.workload,
+                    level=task.spec.level, attempt=task.attempts,
+                ))
+            else:
+                bus.emit(WorkerTimedOut(
+                    cycle=0, workload=task.spec.workload, level=task.spec.level,
+                    attempt=task.attempts, seconds=round(elapsed, 3), reason=reason,
+                ))
+        if task.attempts >= cfg.max_attempts:
+            run_inline(task)
+            return
+        if chaos is not None and chaos.fire("truncate_checkpoint", str(task.checkpoint_path)):
+            chaos.truncate_file(task.checkpoint_path)
+        backoff = cfg.backoff_base * (cfg.backoff_factor ** (task.attempts - 1))
+        if bus.enabled:
+            bus.emit(TaskRetried(
+                cycle=0, workload=task.spec.workload, level=task.spec.level,
+                attempt=task.attempts, backoff=round(backoff, 3),
+            ))
+        task.eligible_at = time.monotonic() + backoff
+        queue.append(task)
+
+    while queue or running:
+        now = time.monotonic()
+        # Launch eligible tasks into free slots (plan order first).
+        for task in sorted(queue, key=lambda t: t.index):
+            if len(running) >= max(1, jobs):
+                break
+            if task.eligible_at > now:
+                continue
+            queue.remove(task)
+            if launch(task):
+                running.append(task)
+            else:
+                run_inline(task)  # cannot even fork: finish it here
+        made_progress = False
+        for task in list(running):
+            now = time.monotonic()
+            elapsed = now - task.started
+            # The pipe is checked before liveness so a worker that delivered
+            # its result and exited in the same poll window counts as done,
+            # not crashed (a lost-then-recomputed result would still be
+            # correct, just wasted work).
+            if task.conn is not None and task.conn.poll():
+                try:
+                    doc = task.conn.recv()
+                    result = RunResult.from_dict(doc)
+                except Exception:
+                    running.remove(task)
+                    fail(task, "crash", elapsed)
+                else:
+                    reap(task)
+                    running.remove(task)
+                    resolve(task.index, result, True)
+                made_progress = True
+            elif task.proc is not None and not task.proc.is_alive():
+                running.remove(task)
+                fail(task, "crash", elapsed)
+                made_progress = True
+            elif elapsed > cfg.task_timeout:
+                running.remove(task)
+                fail(task, "timeout", elapsed)
+                made_progress = True
+            elif now - task.heartbeat.value > cfg.stall_timeout:
+                running.remove(task)
+                fail(task, "stall", elapsed)
+                made_progress = True
+        if not made_progress:
+            time.sleep(cfg.poll_every)

@@ -7,10 +7,16 @@ so the key already covers the workload, level, machine, optimizer config
 *and* the simulator's own source code (:func:`repro.engine.spec.code_version`).
 
 Entries are plain JSON documents laid out git-style
-(``objects/<fp[:2]>/<fp>.json``) and written atomically (tmp file + rename),
-so a crashed writer can never leave a half-entry that a later reader would
-trust.  Anything unreadable — truncated JSON, a format bump, a fingerprint
-mismatch — degrades to a cache miss, never an error.
+(``objects/<fp[:2]>/<fp>.json``) and written atomically (tmp file + fsync +
+rename), so neither a crashed writer nor a power cut can leave a half-entry
+that a later reader would trust.  Anything unreadable — truncated JSON, a
+format bump, a fingerprint mismatch — degrades to a cache miss, never an
+error; entries that *exist but fail validation* additionally bump the
+session ``corrupt`` counter, and :meth:`ResultStore.scan` audits the whole
+store on demand (``repro-bench cache stats``).  Every entry carries a sha256
+over its canonical envelope, so even a single flipped byte inside the
+serialized result is detected and degrades to recomputation — a damaged
+cache can cost time, never correctness.
 
 The store keeps per-session hit/miss/stored counters and mirrors them as
 telemetry events (:class:`~repro.telemetry.events.ResultCacheHit` et al.) on
@@ -20,6 +26,7 @@ never pollute a run's event log.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
@@ -38,7 +45,16 @@ from repro.telemetry.events import (
 from repro.telemetry.sinks import NULL_SINK
 
 #: Format version stamped into cache entries; bump on layout changes.
-CACHE_FORMAT = 1
+#: v2 added the envelope sha256, so a flipped byte inside the serialized
+#: result is *detected* (degrades to a miss) instead of silently replayed.
+CACHE_FORMAT = 2
+
+
+def _entry_digest(doc: dict) -> str:
+    """sha256 over the canonical envelope, excluding the digest field itself."""
+    body = {k: v for k, v in doc.items() if k != "sha256"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 #: Environment variable overriding the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -63,6 +79,10 @@ class ResultStore:
         self.misses = 0
         self.stored = 0
         self.evicted = 0
+        #: Misses where an entry file *existed* but failed validation
+        #: (truncated JSON, digest/format/fingerprint mismatch) — i.e. the
+        #: corrupt-degrades-to-miss path, not a plain cold miss.
+        self.corrupt = 0
 
     # ------------------------------------------------------------- layout
 
@@ -84,9 +104,20 @@ class ResultStore:
             doc = json.loads(path.read_text())
             if doc.get("format") != CACHE_FORMAT or doc.get("fingerprint") != fingerprint:
                 raise ValueError("stale cache entry")
+            if doc.get("sha256") != _entry_digest(doc):
+                raise ValueError("cache entry digest mismatch")
             result = RunResult.from_dict(doc["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            if self.bus.enabled:
+                self.bus.emit(ResultCacheMiss(
+                    cycle=0, workload=spec.workload, level=spec.level,
+                    fingerprint=fingerprint,
+                ))
+            return None
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
+            self.corrupt += 1
             if self.bus.enabled:
                 self.bus.emit(ResultCacheMiss(
                     cycle=0, workload=spec.workload, level=spec.level,
@@ -103,20 +134,18 @@ class ResultStore:
         return result
 
     def store(self, spec: RunSpec, result: RunResult) -> Path:
-        """Write ``result`` under ``spec``'s fingerprint (atomic)."""
+        """Write ``result`` under ``spec``'s fingerprint (atomic, durable)."""
         fingerprint = spec.fingerprint()
         path = self.path_for(fingerprint)
-        path.parent.mkdir(parents=True, exist_ok=True)
         doc = {
             "format": CACHE_FORMAT,
             "fingerprint": fingerprint,
             "spec": spec.cache_key_dict(),
             "result": result.to_dict(),
         }
+        doc["sha256"] = _entry_digest(doc)
         payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(payload)
-        os.replace(tmp, path)
+        self._write_entry(path, payload)
         self.stored += 1
         if self.bus.enabled:
             self.bus.emit(ResultCacheStored(
@@ -147,9 +176,19 @@ class ResultStore:
                 or doc.get("kind") != kind
             ):
                 raise ValueError("stale cache entry")
+            if doc.get("sha256") != _entry_digest(doc):
+                raise ValueError("cache entry digest mismatch")
             payload = doc["payload"]
+        except FileNotFoundError:
+            self.misses += 1
+            if self.bus.enabled:
+                self.bus.emit(ResultCacheMiss(
+                    cycle=0, workload=label, level=kind, fingerprint=fingerprint,
+                ))
+            return None
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
+            self.corrupt += 1
             if self.bus.enabled:
                 self.bus.emit(ResultCacheMiss(
                     cycle=0, workload=label, level=kind, fingerprint=fingerprint,
@@ -163,19 +202,17 @@ class ResultStore:
         return payload
 
     def store_payload(self, fingerprint: str, kind: str, label: str, payload: dict) -> Path:
-        """Write an arbitrary document under ``fingerprint`` (atomic)."""
+        """Write an arbitrary document under ``fingerprint`` (atomic, durable)."""
         path = self.path_for(fingerprint)
-        path.parent.mkdir(parents=True, exist_ok=True)
         doc = {
             "format": CACHE_FORMAT,
             "fingerprint": fingerprint,
             "kind": kind,
             "payload": payload,
         }
+        doc["sha256"] = _entry_digest(doc)
         text = json.dumps(doc, sort_keys=True, separators=(",", ":"))
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(text)
-        os.replace(tmp, path)
+        self._write_entry(path, text)
         self.stored += 1
         if self.bus.enabled:
             self.bus.emit(ResultCacheStored(
@@ -183,6 +220,19 @@ class ResultStore:
                 fingerprint=fingerprint, bytes_written=len(text),
             ))
         return path
+
+    @staticmethod
+    def _write_entry(path: Path, text: str) -> None:
+        """Tmp-file + fsync + rename: the entry is either absent, the old
+        version, or the complete new version — even across a power cut (the
+        fsync pins the data before the rename publishes the name)."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
 
     # ------------------------------------------------------------ management
 
@@ -193,6 +243,32 @@ class ResultStore:
             return []
         return sorted(objects.glob("*/*.json"))
 
+    def scan(self) -> dict[str, object]:
+        """Audit every entry on disk without touching session counters.
+
+        An entry is *corrupt* when its file exists but fails the same
+        validation :meth:`load` applies: unparseable JSON, wrong format
+        version, or an envelope fingerprint that disagrees with the file
+        name.  Returns ``{"entries": n, "corrupt": n, "corrupt_files":
+        [paths]}``.
+        """
+        corrupt: list[str] = []
+        entries = self.entries()
+        for path in entries:
+            try:
+                doc = json.loads(path.read_text())
+                if doc.get("format") != CACHE_FORMAT or doc.get("fingerprint") != path.stem:
+                    raise ValueError("invalid cache entry")
+                if doc.get("sha256") != _entry_digest(doc):
+                    raise ValueError("cache entry digest mismatch")
+            except (OSError, ValueError, KeyError, TypeError):
+                corrupt.append(str(path))
+        return {
+            "entries": len(entries),
+            "corrupt": len(corrupt),
+            "corrupt_files": corrupt,
+        }
+
     def stats(self) -> dict[str, object]:
         """Disk state plus this session's counters."""
         entries = self.entries()
@@ -200,11 +276,13 @@ class ResultStore:
             "root": str(self.root),
             "entries": len(entries),
             "bytes": sum(p.stat().st_size for p in entries),
+            "corrupt": self.scan()["corrupt"],
             "session": {
                 "hits": self.hits,
                 "misses": self.misses,
                 "stored": self.stored,
                 "evicted": self.evicted,
+                "corrupt": self.corrupt,
             },
         }
 
@@ -235,19 +313,28 @@ class ResultStore:
         max_age_days: Optional[float] = None,
         max_size_mb: Optional[float] = None,
         now: Optional[float] = None,
+        dry_run: bool = False,
     ) -> dict[str, object]:
         """Bound the cache by age and/or total size.
 
         Entries older than ``max_age_days`` (by mtime) are removed first;
         if the survivors still exceed ``max_size_mb``, oldest entries go
         until the store fits.  ``now`` pins the reference clock for tests.
-        Returns ``{"evicted": n, "bytes_freed": b, "entries": remaining,
-        "bytes": remaining_bytes}``.
+        ``dry_run`` reports the same eviction set without deleting anything
+        (and without bumping counters or emitting events).  Returns
+        ``{"evicted": n, "bytes_freed": b, "entries": remaining,
+        "bytes": remaining_bytes, "dry_run": bool}``.
         """
         if max_age_days is None and max_size_mb is None:
             raise ConfigError("cache gc needs --max-age-days and/or --max-size-mb")
         if now is None:
             now = time.time()
+
+        def remove(path: Path, size: int, reason: str) -> int:
+            if dry_run:
+                return size
+            return self._evict(path, reason)
+
         survivors: list[tuple[float, int, Path]] = []
         evicted = 0
         bytes_freed = 0
@@ -257,7 +344,7 @@ class ResultStore:
             except OSError:
                 continue
             if max_age_days is not None and now - stat.st_mtime > max_age_days * 86400.0:
-                freed = self._evict(path, "age")
+                freed = remove(path, stat.st_size, "age")
                 if freed:
                     evicted += 1
                     bytes_freed += freed
@@ -270,19 +357,29 @@ class ResultStore:
             index = 0
             while total > budget and index < len(survivors):
                 _mtime, size, path = survivors[index]
-                freed = self._evict(path, "size")
+                freed = remove(path, size, "size")
                 if freed:
                     evicted += 1
                     bytes_freed += freed
                     total -= size
                 index += 1
             survivors = survivors[index:]
+        if dry_run:
+            remaining_bytes = sum(size for _mtime, size, _path in survivors)
+            return {
+                "evicted": evicted,
+                "bytes_freed": bytes_freed,
+                "entries": len(survivors),
+                "bytes": remaining_bytes,
+                "dry_run": True,
+            }
         remaining = self.entries()
         return {
             "evicted": evicted,
             "bytes_freed": bytes_freed,
             "entries": len(remaining),
             "bytes": sum(p.stat().st_size for p in remaining),
+            "dry_run": False,
         }
 
     def summary_line(self) -> str:
@@ -293,4 +390,6 @@ class ResultStore:
         )
         if self.evicted:
             line += f", {self.evicted} evicted"
+        if self.corrupt:
+            line += f", {self.corrupt} corrupt"
         return f"{line} ({self.root})"

@@ -80,13 +80,26 @@ def execute_plan(
     store: Optional[ResultStore] = None,
     progress: Optional[ProgressHook] = None,
     pool_factory: Optional[Callable[[int], ProcessPoolExecutor]] = None,
+    durability=None,
 ) -> list[RunResult]:
     """Execute every spec in ``plan``; returns results in plan order.
 
     ``jobs`` caps worker processes (1 = stay in-process).  ``pool_factory``
     is an injection seam for tests (crash simulation); the default builds a
     standard ``ProcessPoolExecutor``.
+
+    ``durability`` (a :class:`~repro.durability.supervisor.DurabilityPolicy`)
+    reroutes the whole plan through the supervised executor — write-ahead
+    journal, per-task timeouts and heartbeats, bounded retries, checkpointed
+    workers, optional chaos injection — with byte-identical results
+    (``pool_factory`` does not apply there).
     """
+    if durability is not None:
+        from repro.durability.supervisor import execute_plan_supervised
+
+        return execute_plan_supervised(
+            plan, jobs=jobs, store=store, progress=progress, policy=durability
+        )
     results: list[Optional[RunResult]] = [None] * len(plan)
     pending: list[int] = []
 

@@ -235,21 +235,37 @@ register_level(LevelSpec(
 # -------------------------------------------------------------------- engine
 
 
-def execute_workload(
+@dataclass
+class PreparedRun:
+    """A workload wired up at one level, ready to execute.
+
+    The setup half of :func:`execute_workload`, factored out so the durable
+    runner (:mod:`repro.durability.runner`) can drive the same wiring through
+    the incremental ``start()/run_slice()`` API — and swap in a
+    checkpoint-restored interpreter — while :func:`finish_workload` stays the
+    single finalization path.
+    """
+
+    workload_name: str
+    level: str
+    args: tuple[int, ...]
+    interp: Interpreter
+    summary: Optional[OptimizerSummary]
+    session: TelemetrySession
+
+
+def prepare_workload(
     workload: BuiltWorkload,
     level: str,
     machine: MachineConfig = PAPER_MACHINE,
     opt: Optional[OptimizerConfig] = None,
     telemetry: Optional[TelemetrySession] = None,
-) -> RunResult:
-    """Execute an already-built workload at one measurement level.
+) -> PreparedRun:
+    """Resolve the level, instrument, wire telemetry and attach components.
 
-    The single execution path shared by every registered level: resolve the
-    :class:`LevelSpec`, apply its instrumentation, wire telemetry, attach its
-    component, run, finalize.  ``telemetry`` attaches an existing session
-    (event sinks and all); without one, a metrics-only session is created so
-    the returned result still carries an exact metrics registry.  Telemetry
-    never alters simulated cycle counts.
+    Everything :func:`execute_workload` does *before* the dispatch loop runs;
+    the returned :class:`PreparedRun` holds the wired interpreter and the
+    session that must see the finished stats.
     """
     spec = get_level(level)
     opt = opt if opt is not None else OptimizerConfig()
@@ -267,14 +283,47 @@ def execute_workload(
     if spec.attach is not None:
         derived = spec.configure(opt) if spec.configure is not None else opt
         summary = spec.attach(LevelWiring(interp=interp, machine=machine, opt=derived))
-    stats = interp.run(workload.args)
-    interp.hierarchy.finalize(now=stats.cycles)
-    session.finalize_run(stats, interp.hierarchy, summary)
-    return RunResult(
-        workload=workload.name,
+    return PreparedRun(
+        workload_name=workload.name,
         level=level,
+        args=workload.args,
+        interp=interp,
+        summary=summary,
+        session=session,
+    )
+
+
+def finish_workload(prepared: PreparedRun, stats) -> RunResult:
+    """Finalize a finished execution: hierarchy, session, result assembly."""
+    interp = prepared.interp
+    interp.hierarchy.finalize(now=stats.cycles)
+    prepared.session.finalize_run(stats, interp.hierarchy, prepared.summary)
+    return RunResult(
+        workload=prepared.workload_name,
+        level=prepared.level,
         stats=stats,
         hierarchy=interp.hierarchy,
-        summary=summary,
-        metrics=session.registry,
+        summary=prepared.summary,
+        metrics=prepared.session.registry,
     )
+
+
+def execute_workload(
+    workload: BuiltWorkload,
+    level: str,
+    machine: MachineConfig = PAPER_MACHINE,
+    opt: Optional[OptimizerConfig] = None,
+    telemetry: Optional[TelemetrySession] = None,
+) -> RunResult:
+    """Execute an already-built workload at one measurement level.
+
+    The single execution path shared by every registered level: resolve the
+    :class:`LevelSpec`, apply its instrumentation, wire telemetry, attach its
+    component, run, finalize.  ``telemetry`` attaches an existing session
+    (event sinks and all); without one, a metrics-only session is created so
+    the returned result still carries an exact metrics registry.  Telemetry
+    never alters simulated cycle counts.
+    """
+    prepared = prepare_workload(workload, level, machine, opt, telemetry)
+    stats = prepared.interp.run(prepared.args)
+    return finish_workload(prepared, stats)

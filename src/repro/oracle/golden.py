@@ -96,10 +96,16 @@ def _execute_corpus(
     runs: tuple[GoldenRun, ...],
     store: Optional[ResultStore] = None,
     jobs: int = 1,
+    durability=None,
 ) -> list[RunResult]:
-    """Execute a batch of corpus cells (parallel when ``jobs > 1``)."""
+    """Execute a batch of corpus cells (parallel when ``jobs > 1``).
+
+    ``durability`` routes the batch through the supervised executor
+    (journal, checkpoints, retries) — byte-identical results, so golden
+    verification under chaos is the same verification.
+    """
     plan = RunPlan.of(*(golden_spec(run) for run in runs))
-    return execute_plan(plan, jobs=jobs, store=store)
+    return execute_plan(plan, jobs=jobs, store=store, durability=durability)
 
 
 def golden_record(run: GoldenRun, result: RunResult) -> dict:
@@ -123,13 +129,16 @@ def record_corpus(
     runs: Optional[tuple[GoldenRun, ...]] = None,
     store: Optional[ResultStore] = None,
     jobs: int = 1,
+    durability=None,
 ) -> list[Path]:
     """(Re-)run every corpus entry and freeze its stats JSON; return paths."""
     runs = runs if runs is not None else GOLDEN_RUNS
     directory = Path(directory) if directory is not None else default_golden_dir()
     directory.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
-    for run, result in zip(runs, _execute_corpus(runs, store=store, jobs=jobs)):
+    for run, result in zip(
+        runs, _execute_corpus(runs, store=store, jobs=jobs, durability=durability)
+    ):
         record = golden_record(run, result)
         path = directory / f"{run.stem}.json"
         path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
@@ -143,6 +152,7 @@ def verify_corpus(
     workload: Optional[str] = None,
     store: Optional[ResultStore] = None,
     jobs: int = 1,
+    durability=None,
 ) -> list[str]:
     """Re-run the corpus and diff against the frozen files.
 
@@ -159,7 +169,9 @@ def verify_corpus(
         runs = tuple(run for run in runs if run.workload == workload)
     directory = Path(directory) if directory is not None else default_golden_dir()
     failures: list[str] = []
-    for run, result in zip(runs, _execute_corpus(runs, store=store, jobs=jobs)):
+    for run, result in zip(
+        runs, _execute_corpus(runs, store=store, jobs=jobs, durability=durability)
+    ):
         path = directory / f"{run.stem}.json"
         if not path.is_file():
             failures.append(f"{run.stem}: golden file missing ({path})")
@@ -180,9 +192,10 @@ def check_corpus(
     runs: Optional[tuple[GoldenRun, ...]] = None,
     store: Optional[ResultStore] = None,
     jobs: int = 1,
+    durability=None,
 ) -> None:
     """Raise :class:`OracleError` on any corpus drift (test-friendly form)."""
-    failures = verify_corpus(directory, runs, store=store, jobs=jobs)
+    failures = verify_corpus(directory, runs, store=store, jobs=jobs, durability=durability)
     if failures:
         raise OracleError("golden corpus drift:\n" + "\n".join(failures))
 

@@ -18,6 +18,9 @@ the repo's headline claims, stated as executable checks:
 * :func:`check_relabel_invariance` — cache behaviour depends only on block
   geometry, not absolute addresses: shifting a raw trace by a multiple of
   both levels' set strides reproduces identical stalls and counters.
+* :func:`check_checkpoint_resume_identity` — a run killed after writing an
+  architectural-state checkpoint and later resumed from it finishes
+  bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -220,6 +223,59 @@ def check_cache_replay_identity(spec=None) -> None:
             live.to_dict() == replay.to_dict(),
             f"{context}: serialized results differ beyond the counter fingerprint",
         )
+
+
+def check_checkpoint_resume_identity(spec=None) -> None:
+    """A crash-resumed run must be bit-identical to an uninterrupted one.
+
+    Drives ``spec`` (default: vortex/dyn, one pass) through the durable
+    runner with a small checkpoint cadence and kills it (via the
+    ``stop_after_checkpoints`` crash hook) after its first checkpoint; a
+    second call must restore that checkpoint — proven by a
+    ``CheckpointLoaded`` event — and finish with a counter fingerprint *and*
+    full serialization (``to_dict``) identical to a straight-through run.
+    This is the durability layer's license to substitute resumed runs for
+    uninterrupted ones everywhere.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.durability.runner import run_spec_durable
+    from repro.engine.executor import run_spec
+    from repro.engine.spec import RunSpec
+    from repro.telemetry.events import EventBus
+    from repro.telemetry.sinks import ListSink
+
+    spec = spec if spec is not None else RunSpec("vortex", "dyn", passes=1)
+    context = f"checkpoint resume ({spec.label})"
+    straight = run_spec(spec)
+    events = ListSink()
+    bus = EventBus()
+    bus.attach(events)
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = Path(tmp) / "run.ckpt"
+        interrupted = run_spec_durable(
+            spec, ckpt, checkpoint_every=60_000, bus=bus, stop_after_checkpoints=1
+        )
+        _require(interrupted is None, f"{context}: run finished before the simulated crash")
+        _require(ckpt.is_file(), f"{context}: no checkpoint survived the simulated crash")
+        resumed = run_spec_durable(spec, ckpt, checkpoint_every=60_000, bus=bus)
+        _require(resumed is not None, f"{context}: resumed run did not finish")
+        counts = events.counts()
+        _require(
+            counts.get("CheckpointLoaded", 0) >= 1,
+            f"{context}: resume recomputed from scratch instead of loading "
+            f"the checkpoint (events: {counts})",
+        )
+        _require(
+            not ckpt.is_file(),
+            f"{context}: checkpoint not removed after successful completion",
+        )
+    _diff_fingerprints(run_fingerprint(straight), run_fingerprint(resumed), context)
+    _require(
+        straight.to_dict() == resumed.to_dict(),
+        f"{context}: serialized results differ beyond the counter fingerprint",
+    )
 
 
 def check_cycle_attribution(result: RunResult, machine: MachineConfig = PAPER_MACHINE) -> None:

@@ -14,7 +14,8 @@ Sections (all seeded, all deterministic for a given ``--seed``):
 ``invariants``  metamorphic whole-run checks on a small workload: counter
                 conservation across levels, architectural-state preservation,
                 telemetry observer effect, inert fault plans, address
-                relabeling.
+                relabeling, cache-replay identity, checkpoint-resume
+                identity.
 ``golden``      the frozen corpus under ``tests/golden/`` (skippable).
 
 Differential failures are delta-debugged to 1-minimal reproducers before
@@ -37,6 +38,7 @@ from repro.oracle import fuzz, golden
 from repro.oracle.invariants import (
     check_architectural_state,
     check_cache_replay_identity,
+    check_checkpoint_resume_identity,
     check_conservation,
     check_cycle_attribution,
     check_disabled_resilience_identical,
@@ -184,6 +186,7 @@ def _verify_invariants(rng: random.Random, runs: int) -> SectionResult:
     section.run_case(lambda: check_tracing_observer_effect(factory))
     section.run_case(lambda: check_disabled_resilience_identical(factory))
     section.run_case(lambda: check_cache_replay_identity())
+    section.run_case(lambda: check_checkpoint_resume_identity())
     relabel_rounds = max(1, min(runs, 5))
     for _ in range(relabel_rounds):
         ops = fuzz.gen_hierarchy_ops(rng, 200, STRESS_MACHINE)
@@ -202,10 +205,13 @@ def _verify_golden(
     golden_dir: Optional[Union[str, Path]],
     store=None,
     jobs: int = 1,
+    durability=None,
 ) -> SectionResult:
     section = SectionResult("golden")
     section.cases = len(golden.GOLDEN_RUNS)
-    section.failures = golden.verify_corpus(golden_dir, store=store, jobs=jobs)
+    section.failures = golden.verify_corpus(
+        golden_dir, store=store, jobs=jobs, durability=durability
+    )
     return section
 
 
@@ -217,6 +223,7 @@ def run_verify(
     progress: Optional[Callable[[str], None]] = None,
     store=None,
     jobs: int = 1,
+    durability=None,
 ) -> VerifyReport:
     """Run every oracle section; return the aggregate report.
 
@@ -226,8 +233,12 @@ def run_verify(
     reports, including any minimal reproducers.
 
     ``store``/``jobs`` accelerate the golden section through the engine's
-    result cache and process pool; the randomized differential sections are
-    in-process by construction (they fuzz components, not whole runs).
+    result cache and process pool; ``durability`` (a
+    :class:`~repro.durability.supervisor.DurabilityPolicy`) routes the golden
+    corpus through the supervised executor (journaled, checkpointed,
+    optionally chaos-injected) with byte-identical results.  The randomized
+    differential sections are in-process by construction (they fuzz
+    components, not whole runs).
     """
     rng = random.Random(seed)
     report = VerifyReport(seed=seed, runs=runs)
@@ -240,7 +251,9 @@ def run_verify(
         _verify_tenancy,
     ]
     if include_golden:
-        sections.append(lambda: _verify_golden(golden_dir, store=store, jobs=jobs))
+        sections.append(
+            lambda: _verify_golden(golden_dir, store=store, jobs=jobs, durability=durability)
+        )
     for build in sections:
         section = build()
         report.sections.append(section)

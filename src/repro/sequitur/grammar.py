@@ -48,6 +48,13 @@ class Symbol:
         """The payload: a terminal int or a Rule."""
         return self.rule if self.rule is not None else self.terminal  # type: ignore[return-value]
 
+    def __reduce__(self):  # pragma: no cover - defensive
+        # A symbol is one node of a circular linked list: default (recursive)
+        # pickling would blow the stack on long rule bodies.  Symbols are only
+        # ever serialized as part of their grammar, which flattens them
+        # iteratively (:meth:`repro.sequitur.sequitur.Sequitur.__getstate__`).
+        raise TypeError("Symbol is not picklable on its own; pickle the Sequitur")
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.is_guard:
             return f"<guard R{self.owner.id}>"  # type: ignore[union-attr]

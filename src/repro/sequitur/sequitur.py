@@ -245,6 +245,60 @@ class Sequitur:
         """Rules appearing on ``rule``'s right-hand side (with repetition)."""
         return [value for value in rule.rhs() if isinstance(value, Rule)]
 
+    # ---------------------------------------------------------- serialization
+
+    def __getstate__(self) -> dict:
+        """Flatten the grammar for pickling (checkpoints, process pools).
+
+        The rule bodies are circular doubly-linked symbol lists, so default
+        recursive pickling overflows the stack on real traces.  The state is
+        a flat description — per-rule bodies as ``(terminal, rule_id)`` pairs
+        plus the digram index as symbol positions — and both dict insertion
+        orders (``rules``, ``_digrams``) are preserved exactly, because
+        downstream analysis iterates them.
+        """
+        symbol_index: dict[int, int] = {}
+        bodies: list[tuple[int, int, list[tuple[Optional[int], Optional[int]]]]] = []
+        for rule in self.rules.values():
+            body: list[tuple[Optional[int], Optional[int]]] = []
+            for sym in rule.symbols():
+                symbol_index[id(sym)] = len(symbol_index)
+                body.append((sym.terminal, sym.rule.id if sym.rule is not None else None))
+            bodies.append((rule.id, rule.refcount, body))
+        return {
+            "next_rule_id": self._next_rule_id,
+            "start_id": self.start.id,
+            "length": self.length,
+            "rules": bodies,
+            "digrams": [(key, symbol_index[id(sym)]) for key, sym in self._digrams.items()],
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        """Rebuild the linked structure iteratively (inverse of __getstate__)."""
+        self._next_rule_id = state["next_rule_id"]
+        self.length = state["length"]
+        rules: dict[int, Rule] = {rule_id: Rule(rule_id) for rule_id, _, _ in state["rules"]}
+        flat: list[Symbol] = []
+        for rule_id, refcount, body in state["rules"]:
+            rule = rules[rule_id]
+            rule.refcount = refcount
+            prev = rule.guard
+            for terminal, ref_id in body:
+                sym = Symbol.__new__(Symbol)
+                sym.terminal = terminal
+                sym.rule = rules[ref_id] if ref_id is not None else None
+                sym.owner = None
+                sym.prev = prev
+                sym.next = None
+                prev.next = sym
+                prev = sym
+                flat.append(sym)
+            prev.next = rule.guard
+            rule.guard.prev = prev
+        self.rules = rules
+        self.start = rules[state["start_id"]]
+        self._digrams = {key: flat[pos] for key, pos in state["digrams"]}
+
     # ------------------------------------------------------------ inspection
 
     def to_text(self, terminal_names: Optional[dict[int, str]] = None) -> str:

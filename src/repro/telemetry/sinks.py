@@ -5,13 +5,24 @@ also expose ``close()``.  The important one is :data:`NULL_SINK` — a shared,
 always-disabled stand-in that instrumented components hold *by default*, so
 the simulation's hot paths pay a single ``.enabled`` attribute check when no
 telemetry has been requested.
+
+File-backed sinks buffer lines for throughput, which would normally mean a
+SIGTERM (CI timeout, scheduler preemption) truncates the event log mid-line.
+Every live :class:`JsonlSink` therefore registers in a module-level weak set
+that :func:`flush_all_sinks` drains; the drain is hooked into ``atexit`` and
+chained onto any existing ``SIGTERM`` handler, so an interrupted run still
+leaves a valid (if shorter) JSONL artifact behind.
 """
 
 from __future__ import annotations
 
+import atexit
 import io
 import json
 import os
+import signal
+import threading
+import weakref
 from typing import Union
 
 from repro.telemetry.events import Event
@@ -57,6 +68,66 @@ class ListSink:
         return out
 
 
+#: Weak registry of live JsonlSinks; entries vanish with their sinks.
+_LIVE_SINKS: "weakref.WeakSet[JsonlSink]" = weakref.WeakSet()
+_HOOKS_LOCK = threading.Lock()
+_HOOKS_INSTALLED = False
+
+
+def flush_all_sinks() -> int:
+    """Drain every live :class:`JsonlSink`'s buffer to disk; count drained.
+
+    Safe to call at any time (idempotent, never raises): a sink whose file
+    is already broken is skipped rather than aborting the sweep.
+    """
+    flushed = 0
+    for sink in list(_LIVE_SINKS):
+        try:
+            sink.flush()
+            flushed += 1
+        except Exception:
+            continue
+    return flushed
+
+
+def _sigterm_flush(signum, frame) -> None:
+    flush_all_sinks()
+    previous = _sigterm_flush.previous
+    if callable(previous):
+        previous(signum, frame)
+    else:
+        # Default disposition: re-deliver so the exit status still says
+        # "killed by SIGTERM" instead of silently swallowing the signal.
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        os.kill(os.getpid(), signal.SIGTERM)
+
+
+_sigterm_flush.previous = None
+
+
+def _install_flush_hooks() -> None:
+    """Register the atexit + SIGTERM flush hooks, once per process.
+
+    Deferred to first JsonlSink construction so merely importing telemetry
+    never touches signal state; worker threads (where ``signal.signal``
+    raises ValueError) just skip the signal half and keep atexit.
+    """
+    global _HOOKS_INSTALLED
+    with _HOOKS_LOCK:
+        if _HOOKS_INSTALLED:
+            return
+        _HOOKS_INSTALLED = True
+    atexit.register(flush_all_sinks)
+    try:
+        previous = signal.getsignal(signal.SIGTERM)
+        if previous not in (signal.SIG_IGN, _sigterm_flush):
+            _sigterm_flush.previous = previous if previous is not signal.SIG_DFL else None
+            signal.signal(signal.SIGTERM, _sigterm_flush)
+    except ValueError:
+        # Not the main thread: atexit coverage only.
+        pass
+
+
 class JsonlSink:
     """Streams events to a JSON-Lines file, one record per line.
 
@@ -74,6 +145,8 @@ class JsonlSink:
         self._buffer: list[str] = []
         self._flush_every = max(1, flush_every)
         self.records_written = 0
+        _install_flush_hooks()
+        _LIVE_SINKS.add(self)
 
     def handle(self, event: Event) -> None:
         self._buffer.append(json.dumps(event.to_record(), separators=(",", ":")))
@@ -90,6 +163,12 @@ class JsonlSink:
             self._created = True
         self._file.write("\n".join(self._buffer) + "\n")
         self._buffer.clear()
+
+    def flush(self) -> None:
+        """Push buffered lines through to the OS (interrupt-safety hook)."""
+        self._drain()
+        if self._file is not None:
+            self._file.flush()
 
     def close(self) -> None:
         """Flush buffered lines and close the file (if this sink opened it).

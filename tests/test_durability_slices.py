@@ -1,0 +1,100 @@
+"""Property: slice budgets compose — ``run_slice(a + b)`` ≡ ``a`` then ``b``.
+
+Checkpoint/resume correctness reduces to this algebra: a checkpoint is just
+a park between two slices, so any partition of the instruction stream into
+budgets must land on the same final state as any other.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.interp.interpreter import Interpreter
+from repro.machine.config import CacheGeometry, MachineConfig
+from repro.workloads.chainmix import build_chainmix
+
+MACHINE = MachineConfig(
+    l1=CacheGeometry(512, 2),
+    l2=CacheGeometry(4096, 4),
+    l2_latency=10,
+    memory_latency=100,
+)
+
+#: Budget sequences: a few arbitrary positive slices; the tail always runs
+#: to completion with an effectively unbounded budget.
+BUDGETS = st.lists(st.integers(min_value=1, max_value=5_000), max_size=6)
+
+
+def _fresh(small_params):
+    workload = build_chainmix(small_params)
+    return Interpreter(workload.program, workload.memory, MACHINE), workload.args
+
+
+def _run_with_budgets(small_params, budgets):
+    interp, args = _fresh(small_params)
+    interp.start(args)
+    out = None
+    for budget in budgets:
+        out = interp.run_slice(budget)
+        if out is not None:
+            return out
+    while out is None:
+        out = interp.run_slice(1 << 40)
+    return out
+
+
+class TestBudgetComposition:
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(budgets=BUDGETS)
+    def test_any_budget_partition_matches_oneshot(self, small_params, budgets):
+        interp, args = _fresh(small_params)
+        whole = interp.run(args)
+        sliced = _run_with_budgets(small_params, budgets)
+        assert sliced.to_dict() == whole.to_dict()
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        a=st.integers(min_value=1, max_value=4_000),
+        b=st.integers(min_value=1, max_value=4_000),
+    )
+    def test_split_budget_equals_joint_budget(self, small_params, a, b):
+        """run_slice(a + b) parks at the same state as run_slice(a) then
+        run_slice(b): identical icount, cycles and cache counters."""
+        joint, args = _fresh(small_params)
+        joint.start(args)
+        joint_out = joint.run_slice(a + b)
+
+        split, args = _fresh(small_params)
+        split.start(args)
+        split_out = split.run_slice(a)
+        if split_out is None:
+            split_out = split.run_slice(b)
+
+        if joint_out is not None or split_out is not None:
+            # Program finished inside the window for at least one of them;
+            # then it must have finished for both, with identical results.
+            assert joint_out is not None and split_out is not None
+            assert joint_out.to_dict() == split_out.to_dict()
+            return
+        assert split.exec_state.icount == joint.exec_state.icount
+        assert split.exec_state.cycles == joint.exec_state.cycles
+        for level_a, level_b in ((split.hierarchy.l1, joint.hierarchy.l1),
+                                 (split.hierarchy.l2, joint.hierarchy.l2)):
+            assert level_a.hits == level_b.hits
+            assert level_a.misses == level_b.misses
+            assert level_a.evictions == level_b.evictions
+        # Both parked mid-run: finishing them yields identical results.
+        final_split = split.run_slice(1 << 40)
+        final_joint = joint.run_slice(1 << 40)
+        while final_split is None:
+            final_split = split.run_slice(1 << 40)
+        while final_joint is None:
+            final_joint = joint.run_slice(1 << 40)
+        assert final_split.to_dict() == final_joint.to_dict()

@@ -76,6 +76,29 @@ SAMPLE_EVENTS = {
     "ResultCacheEvicted": lambda: EVENT_TYPES["ResultCacheEvicted"](
         0, "ab" * 32, "age", 4096
     ),
+    "CheckpointSaved": lambda: EVENT_TYPES["CheckpointSaved"](
+        0, "vpr", "dyn", "/tmp/run.ckpt", 250000, 4096
+    ),
+    "CheckpointLoaded": lambda: EVENT_TYPES["CheckpointLoaded"](
+        0, "vpr", "dyn", "/tmp/run.ckpt", 250000
+    ),
+    "CheckpointRejected": lambda: EVENT_TYPES["CheckpointRejected"](
+        0, "/tmp/run.ckpt", "digest"
+    ),
+    "CheckpointSkipped": lambda: EVENT_TYPES["CheckpointSkipped"](
+        0, "vpr", "dyn", "unpicklable state"
+    ),
+    "WorkerCrashed": lambda: EVENT_TYPES["WorkerCrashed"](0, "vpr", "dyn", 1),
+    "WorkerTimedOut": lambda: EVENT_TYPES["WorkerTimedOut"](
+        0, "vpr", "dyn", 1, 10.5, "stall"
+    ),
+    "TaskRetried": lambda: EVENT_TYPES["TaskRetried"](0, "vpr", "dyn", 2, 0.5),
+    "JournalReplayed": lambda: EVENT_TYPES["JournalReplayed"](
+        0, "/tmp/plan.jsonl", 3, 1
+    ),
+    "ChaosInjected": lambda: EVENT_TYPES["ChaosInjected"](
+        0, "kill_worker", "vpr/dyn"
+    ),
 }
 
 

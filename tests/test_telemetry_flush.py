@@ -1,0 +1,82 @@
+"""Telemetry sink flushing: buffered events survive SIGTERM and atexit.
+
+The in-process pieces are tested directly (``flush()``, ``flush_all_sinks``);
+the actual SIGTERM delivery runs in a subprocess so the handler fires for
+real and the -15 exit status is preserved.
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import textwrap
+
+from repro.telemetry.events import EventBus, RunBegin
+from repro.telemetry.sinks import JsonlSink, flush_all_sinks
+
+
+def _emit(bus, n):
+    for i in range(n):
+        bus.emit(RunBegin(cycle=i, workload=f"w{i}", level="dyn"))
+
+
+class TestFlush:
+    def test_flush_writes_buffered_events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, flush_every=10_000)
+        bus = EventBus()
+        bus.attach(sink)
+        _emit(bus, 7)
+        sink.flush()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 7
+        assert all(json.loads(line)["kind"] == "RunBegin" for line in lines)
+        sink.close()
+
+    def test_flush_all_sinks_covers_live_sinks(self, tmp_path):
+        paths = [tmp_path / f"{i}.jsonl" for i in range(2)]
+        sinks = [JsonlSink(p, flush_every=10_000) for p in paths]
+        bus = EventBus()
+        for sink in sinks:
+            bus.attach(sink)
+        _emit(bus, 3)
+        assert flush_all_sinks() >= 2
+        for path in paths:
+            assert len(path.read_text().splitlines()) == 3
+        for sink in sinks:
+            sink.close()
+
+    def test_closed_sink_flushes_harmlessly(self, tmp_path):
+        sink = JsonlSink(tmp_path / "events.jsonl", flush_every=10_000)
+        sink.close()
+        sink.flush()
+        assert flush_all_sinks() >= 0
+
+
+class TestSigterm:
+    def test_sigterm_flushes_and_preserves_exit_status(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        script = textwrap.dedent(
+            f"""
+            import os, signal
+            from repro.telemetry.events import EventBus, RunBegin
+            from repro.telemetry.sinks import JsonlSink
+
+            sink = JsonlSink({str(path)!r}, flush_every=10_000)
+            bus = EventBus()
+            bus.attach(sink)
+            for i in range(7):
+                bus.emit(RunBegin(cycle=i, workload=f"w{{i}}", level="dyn"))
+            os.kill(os.getpid(), signal.SIGTERM)
+            raise SystemExit("unreachable: SIGTERM must terminate")
+            """
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True,
+            env={**__import__("os").environ, "PYTHONPATH": "src"},
+            cwd="/root/repo",
+        )
+        assert proc.returncode == -signal.SIGTERM
+        lines = path.read_text().splitlines()
+        assert len(lines) == 7
+        assert all(json.loads(line) for line in lines)
