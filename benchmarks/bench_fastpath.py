@@ -1,0 +1,242 @@
+"""Fastpath speedup benchmark: the compiled kernel vs the reference loop.
+
+Three tiers, each bit-identity-checked while it is timed:
+
+``dispatch_micro``   an ALU/branch-dominated loop — pure dispatch overhead,
+                     the fastpath's best case (no memory-system work).
+``cache_micro``      a cache-resident pointer ring — dispatch plus the
+                     inlined L1-hit path.
+``figures``          the real experiment grid (6 workloads x orig/dyn,
+                     one pass), cold (first compile included) and warm.
+
+The hard gates are deliberately honest rather than aspirational.  The
+end-to-end figures grid is Amdahl-bound: the paper's pipeline spends most
+of its time in grammar construction, stream analysis and cache-miss
+modelling — Python that the kernel does not (and must not) touch — so the
+whole-run speedup sits well below the kernel-only speedup.  The aspirational
+targets (10x dispatch, 5x end-to-end) are recorded in the JSON and produce a
+soft warning when missed; dropping below the hard floor fails the run, which
+is the regression signal CI acts on.
+
+Usage:
+    python benchmarks/bench_fastpath.py            # full run, writes BENCH_fastpath.json
+    python benchmarks/bench_fastpath.py --quick    # CI-sized run
+    python benchmarks/bench_fastpath.py --out PATH # write elsewhere
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.engine.levels import execute_workload
+from repro.fastpath.compiler import clear_cache
+from repro.interp.interpreter import Interpreter
+from repro.ir.builder import ProcedureBuilder, build_program
+from repro.machine.memory import Memory
+from repro.workloads import build_named, names
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_fastpath.json"
+
+#: Hard floors fail the run; targets are aspirational and only warn.
+#: The micro floors are the real regression gates (the kernel controls that
+#: time).  The figures floors only assert "no material end-to-end regression"
+#: (0.9 absorbs timer noise): at small pass counts the dyn cells spend most
+#: of their time in sequitur/stream analysis plus per-reinjection codegen,
+#: so whole-grid speedup is structurally ~1.1-1.2x, not 5x.
+GATES = {
+    "dispatch_micro": {"fail_below": 2.5, "target": 10.0},
+    "cache_micro": {"fail_below": 1.8, "target": 5.0},
+    "figures_cold": {"fail_below": 0.85, "target": 5.0},
+    "figures_warm": {"fail_below": 0.85, "target": 5.0},
+}
+
+FIGURES_LEVELS = ("orig", "dyn")
+
+
+def _ring_memory(nodes=64, stride=32):
+    mem = Memory()
+    base = mem.allocate(nodes * stride)
+    for i in range(nodes):
+        mem.store(base + i * stride, base + ((i + 1) % nodes) * stride)
+        mem.store(base + i * stride + 4, i)
+    return mem, base
+
+
+def _dispatch_program():
+    """ALU soup over a pointer ring; values masked so ints stay small."""
+    b = ProcedureBuilder("alumix", params=("head", "iters"))
+    total, node, i = b.reg("total"), b.reg("node"), b.reg("i")
+    a, c, m = b.reg("a"), b.reg("c"), b.reg("m")
+    b.const(total, 0)
+    b.const(a, 7)
+    b.const(c, 3)
+    b.const(m, 0xFFFFFF)
+    b.mov(node, b.param("head"))
+    b.mov(i, b.param("iters"))
+    b.label("loop")
+    v = b.load(None, node, 4)
+    b.add(total, total, v)
+    b.alu("xor", a, a, total)
+    b.alui("shl", c, a, 1)
+    b.alu("and", c, c, m)
+    b.alui("add", a, a, 13)
+    b.alu("sub", total, total, c)
+    b.alui("shr", c, total, 2)
+    b.alu("or", a, a, c)
+    b.alu("and", a, a, m)
+    b.alu("and", total, total, m)
+    b.load(node, node, 0)
+    b.alui("sub", i, i, 1)
+    b.bnz(i, "loop")
+    b.ret(total)
+    return build_program([b.build()], entry="alumix")
+
+
+def _cache_program():
+    """Minimal pointer-chase: every other instruction is a (hitting) load."""
+    b = ProcedureBuilder("hotloop", params=("head", "iters"))
+    total, node, i = b.reg("total"), b.reg("node"), b.reg("i")
+    b.const(total, 0)
+    b.mov(node, b.param("head"))
+    b.mov(i, b.param("iters"))
+    b.label("loop")
+    v = b.load(None, node, 4)
+    b.add(total, total, v)
+    b.load(node, node, 0)
+    b.alui("sub", i, i, 1)
+    b.bnz(i, "loop")
+    b.ret(total)
+    return build_program([b.build()], entry="hotloop")
+
+
+def _time_micro(program, iters, repeats):
+    """Best-of-N for each kernel on fresh memory; asserts identical stats."""
+    times = {False: [], True: []}
+    stats = {}
+    for fast in (False, True):
+        clear_cache()
+        for _ in range(repeats):
+            mem, base = _ring_memory()
+            interp = Interpreter(program, mem)
+            t0 = time.perf_counter()
+            out = interp.run((base, iters), fast=fast)
+            times[fast].append(time.perf_counter() - t0)
+            stats[fast] = out.to_dict()
+    if stats[True] != stats[False]:
+        raise SystemExit("identity violation in microbenchmark — aborting")
+    ref, fast_t = min(times[False]), min(times[True])
+    return {
+        "reference_s": round(ref, 4),
+        "fastpath_s": round(fast_t, 4),
+        "speedup": round(ref / fast_t, 2),
+        "instructions": stats[True]["instructions"],
+    }
+
+
+def _time_figures(passes, repeats):
+    """The experiment grid under each kernel; cold includes first compile."""
+    grid = [(w, lv) for w in names() for lv in FIGURES_LEVELS]
+
+    def one_pass(fast):
+        t0 = time.perf_counter()
+        docs = []
+        for workload, level in grid:
+            result = execute_workload(build_named(workload, passes=passes), level, fast=fast)
+            docs.append(result.to_dict())
+        return time.perf_counter() - t0, docs
+
+    ref_times, ref_docs = [], None
+    for _ in range(repeats):
+        dt, docs = one_pass(False)
+        ref_times.append(dt)
+        ref_docs = docs
+
+    clear_cache()
+    cold, cold_docs = one_pass(True)  # includes compiling every procedure
+    warm_times = []
+    for _ in range(repeats):
+        dt, warm_docs = one_pass(True)
+        warm_times.append(dt)
+    if cold_docs != ref_docs or warm_docs != ref_docs:
+        raise SystemExit("identity violation in figures grid — aborting")
+    ref = min(ref_times)
+    return {
+        "grid": [f"{w}/{lv}" for w, lv in grid],
+        "passes": passes,
+        "reference_s": round(ref, 3),
+        "fastpath_cold_s": round(cold, 3),
+        "fastpath_warm_s": round(min(warm_times), 3),
+        "speedup_cold": round(ref / cold, 2),
+        "speedup_warm": round(ref / min(warm_times), 2),
+    }
+
+
+def run_benchmark(quick=False):
+    micro_iters = 60_000 if quick else 200_000
+    repeats = 2 if quick else 3
+    sections = {
+        "dispatch_micro": _time_micro(_dispatch_program(), micro_iters, repeats),
+        "cache_micro": _time_micro(_cache_program(), micro_iters, repeats),
+        "figures": _time_figures(passes=1 if quick else 2, repeats=repeats),
+    }
+    speedups = {
+        "dispatch_micro": sections["dispatch_micro"]["speedup"],
+        "cache_micro": sections["cache_micro"]["speedup"],
+        "figures_cold": sections["figures"]["speedup_cold"],
+        "figures_warm": sections["figures"]["speedup_warm"],
+    }
+    failures, warnings = [], []
+    for key, gate in GATES.items():
+        got = speedups[key]
+        if got < gate["fail_below"]:
+            failures.append(f"{key}: {got}x < hard floor {gate['fail_below']}x")
+        elif got < gate["target"]:
+            warnings.append(
+                f"{key}: {got}x below aspirational {gate['target']}x "
+                "(Amdahl-bound: analysis/miss-path Python dominates)"
+            )
+    return {
+        "schema": 1,
+        "quick": quick,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "gates": GATES,
+        "speedups": speedups,
+        "sections": sections,
+        "warnings": warnings,
+        "failures": failures,
+        "status": "fail" if failures else "pass",
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default: {DEFAULT_OUT})")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure and gate without touching the JSON")
+    args = parser.parse_args(argv)
+    doc = run_benchmark(quick=args.quick)
+    for key, value in doc["speedups"].items():
+        print(f"{key:<16} {value:>6.2f}x")
+    for line in doc["warnings"]:
+        print(f"warning: {line}")
+    for line in doc["failures"]:
+        print(f"FAIL: {line}")
+    if not args.no_write:
+        args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    print(f"status: {doc['status']}")
+    return 1 if doc["failures"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,7 @@ def run_spec_durable(
     resume: bool = True,
     bus=NULL_SINK,
     stop_after_checkpoints: Optional[int] = None,
+    fast: Optional[bool] = None,
 ) -> Optional[RunResult]:
     """Execute one spec with checkpointing; resumes a valid prior checkpoint.
 
@@ -56,6 +57,12 @@ def run_spec_durable(
     The checkpoint binds to ``spec.fingerprint()`` (which covers the
     simulator's code version): a stale or foreign checkpoint is rejected and
     the run restarts from scratch.  On success the checkpoint is removed.
+
+    ``fast`` selects the compiled kernel per slice (None defers to the
+    ``REPRO_FASTPATH`` environment toggle).  Checkpoints are kernel-agnostic:
+    compiled code lives outside the pickled interpreter (weak-keyed on the
+    procedure objects) and is rebuilt on first use after a restore, so a run
+    may freely checkpoint under one kernel and resume under the other.
     """
     fingerprint = spec.fingerprint()
     checkpoint_path = Path(checkpoint_path) if checkpoint_path is not None else None
@@ -88,7 +95,7 @@ def run_spec_durable(
         interp.start(prepared.args)
     saved = 0
     while True:
-        stats = interp.run_slice(checkpoint_every)
+        stats = interp.run_slice(checkpoint_every, fast=fast)
         if stats is not None:
             break
         if checkpoint_path is not None:

@@ -314,6 +314,7 @@ def execute_workload(
     machine: MachineConfig = PAPER_MACHINE,
     opt: Optional[OptimizerConfig] = None,
     telemetry: Optional[TelemetrySession] = None,
+    fast: Optional[bool] = None,
 ) -> RunResult:
     """Execute an already-built workload at one measurement level.
 
@@ -323,7 +324,12 @@ def execute_workload(
     (event sinks and all); without one, a metrics-only session is created so
     the returned result still carries an exact metrics registry.  Telemetry
     never alters simulated cycle counts.
+
+    ``fast`` selects the compiled execution kernel (:mod:`repro.fastpath`);
+    None defers to the ``REPRO_FASTPATH`` environment toggle.  The kernel is
+    bit-identical to the reference dispatch loop, so results — and therefore
+    result-cache fingerprints — do not depend on it.
     """
     prepared = prepare_workload(workload, level, machine, opt, telemetry)
-    stats = prepared.interp.run(prepared.args)
+    stats = prepared.interp.run(prepared.args, fast=fast)
     return finish_workload(prepared, stats)

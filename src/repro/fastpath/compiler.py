@@ -1,0 +1,695 @@
+"""Trace compiler: lowered tuple code -> generated Python superblock kernels.
+
+For one procedure version (checking or instrumented) the compiler emits a
+single Python function of the shape::
+
+    def _fp(ctx, state, limit):
+        ... bind hierarchy/config/interpreter attributes to locals ...
+        _r0 = regs[0]; _r1 = regs[1]; ...        # registers become locals
+        while True:
+            if icount + MAX_TRACE > limit:
+                break                            # park: trampoline takes over
+            if ip == 0:
+                ... superblock trace from leader 0 ...
+            elif ip == 17:
+                ...
+            else:
+                break                            # unknown ip: single-step sync
+        ... flush locals back into state ...
+        return SIG_PARK
+
+Each *trace* is the straight-line superblock starting at a leader: emission
+walks forward through the tuple code, inlining ALU/compare/mov/const as
+plain expressions, conditional branches as ``if reg: ip = T; continue``
+(fallthrough stays inside the trace), and memory references as either an
+inline L1-hit mirror (plain :class:`~repro.machine.hierarchy.MemoryHierarchy`
+only) or a call to the real ``hierarchy.access``.  ``icount``/``cycles``
+increments are batched between observation points, which is where most of
+the speedup comes from.
+
+Instructions that leave the procedure or mutate interpreter-global state
+(CALL, RET, HALT, a CHECK whose counter reaches zero) flush the locals and
+return a signal; the trampoline in :mod:`repro.fastpath.kernel` replays the
+exact reference semantics for those rare events.
+
+Bit-identity ground rules (see DESIGN.md §5h):
+
+* every counter update, cost charge, telemetry emission and callback happens
+  in exactly the reference order — the generated source for each opcode is a
+  transliteration of the matching ``Interpreter._dispatch`` arm;
+* the inline L1 mirror only short-circuits the one case where
+  ``MemoryHierarchy.access`` does nothing but ``demand_accesses += 1``,
+  ``l1.hits += 1`` and an LRU promotion (block resident in L1, not
+  in-flight, not prefetched-and-unused); every other case calls the real
+  ``access`` so classification, sampling and the ledger are untouched;
+* anything the compiler cannot prove equivalent is not compiled — the
+  trampoline falls back to the reference dispatch loop instruction by
+  instruction.
+"""
+
+from __future__ import annotations
+
+import operator
+import weakref
+from typing import Optional
+
+from repro.interp.lowering import (
+    OP_ALLOC,
+    OP_ALU,
+    OP_ALUI,
+    OP_BNZ,
+    OP_BZ,
+    OP_CALL,
+    OP_CHECK,
+    OP_CMP,
+    OP_CONST,
+    OP_HALT,
+    OP_JMP,
+    OP_LOAD,
+    OP_MOV,
+    OP_NOP,
+    OP_PREFETCH,
+    OP_RET,
+    OP_STORE,
+    _shl,
+    _shr,
+    lower_procedure,
+)
+from repro.errors import MemoryFault
+
+#: Signals a compiled kernel returns to the trampoline.
+SIG_PARK = 0    #: limit proximity or unknown leader; state flushed, not done
+SIG_DONE = 1    #: HALT (final RET is SIG_RET with an empty stack)
+SIG_CALL = 2    #: OP_CALL pending; ``ctx.call`` holds (dst, name, arg_regs)
+SIG_RET = 3     #: OP_RET pending; ``ctx.ret_value`` holds the value
+SIG_TRANS = 4   #: CHECK counter hit zero; burst transition pending
+
+#: Upper bound on instructions emitted into one superblock trace.  Also the
+#: slack the dispatcher keeps from the instruction limit: once fewer than
+#: this many instructions remain in the slice budget the kernel parks and
+#: the trampoline finishes the tail through the reference dispatch loop.
+TRACE_CAP = 96
+
+_ALU_SYM = {
+    operator.add: "+",
+    operator.sub: "-",
+    operator.mul: "*",
+    operator.floordiv: "//",
+    operator.mod: "%",
+    operator.and_: "&",
+    operator.or_: "|",
+    operator.xor: "^",
+    _shl: "<<",
+    _shr: ">>",
+}
+
+_CMP_SYM = {
+    operator.lt: "<",
+    operator.le: "<=",
+    operator.eq: "==",
+    operator.ne: "!=",
+    operator.gt: ">",
+    operator.ge: ">=",
+}
+
+
+class CompiledMode:
+    """One compiled procedure version plus the metadata the trampoline needs."""
+
+    __slots__ = ("fn", "leaders", "max_trace", "source")
+
+    def __init__(self, fn, leaders: frozenset, max_trace: int, source: str) -> None:
+        self.fn = fn
+        self.leaders = leaders
+        self.max_trace = max_trace
+        self.source = source
+
+
+class _Emitter:
+    """Indentation-aware line buffer for the generated source."""
+
+    def __init__(self, indent: int = 0) -> None:
+        self.lines: list[str] = []
+        self.indent = indent
+
+    def w(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+
+def _compile_mode(
+    code: list[tuple], num_regs: int, mode: int, mirror: bool, hwpref: bool
+) -> CompiledMode:
+    """Compile one lowered code list; raises on anything unrecognised."""
+    n = len(code)
+    counter_attr = "n_check" if mode == 0 else "n_instr"
+
+    # ---- leaders: every ip the generated dispatcher must accept ----------
+    leaders: set[int] = {0}
+    refcount: dict[int, int] = {0: 1}
+
+    def _lead(target: int) -> None:
+        leaders.add(target)
+        refcount[target] = refcount.get(target, 0) + 1
+
+    for i, t in enumerate(code):
+        op = t[0]
+        if op in (OP_BZ, OP_BNZ):
+            _lead(t[2])
+        elif op == OP_JMP:
+            _lead(t[1])
+        elif op in (OP_CALL, OP_CHECK):
+            # re-entry points after a trampoline crossing
+            _lead(i + 1)
+    # Targets outside the body (including == n) are left to the reference
+    # loop, which raises the exact IndexError/ExecutionError the program earns.
+    leaders = {L for L in leaders if 0 <= L < n}
+
+    consts: list[object] = []
+    const_ix: dict[int, int] = {}
+
+    def K(obj: object) -> str:
+        ix = const_ix.get(id(obj))
+        if ix is None:
+            ix = len(consts)
+            consts.append(obj)
+            const_ix[id(obj)] = ix
+        return f"K{ix}"
+
+    uses: set[str] = set()
+
+    def _emit_trace(L: int, em: _Emitter) -> tuple[int, list[int]]:
+        """Emit the superblock starting at leader ``L`` at em's indent.
+
+        Returns (instructions emitted, extra leaders discovered via the
+        trace cap)."""
+        extra: list[int] = []
+        pend_ic = 0  # batched icount increments not yet materialised
+        pend_cy = 0  # batched cycles increments not yet materialised
+
+        def flush_cy() -> None:
+            nonlocal pend_cy
+            if pend_cy:
+                em.w(f"cycles += {pend_cy}")
+                pend_cy = 0
+
+        def flush_ic() -> None:
+            nonlocal pend_ic
+            if pend_ic:
+                em.w(f"icount += {pend_ic}")
+                pend_ic = 0
+
+        def emit_exit(sig: int, park_ip: int, conditional: bool = False) -> None:
+            # Inside a conditional branch the pending increments must be
+            # materialised on the exit path *without* clearing them: the
+            # fallthrough continues the trace and still owes them.
+            nonlocal pend_ic, pend_cy
+            if pend_ic:
+                em.w(f"icount += {pend_ic}")
+                if not conditional:
+                    pend_ic = 0
+            if pend_cy:
+                em.w(f"cycles += {pend_cy}")
+                if not conditional:
+                    pend_cy = 0
+            em.w(f"ip = {park_ip}")
+            for line in _flush_stmts(num_regs, counter_attr):
+                em.w(line)
+            em.w(f"return {sig}")
+
+        count = 0
+        i = L
+        while True:
+            if i >= n:
+                # fell off the end: the reference loop raises the IndexError
+                flush_ic()
+                flush_cy()
+                em.w(f"ip = {n}")
+                em.w("continue")
+                break
+            if count >= TRACE_CAP:
+                flush_ic()
+                flush_cy()
+                em.w(f"ip = {i}")
+                em.w("continue")
+                extra.append(i)
+                break
+            t = code[i]
+            op = t[0]
+            pend_ic += 1
+            pend_cy += 1
+            count += 1
+
+            if op in (OP_LOAD, OP_STORE):
+                # (op, dst/src, base, offset, pc, traced, detect)
+                uses.add("mem_ops")
+                word = "load" if op == OP_LOAD else "store"
+                off = t[3]
+                if off:
+                    em.w(f"addr = _r{t[2]} + {off}" if off > 0 else f"addr = _r{t[2]} - {-off}")
+                else:
+                    em.w(f"addr = _r{t[2]}")
+                em.w("if addr & 3 or addr < 0:")
+                em.indent += 1
+                em.w(
+                    f'raise MemoryFault(f"bad {word} address {{addr:#x}} at {{{K(t[4])}}}")'
+                )
+                em.indent -= 1
+                flush_cy()
+                if mirror:
+                    # Inline L1-hit and pure-miss paths: exact while no
+                    # prefetch state is outstanding (no in-flight blocks, no
+                    # prefetched-unused blocks), because then the classify/
+                    # ledger/attribution branches of ``access`` and the
+                    # eviction accounting are all no-ops; anything else goes
+                    # through ctx.access (the specialized closure, which is
+                    # exact for every case).
+                    #
+                    # ``lblk`` memoizes the previous access's block: every
+                    # inline path leaves its block MRU in L1 and outside the
+                    # prefetch dicts, and nothing between two memory ops can
+                    # disturb that (any prefetch issue or slow call resets
+                    # the memo), so a back-to-back re-access is exactly a
+                    # hit whose LRU promotion is a no-op.  Hit/miss/demand
+                    # counters batch into locals (``hits1``/``miss1``/
+                    # ``d_acc``) flushed by the function's finally block —
+                    # pure monotonic counters nothing reads mid-kernel.
+                    uses.add("mirror")
+                    em.w("block = addr >> bshift")
+                    em.w("if block == lblk:")
+                    em.indent += 1
+                    em.w("d_acc += 1")
+                    em.w("hits1 += 1")
+                    em.indent -= 1
+                    em.w("else:")
+                    em.indent += 1
+                    em.w("way = l1_sets[block & l1_mask]")
+                    em.w("if block in way:")
+                    em.indent += 1
+                    em.w("if block in inflight or block in pf_unused:")
+                    em.indent += 1
+                    em.w("stall = access(addr, cycles)")
+                    em.w("cycles += stall")
+                    em.w("mem_stall += stall")
+                    em.w("lblk = -1")
+                    em.indent -= 1
+                    em.w("else:")
+                    em.indent += 1
+                    em.w("d_acc += 1")
+                    em.w("hits1 += 1")
+                    em.w("if way[-1] != block:")
+                    em.indent += 1
+                    em.w("way.remove(block)")
+                    em.w("way.append(block)")
+                    em.indent -= 1
+                    em.w("lblk = block")
+                    em.indent -= 1
+                    em.indent -= 1
+                    em.w("elif inflight or pf_unused:")
+                    em.indent += 1
+                    em.w("stall = access(addr, cycles)")
+                    em.w("cycles += stall")
+                    em.w("mem_stall += stall")
+                    em.w("lblk = -1")
+                    em.indent -= 1
+                    em.w("else:")
+                    em.indent += 1
+                    em.w("d_acc += 1")
+                    em.w("miss1 += 1")
+                    em.w("way2 = l2_sets[block & l2_mask]")
+                    em.w("if block in way2:")
+                    em.indent += 1
+                    em.w("l2.hits += 1")
+                    em.w("if way2[-1] != block:")
+                    em.indent += 1
+                    em.w("way2.remove(block)")
+                    em.w("way2.append(block)")
+                    em.indent -= 1
+                    em.w("cycles += l2_lat")
+                    em.w("mem_stall += l2_lat")
+                    em.indent -= 1
+                    em.w("else:")
+                    em.indent += 1
+                    em.w("l2.misses += 1")
+                    em.w("cycles += mem_lat")
+                    em.w("mem_stall += mem_lat")
+                    em.w("if len(way2) >= l2_assoc:")
+                    em.indent += 1
+                    em.w("victim = way2.pop(0)")
+                    em.w("l2.evictions += 1")
+                    em.w("wv = l1_sets[victim & l1_mask]")
+                    em.w("if victim in wv:")
+                    em.indent += 1
+                    em.w("wv.remove(victim)")
+                    em.indent -= 1
+                    em.indent -= 1
+                    em.w("way2.append(block)")
+                    em.indent -= 1
+                    em.w("if len(way) >= l1_assoc:")
+                    em.indent += 1
+                    em.w("way.pop(0)")
+                    em.w("l1.evictions += 1")
+                    em.indent -= 1
+                    em.w("way.append(block)")
+                    em.w("lblk = block")
+                    em.indent -= 1
+                    em.indent -= 1
+                else:
+                    em.w("stall = access(addr, cycles)")
+                    em.w("cycles += stall")
+                    em.w("mem_stall += stall")
+                em.w("mem_refs += 1")
+                if op == OP_LOAD:
+                    em.w(f"_r{t[1]} = mget(addr, 0)")
+                else:
+                    em.w(f"mem[addr] = _r{t[1]}")
+                if t[5]:
+                    uses.add("trace")
+                    em.w("cycles += trace_cost")
+                    em.w("trace_chg += 1")
+                    em.w("if tracing and sink is not None:")
+                    em.indent += 1
+                    em.w("traced += 1")
+                    em.w(f"sink({K(t[4])}, addr)")
+                    em.indent -= 1
+                det = t[6]
+                if det is not None:
+                    uses.add("detect")
+                    em.w(f"dstate, prefetches, cases = {K(det)}.step(dstate, addr)")
+                    em.w("detects += 1")
+                    em.w("extra = detect_base + detect_per_case * cases")
+                    em.w("cycles += extra")
+                    em.w("detect_cyc += extra")
+                    em.w("if prefetches:")
+                    em.indent += 1
+                    em.w("for a in prefetches:")
+                    em.indent += 1
+                    em.w("issue_prefetch(a, cycles, pf_source)")
+                    em.w("cycles += pf_cost")
+                    em.indent -= 1
+                    em.w("pf_issued += len(prefetches)")
+                    if mirror:
+                        em.w("lblk = -1")
+                    em.indent -= 1
+                if hwpref:
+                    uses.add("hwpref")
+                    em.w(f"hwpref.observe({K(t[4])}, addr, cycles, hier)")
+                    if mirror:
+                        em.w("lblk = -1")
+
+            elif op == OP_ALUI:
+                # (op, func, dst, a, imm)
+                sym = _ALU_SYM.get(t[1])
+                if sym is not None:
+                    em.w(f"_r{t[2]} = _r{t[3]} {sym} ({t[4]})")
+                else:
+                    em.w(f"_r{t[2]} = {K(t[1])}(_r{t[3]}, {t[4]})")
+            elif op == OP_ALU:
+                sym = _ALU_SYM.get(t[1])
+                if sym is not None:
+                    em.w(f"_r{t[2]} = _r{t[3]} {sym} _r{t[4]}")
+                else:
+                    em.w(f"_r{t[2]} = {K(t[1])}(_r{t[3]}, _r{t[4]})")
+            elif op == OP_CMP:
+                sym = _CMP_SYM.get(t[1])
+                if sym is not None:
+                    em.w(f"_r{t[2]} = 1 if _r{t[3]} {sym} _r{t[4]} else 0")
+                else:
+                    em.w(f"_r{t[2]} = 1 if {K(t[1])}(_r{t[3]}, _r{t[4]}) else 0")
+            elif op in (OP_BZ, OP_BNZ):
+                cmp = "==" if op == OP_BZ else "!="
+                em.w(f"if _r{t[1]} {cmp} 0:")
+                em.indent += 1
+                if pend_ic:
+                    em.w(f"icount += {pend_ic}")
+                if pend_cy:
+                    em.w(f"cycles += {pend_cy}")
+                em.w(f"ip = {t[2]}")
+                em.w("continue")
+                em.indent -= 1
+                # fallthrough continues the trace with the same pending costs
+            elif op == OP_JMP:
+                flush_ic()
+                flush_cy()
+                em.w(f"ip = {t[1]}")
+                em.w("continue")
+                break
+            elif op == OP_MOV:
+                em.w(f"_r{t[1]} = _r{t[2]}")
+            elif op == OP_CONST:
+                # Large constants go through the K table instead of the
+                # source text: the dynamic editor's injected prefetch
+                # targets are heap addresses that change every reinjection,
+                # and keeping them out of the source lets all injected
+                # copies share one exec'd maker (see _MAKERS).
+                value = t[2]
+                if isinstance(value, int) and abs(value) > 0xFFFF:
+                    em.w(f"_r{t[1]} = {K(value)}")
+                else:
+                    em.w(f"_r{t[1]} = {value}")
+            elif op == OP_CHECK:
+                uses.add("check")
+                flush_cy()
+                em.w("cycles += check_cost")
+                em.w("nchecks += 1")
+                em.w("ncnt -= 1")
+                em.w("if ncnt == 0:")
+                em.indent += 1
+                emit_exit(SIG_TRANS, i + 1, conditional=True)
+                em.indent -= 1
+            elif op == OP_CALL:
+                # (op, dst, name, args) — trampoline performs the call
+                em.w(f"ctx.call = {K((t[1], t[2], t[3]))}")
+                emit_exit(SIG_CALL, i + 1)
+                break
+            elif op == OP_RET:
+                if t[1] is not None:
+                    em.w(f"ctx.ret_value = _r{t[1]}")
+                else:
+                    em.w("ctx.ret_value = 0")
+                emit_exit(SIG_RET, i + 1)
+                break
+            elif op == OP_ALLOC:
+                uses.add("alloc")
+                em.w(f"_r{t[1]} = allocate(_r{t[2]})")
+            elif op == OP_PREFETCH:
+                uses.add("prefetch")
+                flush_cy()
+                if t[1]:
+                    em.w(f"for a in {K(t[1])}:")
+                    em.indent += 1
+                    em.w("issue_prefetch(a, cycles, pf_source)")
+                    em.w("cycles += pf_cost")
+                    em.indent -= 1
+                    em.w(f"pf_issued += {len(t[1])}")
+                    if mirror:
+                        em.w("lblk = -1")
+            elif op == OP_HALT:
+                emit_exit(SIG_DONE, i + 1)
+                break
+            elif op == OP_NOP:
+                pass
+            else:
+                raise ValueError(f"fastpath: unknown opcode {op}")
+            i += 1
+        return count, extra
+
+    # ---- emit all traces (the cap can mint new leaders) ------------------
+    bodies: dict[int, list[str]] = {}
+    max_trace = 1
+    worklist = sorted(leaders)
+    while worklist:
+        L = worklist.pop()
+        if L in bodies:
+            continue
+        em = _Emitter(indent=0)
+        count, extra = _emit_trace(L, em)
+        bodies[L] = em.lines
+        max_trace = max(max_trace, count)
+        for j in extra:
+            if j not in leaders:
+                leaders.add(j)
+                worklist.append(j)
+            refcount[j] = refcount.get(j, 0) + 1
+
+    # ---- assemble the module source --------------------------------------
+    out = _Emitter()
+    out.w("def _make(K):")
+    out.indent += 1
+    for ix in range(len(consts)):
+        out.w(f"K{ix} = K[{ix}]")
+    out.w("def _fp(ctx, state, limit):")
+    out.indent += 1
+    out.w("interp = ctx.interp")
+    if uses & {"mem_ops", "mirror", "hwpref"}:
+        out.w("hier = ctx.hier")
+    if "mem_ops" in uses:
+        out.w("access = ctx.access")
+        out.w("mem = ctx.mem")
+        out.w("mget = mem.get")
+    if uses & {"detect", "prefetch"}:
+        out.w("issue_prefetch = ctx.issue_prefetch")
+        out.w("pf_cost = ctx.pf_cost")
+        out.w("pf_source = interp.prefetch_source")
+    if "alloc" in uses:
+        out.w("allocate = ctx.allocate")
+    if "trace" in uses:
+        out.w("trace_cost = ctx.trace_cost")
+        out.w("tracing = interp.tracing_enabled")
+        out.w("sink = interp.trace_sink")
+    if "check" in uses:
+        out.w("check_cost = ctx.check_cost")
+    if "detect" in uses:
+        out.w("detect_base = ctx.detect_base")
+        out.w("detect_per_case = ctx.detect_per_case")
+    if "hwpref" in uses:
+        out.w("hwpref = interp.hw_prefetcher")
+    if "mirror" in uses:
+        out.w("l1 = ctx.l1")
+        out.w("l1_sets = ctx.l1_sets")
+        out.w("l1_mask = ctx.l1_mask")
+        out.w("l1_assoc = ctx.l1_assoc")
+        out.w("l2 = ctx.l2")
+        out.w("l2_sets = ctx.l2_sets")
+        out.w("l2_mask = ctx.l2_mask")
+        out.w("l2_assoc = ctx.l2_assoc")
+        out.w("l2_lat = ctx.l2_lat")
+        out.w("mem_lat = ctx.mem_lat")
+        out.w("inflight = ctx.inflight")
+        out.w("pf_unused = ctx.pf_unused")
+        out.w("bshift = ctx.block_shift")
+    out.w("dstate = interp.dfsm_state")
+    out.w("regs = state.regs")
+    for r in range(num_regs):
+        out.w(f"_r{r} = regs[{r}]")
+    out.w("ip = state.ip")
+    out.w("cycles = state.cycles")
+    out.w("icount = state.icount")
+    out.w("mem_refs = state.mem_refs")
+    out.w("mem_stall = state.mem_stall")
+    out.w("nchecks = state.nchecks")
+    out.w("traced = state.traced")
+    out.w("trace_chg = state.trace_chg")
+    out.w("detect_cyc = state.detect_cyc")
+    out.w("detects = state.detects")
+    out.w("pf_issued = state.pf_issued")
+    out.w(f"ncnt = state.{counter_attr}")
+    batched = "mirror" in uses
+    if batched:
+        # Monotonic hierarchy counters batch into locals; the finally block
+        # flushes them on every exit — returns, limit parks, and exceptions
+        # (MemoryFault / ZeroDivisionError abort mid-trace, and the reference
+        # applies these counters eagerly, so the flush must still happen).
+        out.w("d_acc = 0")
+        out.w("hits1 = 0")
+        out.w("miss1 = 0")
+        out.w("lblk = -1")
+        out.w("try:")
+        out.indent += 1
+    out.w("while True:")
+    out.indent += 1
+    out.w(f"if icount + {max_trace} > limit:")
+    out.indent += 1
+    out.w("break")
+    out.indent -= 1
+    order = sorted(bodies, key=lambda L: (-refcount.get(L, 0), L))
+    for pos, L in enumerate(order):
+        out.w(f"{'if' if pos == 0 else 'elif'} ip == {L}:")
+        out.indent += 1
+        for line in bodies[L]:
+            out.w(line)
+        out.indent -= 1
+    out.w("else:")
+    out.indent += 1
+    out.w("break")
+    out.indent -= 1
+    out.indent -= 1
+    for line in _flush_stmts(num_regs, counter_attr):
+        out.w(line)
+    out.w(f"return {SIG_PARK}")
+    if batched:
+        out.indent -= 1
+        out.w("finally:")
+        out.indent += 1
+        out.w("if d_acc:")
+        out.indent += 1
+        out.w("hier.demand_accesses += d_acc")
+        out.w("l1.hits += hits1")
+        out.w("l1.misses += miss1")
+        out.indent -= 1
+        out.indent -= 1
+    out.indent -= 1
+    out.w("return _fp")
+
+    source = "\n".join(out.lines) + "\n"
+    # The dynamic editor re-injects detection by patching in fresh Procedure
+    # copies every awake transition; their lowered code differs only in the
+    # identity of baked-in constants (DetectHandler objects), never in the
+    # generated source.  Memoising the exec'd maker on the source text turns
+    # those recompiles into a dict hit plus a _make(consts) call.
+    make = _MAKERS.get(source)
+    if make is None:
+        namespace: dict[str, object] = {"MemoryFault": MemoryFault}
+        exec(compile(source, f"<fastpath:{counter_attr}>", "exec"), namespace)
+        make = namespace["_make"]
+        _MAKERS[source] = make
+    fn = make(consts)
+    return CompiledMode(fn, frozenset(leaders), max_trace, source)
+
+
+#: source text -> exec'd ``_make`` closure factory (see _compile_mode).
+_MAKERS: dict = {}
+
+
+def _flush_stmts(num_regs: int, counter_attr: str) -> list[str]:
+    """Statements writing every kernel local back into the parked state."""
+    stmts = [f"regs[{r}] = _r{r}" for r in range(num_regs)]
+    stmts += [
+        "state.ip = ip",
+        "state.cycles = cycles",
+        "state.icount = icount",
+        "state.mem_refs = mem_refs",
+        "state.mem_stall = mem_stall",
+        "state.nchecks = nchecks",
+        "state.traced = traced",
+        "state.trace_chg = trace_chg",
+        "state.detect_cyc = detect_cyc",
+        "state.detects = detects",
+        "state.pf_issued = pf_issued",
+        f"state.{counter_attr} = ncnt",
+        "interp.dfsm_state = dstate",
+    ]
+    return stmts
+
+
+#: proc -> {(mode, mirror, hwpref) -> CompiledMode | None}.  Keyed weakly so
+#: compiled functions never become part of the procedure object (checkpoints
+#: pickle procedures; generated functions are unpicklable and are instead
+#: transparently recompiled after a restore).
+_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+_MISSING = object()
+
+
+def compiled_entry(proc, mode: int, mirror: bool, hwpref: bool) -> Optional[CompiledMode]:
+    """Compiled kernel for one procedure version, or None if not compilable."""
+    per = _CACHE.get(proc)
+    if per is None:
+        per = {}
+        _CACHE[proc] = per
+    key = (mode, mirror, hwpref)
+    entry = per.get(key, _MISSING)
+    if entry is _MISSING:
+        try:
+            code = lower_procedure(proc)[mode]
+            entry = _compile_mode(code, proc.num_regs, mode, mirror, hwpref)
+        except Exception:
+            # Anything unrecognised falls back to the reference interpreter.
+            entry = None
+        per[key] = entry
+    return entry
+
+
+def clear_cache() -> None:
+    """Drop all compiled code (tests use this to force recompilation)."""
+    _CACHE.clear()
+    _MAKERS.clear()

@@ -21,6 +21,7 @@ from dataclasses import dataclass, fields
 from typing import Callable, Optional, Protocol
 
 from repro.errors import ExecutionError, MemoryFault
+from repro.fastpath import fastpath_enabled
 from repro.interp.lowering import (
     OP_ALLOC,
     OP_ALU,
@@ -204,18 +205,32 @@ class Interpreter:
         self.n_check0 = n_check0
         self.n_instr0 = n_instr0
 
-    def run(self, args: tuple[int, ...] = (), max_instructions: Optional[int] = None) -> ExecStats:
+    def run(
+        self,
+        args: tuple[int, ...] = (),
+        max_instructions: Optional[int] = None,
+        fast: Optional[bool] = None,
+    ) -> ExecStats:
         """Execute from the entry procedure until HALT / final RET.
 
         Args:
             args: integer arguments for the entry procedure.
             max_instructions: optional safety bound; exceeding it raises
                 :class:`ExecutionError`.
+            fast: True/False selects the compiled fastpath kernel or the
+                reference dispatch loop; None (default) defers to the
+                ``REPRO_FASTPATH`` environment variable.  Results are
+                bit-identical either way.
         """
         try:
             state = self._start(args)
             limit = max_instructions if max_instructions is not None else (1 << 62)
-            stats = self._dispatch(state, limit, raise_on_limit=True)
+            if fastpath_enabled(fast):
+                from repro.fastpath.kernel import run_fast
+
+                stats = run_fast(self, state, limit, raise_on_limit=True)
+            else:
+                stats = self._dispatch(state, limit, raise_on_limit=True)
             assert stats is not None  # raise_on_limit=True never suspends
             return stats
         except ZeroDivisionError as exc:
@@ -225,7 +240,7 @@ class Interpreter:
         """Prepare slice execution from the entry procedure (see :meth:`run_slice`)."""
         self.exec_state = self._start(args)
 
-    def run_slice(self, budget: int) -> Optional[ExecStats]:
+    def run_slice(self, budget: int, fast: Optional[bool] = None) -> Optional[ExecStats]:
         """Execute up to ``budget`` more instructions; None while suspended.
 
         Returns the final :class:`ExecStats` once the program reaches HALT or
@@ -233,7 +248,9 @@ class Interpreter:
         scheduler may have advanced between slices).  Slicing is invisible to
         the simulated program: running N slices of any budget produces the
         same instruction stream, stats and hierarchy state as one
-        :meth:`run`, provided the clock was left alone.
+        :meth:`run`, provided the clock was left alone.  ``fast`` selects the
+        compiled kernel per slice exactly like :meth:`run`; slices may mix
+        fast and reference execution freely (the parked state is shared).
         """
         state = self.exec_state
         if state is None:
@@ -243,6 +260,10 @@ class Interpreter:
         if budget < 1:
             raise ExecutionError("slice budget must be >= 1")
         try:
+            if fastpath_enabled(fast):
+                from repro.fastpath.kernel import run_fast
+
+                return run_fast(self, state, state.icount + budget, raise_on_limit=False)
             return self._dispatch(state, state.icount + budget, raise_on_limit=False)
         except ZeroDivisionError as exc:
             raise ExecutionError("division by zero in simulated program") from exc

@@ -21,6 +21,9 @@ the repo's headline claims, stated as executable checks:
 * :func:`check_checkpoint_resume_identity` — a run killed after writing an
   architectural-state checkpoint and later resumed from it finishes
   bit-identical to an uninterrupted run.
+* :func:`check_fastpath_identity` — the compiled execution kernel
+  (``repro.fastpath``) produces the same counters, per-stream attribution
+  and serialized result as the reference dispatch loop.
 """
 
 from __future__ import annotations
@@ -499,3 +502,41 @@ def check_tenancy_pollution_reconciliation(
             f"pollution reconciliation is vacuous ({sharing}): no cross-tenant "
             "evictions occurred",
         )
+
+
+def check_fastpath_identity(spec=None) -> None:
+    """A compiled-fastpath run must be bit-identical to the reference run.
+
+    Executes ``spec`` (default: vortex/dyn, one pass) twice on freshly built
+    workloads — once forcing the reference dispatch loop (``fast=False``),
+    once forcing the compiled kernel (``fast=True``), both bypassing the
+    result store so neither leg can be satisfied by a replay — and requires
+    an identical counter fingerprint, identical per-stream prefetch
+    attribution, and an identical full serialization (``to_dict``).  This is
+    ``repro.fastpath``'s license to substitute compiled execution for the
+    reference interpreter everywhere.
+    """
+    from repro.engine.levels import execute_workload
+    from repro.engine.spec import RunSpec
+
+    spec = spec if spec is not None else RunSpec("vortex", "dyn", passes=1)
+    context = f"fastpath identity ({spec.label})"
+    reference = execute_workload(spec.build(), spec.level, spec.machine, spec.opt, fast=False)
+    compiled = execute_workload(spec.build(), spec.level, spec.machine, spec.opt, fast=True)
+    _diff_fingerprints(run_fingerprint(reference), run_fingerprint(compiled), context)
+
+    def streams(result):
+        return {
+            key: (s.issued, s.useful, s.late, s.wasted, s.redundant)
+            for key, s in result.hierarchy.stream_stats.items()
+        }
+
+    _require(
+        streams(reference) == streams(compiled),
+        f"{context}: per-stream prefetch attribution diverged "
+        f"({streams(reference)} != {streams(compiled)})",
+    )
+    _require(
+        reference.to_dict() == compiled.to_dict(),
+        f"{context}: serialized results differ beyond the counter fingerprint",
+    )

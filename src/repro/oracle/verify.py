@@ -16,6 +16,10 @@ Sections (all seeded, all deterministic for a given ``--seed``):
                 telemetry observer effect, inert fault plans, address
                 relabeling, cache-replay identity, checkpoint-resume
                 identity.
+``fastpath``    compiled-kernel identity: every golden (workload, level)
+                cell executed by the reference dispatch loop and by
+                ``repro.fastpath``, bit-compared (store bypassed, so cache
+                hits cannot make the comparison vacuous).
 ``golden``      the frozen corpus under ``tests/golden/`` (skippable).
 
 Differential failures are delta-debugged to 1-minimal reproducers before
@@ -42,6 +46,7 @@ from repro.oracle.invariants import (
     check_conservation,
     check_cycle_attribution,
     check_disabled_resilience_identical,
+    check_fastpath_identity,
     check_observer_effect,
     check_relabel_invariance,
     check_tenancy_pollution_reconciliation,
@@ -107,7 +112,11 @@ class VerifyReport:
                 first, *rest = failure.splitlines()
                 lines.append(f"    - {first}")
                 lines.extend(f"      {line}" for line in rest)
-        lines.append("VERIFY " + ("PASSED" if self.ok else "FAILED"))
+        # The verdict line echoes the seed/run count: failures are usually
+        # reported by pasting this one line, and it must be enough to
+        # reproduce the exact randomized sections that failed.
+        verdict = "PASSED" if self.ok else "FAILED"
+        lines.append(f"VERIFY {verdict} (seed={self.seed}, runs={self.runs})")
         return "\n".join(lines)
 
 
@@ -201,6 +210,21 @@ def _verify_tenancy() -> SectionResult:
     return section
 
 
+def _verify_fastpath() -> SectionResult:
+    """Reference vs compiled kernel over the golden grid (workloads x orig/dyn).
+
+    Both legs execute fresh builds directly — never through the result store —
+    so a warm cache cannot make the comparison vacuous.
+    """
+    from repro.engine.spec import RunSpec
+
+    section = SectionResult("fastpath")
+    for golden_run in golden.GOLDEN_RUNS:
+        spec = RunSpec(golden_run.workload, golden_run.level, passes=1)
+        section.run_case(lambda s=spec: check_fastpath_identity(s))
+    return section
+
+
 def _verify_golden(
     golden_dir: Optional[Union[str, Path]],
     store=None,
@@ -249,6 +273,7 @@ def run_verify(
         lambda: _verify_streams(rng, runs),
         lambda: _verify_invariants(rng, runs),
         _verify_tenancy,
+        _verify_fastpath,
     ]
     if include_golden:
         sections.append(

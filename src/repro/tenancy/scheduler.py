@@ -46,12 +46,20 @@ TENANCY_PAYLOAD_KIND = "tenancy"
 def run_tenant_plan(
     plan: TenantPlan,
     sessions: Optional[Sequence[TelemetrySession]] = None,
+    fast: Optional[bool] = None,
 ) -> TenancyResult:
     """Interleave the plan's tenants to completion; returns their stats.
 
     ``sessions`` optionally supplies one pre-built telemetry session per
     tenant (event sinks and all); by default each tenant gets its own
     metrics-only session, mirroring the single-run engine.
+
+    ``fast`` selects the compiled execution kernel for every tenant slice
+    (None defers to ``REPRO_FASTPATH``).  Tenant runs share a
+    :class:`~repro.tenancy.hierarchy.TenantHierarchy`, which the kernel's
+    cache mirror does not specialize — the compiled dispatch still applies,
+    the hierarchy is driven through its own (attribution-aware) methods, and
+    results stay bit-identical either way.
     """
     if sessions is not None and len(sessions) != len(plan):
         raise ConfigError(
@@ -108,7 +116,7 @@ def run_tenant_plan(
             # Park-and-resume: the tenant's clock continues from global
             # "now", so its cache traffic is ordered after everyone else's.
             interp.exec_state.cycles = global_now
-            out = interp.run_slice(plan.quantum)
+            out = interp.run_slice(plan.quantum, fast=fast)
             occupancy[tid] += interp.exec_state.cycles - global_now
             global_now = interp.exec_state.cycles
             slices[tid] += 1

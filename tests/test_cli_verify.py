@@ -19,6 +19,7 @@ class TestRunVerify:
         assert quick_report.ok
         assert [s.name for s in quick_report.sections] == [
             "cache", "hierarchy", "sequitur", "streams", "invariants", "tenancy",
+            "fastpath",
         ]
         assert all(s.cases > 0 for s in quick_report.sections)
 
@@ -26,8 +27,17 @@ class TestRunVerify:
         text = quick_report.format()
         assert "VERIFY PASSED" in text
         assert "seed=0" in text
-        for name in ("cache", "hierarchy", "sequitur", "streams", "invariants", "tenancy"):
+        for name in (
+            "cache", "hierarchy", "sequitur", "streams", "invariants",
+            "tenancy", "fastpath",
+        ):
             assert name in text
+
+    def test_verdict_line_echoes_seed_and_runs(self, quick_report):
+        # The last line alone must be enough to reproduce a failure report:
+        # it carries the seed and the per-section run count.
+        last = quick_report.format().splitlines()[-1]
+        assert last == "VERIFY PASSED (seed=0, runs=2)"
 
     def test_seeds_are_reproducible(self):
         a = run_verify(seed=7, runs=1, include_golden=False)
@@ -49,6 +59,12 @@ class TestCliVerify:
         out = capsys.readouterr().out
         assert code == 0
         assert "VERIFY PASSED" in out
+
+    def test_cli_summary_echoes_seed(self, capsys):
+        code = main(["verify", "--seed", "11", "--runs", "1", "--skip-golden"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "VERIFY PASSED (seed=11, runs=1)" in out
 
     def test_exit_one_on_golden_failure(self, tmp_path, capsys):
         code = main(

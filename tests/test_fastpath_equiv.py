@@ -1,0 +1,250 @@
+"""Differential suite: compiled fastpath kernel vs reference dispatch loop.
+
+The fastpath contract (DESIGN.md §5h) is *bit-identity*, not approximate
+agreement: for any workload, level, fault plan, slice partition, or limit,
+executing through :mod:`repro.fastpath` must leave every observable —
+ExecStats, hierarchy counters, per-stream prefetch attribution, telemetry
+metrics, the serialized result — exactly equal to the reference interpreter.
+These tests state that as data: the full (workload × level) grid, the
+adversarial fault-injection configurations, error paths, and a hypothesis
+property over arbitrary slice partitions.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.levels import execute_workload
+from repro.errors import MemoryFault
+from repro.fastpath import FASTPATH_ENV, fastpath_enabled, set_fastpath
+from repro.fastpath.compiler import clear_cache
+from repro.interp.interpreter import Interpreter
+from repro.machine.config import CacheGeometry, MachineConfig
+from repro.resilience import FaultPlan, WatchdogConfig
+from repro.workloads import build_named, names
+from repro.workloads.chainmix import build_chainmix
+
+MACHINE = MachineConfig(
+    l1=CacheGeometry(512, 2),
+    l2=CacheGeometry(4096, 4),
+    l2_latency=10,
+    memory_latency=100,
+)
+
+ALL_WORKLOADS = (*names(), "phaseshift")
+GRID_LEVELS = ("orig", "base", "stride", "markov", "dyn")
+#: The remaining ladder levels, exercised on one representative workload.
+EXTRA_LEVELS = ("prof", "hds", "nopref", "seq", "static")
+
+
+def hierarchy_snapshot(hier):
+    """Every hierarchy observable the run can influence, as plain data."""
+    return {
+        "l1": (hier.l1.hits, hier.l1.misses, hier.l1.evictions),
+        "l2": (hier.l2.hits, hier.l2.misses, hier.l2.evictions),
+        "demand": hier.demand_accesses,
+        "prefetch": (
+            hier.prefetch.issued,
+            hier.prefetch.useful,
+            hier.prefetch.late,
+            hier.prefetch.wasted,
+            hier.prefetch.redundant,
+            dict(hier.prefetch.by_source),
+        ),
+        "streams": {
+            key: (s.issued, s.useful, s.late, s.wasted, s.redundant)
+            for key, s in hier.stream_stats.items()
+        },
+    }
+
+
+def result_snapshot(result):
+    return (result.to_dict(), hierarchy_snapshot(result.hierarchy))
+
+
+def both_ways(workload_name, level, passes=1, opt=None, machine=None):
+    """Execute one cell fresh under each kernel; return both snapshots."""
+    kwargs = {}
+    if opt is not None:
+        kwargs["opt"] = opt
+    if machine is not None:
+        kwargs["machine"] = machine
+    reference = execute_workload(
+        build_named(workload_name, passes=passes), level, fast=False, **kwargs
+    )
+    compiled = execute_workload(
+        build_named(workload_name, passes=passes), level, fast=True, **kwargs
+    )
+    return result_snapshot(reference), result_snapshot(compiled)
+
+
+class TestGridEquivalence:
+    @pytest.mark.parametrize("workload", ALL_WORKLOADS)
+    @pytest.mark.parametrize("level", GRID_LEVELS)
+    def test_workload_level_cell(self, workload, level):
+        reference, compiled = both_ways(workload, level)
+        assert compiled == reference
+
+    @pytest.mark.parametrize("level", EXTRA_LEVELS)
+    def test_remaining_ladder_levels(self, level):
+        reference, compiled = both_ways("vortex", level)
+        assert compiled == reference
+
+
+class TestFaultConfigEquivalence:
+    """Adversarial resilience plans must not open a reference/fastpath gap."""
+
+    @pytest.mark.parametrize("seed", (3, 11))
+    def test_full_rate_fault_plan(self, small_params, small_opt, seed):
+        opt = replace(small_opt, faults=FaultPlan(seed=seed, rate=1.0))
+        runs = {}
+        for fast in (False, True):
+            workload = build_chainmix(small_params)
+            runs[fast] = result_snapshot(
+                execute_workload(workload, "dyn", MACHINE, opt, fast=fast)
+            )
+        assert runs[True] == runs[False]
+
+    def test_fault_plan_with_watchdog(self, small_params, small_opt):
+        opt = replace(
+            small_opt,
+            faults=FaultPlan(seed=5, rate=0.6, max_per_kind=3),
+            watchdog=WatchdogConfig(),
+        )
+        runs = {}
+        for fast in (False, True):
+            workload = build_chainmix(small_params)
+            runs[fast] = result_snapshot(
+                execute_workload(workload, "dyn", MACHINE, opt, fast=fast)
+            )
+        assert runs[True] == runs[False]
+
+
+def _fresh_interp(small_params):
+    workload = build_chainmix(small_params)
+    return Interpreter(workload.program, workload.memory, MACHINE), workload.args
+
+
+class TestSliceComposition:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        a=st.integers(min_value=1, max_value=4_000),
+        b=st.integers(min_value=1, max_value=4_000),
+    )
+    def test_split_budget_equals_joint_budget_fast(self, small_params, a, b):
+        """Under the fastpath, run_slice(a + b) parks exactly where
+        run_slice(a); run_slice(b) does — icount, cycles, cache counters."""
+        joint, args = _fresh_interp(small_params)
+        joint.start(args)
+        joint.run_slice(a + b, fast=True)
+        split, args = _fresh_interp(small_params)
+        split.start(args)
+        split.run_slice(a, fast=True)
+        split.run_slice(b, fast=True)
+        js, ss = joint.exec_state, split.exec_state
+        assert (js.icount, js.cycles, js.ip, js.regs) == (ss.icount, ss.cycles, ss.ip, ss.regs)
+        assert hierarchy_snapshot(joint.hierarchy) == hierarchy_snapshot(split.hierarchy)
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(budget=st.integers(min_value=1, max_value=3_000))
+    def test_mixed_kernel_slices_compose(self, small_params, budget):
+        """Alternating kernels *between* slices is still one exact run."""
+        whole, args = _fresh_interp(small_params)
+        stats_whole = whole.run(args, fast=False)
+        mixed, args = _fresh_interp(small_params)
+        mixed.start(args)
+        fast = True
+        out = None
+        while out is None:
+            out = mixed.run_slice(budget, fast=fast)
+            fast = not fast
+        assert out.to_dict() == stats_whole.to_dict()
+        assert hierarchy_snapshot(mixed.hierarchy) == hierarchy_snapshot(whole.hierarchy)
+
+    def test_single_instruction_slices(self, small_params):
+        """budget=1 forces the kernel's reference single-step resync on
+        every instruction — the hardest park/resume pattern there is."""
+        params = replace(small_params, passes=1, schedule_len=8)
+        whole, args = _fresh_interp(params)
+        stats_whole = whole.run(args, fast=False)
+        stepped, args = _fresh_interp(params)
+        stepped.start(args)
+        out = None
+        while out is None:
+            out = stepped.run_slice(1, fast=True)
+        assert out.to_dict() == stats_whole.to_dict()
+
+
+class TestErrorPathEquivalence:
+    def test_memory_fault_message_and_state(self):
+        from repro.ir.builder import ProcedureBuilder, build_program
+        from repro.machine.memory import Memory
+
+        def build():
+            b = ProcedureBuilder("crash", params=("base",))
+            v = b.reg("v")
+            b.load(v, b.param("base"), 0)      # aligned: succeeds
+            b.load(v, b.param("base"), 2)      # misaligned: faults
+            b.ret(v)
+            prog = build_program([b.build()], entry="crash")
+            mem = Memory()
+            base = mem.allocate(64)
+            return Interpreter(prog, mem, MACHINE), base
+
+        errors = {}
+        counters = {}
+        for fast in (False, True):
+            interp, base = build()
+            with pytest.raises(MemoryFault) as exc_info:
+                interp.run((base,), fast=fast)
+            errors[fast] = str(exc_info.value)
+            counters[fast] = hierarchy_snapshot(interp.hierarchy)
+        assert errors[True] == errors[False]
+        assert counters[True] == counters[False]
+
+
+class TestToggle:
+    def test_explicit_flag_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(FASTPATH_ENV, "1")
+        assert fastpath_enabled() is True
+        assert fastpath_enabled(False) is False
+        monkeypatch.delenv(FASTPATH_ENV)
+        assert fastpath_enabled() is False
+        assert fastpath_enabled(True) is True
+
+    def test_set_fastpath_round_trip(self, monkeypatch):
+        monkeypatch.delenv(FASTPATH_ENV, raising=False)
+        set_fastpath(True)
+        assert fastpath_enabled()
+        set_fastpath(False)
+        assert not fastpath_enabled()
+
+    def test_env_toggle_drives_default_run(self, small_params, monkeypatch):
+        """fast=None defers to REPRO_FASTPATH; results stay identical."""
+        params = replace(small_params, passes=2)
+        monkeypatch.delenv(FASTPATH_ENV, raising=False)
+        interp, args = _fresh_interp(params)
+        reference = interp.run(args)
+        monkeypatch.setenv(FASTPATH_ENV, "1")
+        interp, args = _fresh_interp(params)
+        compiled = interp.run(args)
+        assert compiled.to_dict() == reference.to_dict()
+
+    def test_clear_cache_recompiles(self, small_params):
+        interp, args = _fresh_interp(small_params)
+        reference = interp.run(args, fast=False)
+        clear_cache()
+        interp, args = _fresh_interp(small_params)
+        compiled = interp.run(args, fast=True)
+        clear_cache()
+        assert compiled.to_dict() == reference.to_dict()
