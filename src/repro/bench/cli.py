@@ -47,7 +47,21 @@ scorecard built from the lifecycle ledger; ``--stream s3`` (with a single
 ``--workloads`` entry) zooms into one stream's fate histogram, timeliness
 distribution and watchdog verdicts.  ``--against orig`` diffs the
 attribution tables of two levels instead — both sides replay from the result
-cache when warm.
+cache when warm.  ``--by-proc`` adds the per-procedure split of the same
+seven categories (sums are conservation-checked against the totals).
+
+Streaming observability (:mod:`repro.obs`): ``--stream DIR`` on ``trace``
+(or any figures-path artifact combined with ``--telemetry``/``--metrics``)
+exports events incrementally as sealed, size-bounded, digest-tagged JSONL
+chunks plus a streaming Perfetto protobuf sidecar — bounded memory, and a
+SIGKILLed run leaves a valid trace prefix.  ``trace --from PATH`` and
+``explain --from PATH`` accept a chunk directory or a monolithic trace JSON
+interchangeably: ``trace --from`` merges to ``--out``; ``explain --from``
+renders the embedded run summaries offline.  ``repro-bench status
+[run-dir]`` renders a supervised run's live progress file (per-task state,
+instruction/cycle counters, hit/accuracy EWMAs, ETA) whether the run is
+alive, finished, or dead.  ``--flush-every N`` bounds the JSONL sink's
+buffer.
 
 Experiment engine (:mod:`repro.engine`): every simulated run is described by
 a content-fingerprinted :class:`~repro.engine.spec.RunSpec` and memoized in
@@ -92,6 +106,7 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import replace
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.bench import figures
@@ -298,42 +313,136 @@ def _print_tables() -> None:
     _print_figure8()
 
 
-def _run_trace(args, names: Sequence[str], cache: ResultCache) -> int:
+class _SummaryCollector:
+    """Silent sink that keeps the per-run summary docs the engine publishes.
+
+    Attached next to the real sinks so the monolithic trace carries exactly
+    the documents a chunk manifest would — the interchangeability contract
+    of ``trace --from`` / ``explain --from``.
+    """
+
+    def __init__(self) -> None:
+        self.docs: list[dict] = []
+
+    def handle(self, event) -> None:
+        pass
+
+    def note_run_summary(self, doc: dict) -> None:
+        self.docs.append(doc)
+
+
+def _trace_from(args, parser) -> int:
+    """``trace --from``: merge an existing artifact, simulating nothing.
+
+    Accepts a chunk directory (the valid prefix loads; torn suffixes are
+    reported and dropped) or a monolithic Chrome trace JSON (validated and
+    rewritten), producing one monolithic trace at ``--out``.
+    """
+    import json
+
+    from repro.errors import ConfigError
+    from repro.obs.chunks import is_chunk_dir, load_chunk_events
+    from repro.obs.stream import split_runs
+    from repro.telemetry.export import load_chrome_trace, write_chrome_trace
+
+    path = args.from_path
+    try:
+        if is_chunk_dir(path):
+            events, load = load_chunk_events(path)
+            for note in load.notes:
+                print(f"  dropped: {note}", file=sys.stderr)
+            runs = split_runs(events)
+            entries = write_chrome_trace(runs, args.out, summaries=load.summaries)
+            state = "complete" if load.complete else f"prefix ({load.dropped} entries dropped)"
+            print(
+                f"merged {load.chunks} chunks / {len(load.records)} records "
+                f"[{state}] from {path} -> {args.out} ({entries} entries)"
+            )
+        else:
+            document = load_chrome_trace(path)
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(document, fh, separators=(",", ":"))
+                fh.write("\n")
+            print(f"validated {path} -> {args.out} ({len(document['traceEvents'])} entries)")
+    except (ConfigError, OSError, json.JSONDecodeError) as exc:
+        parser.error(f"cannot read {path}: {exc}")
+    return 0
+
+
+def _run_trace(args, names: Sequence[str], cache: ResultCache, parser) -> int:
     from repro.bench.runner import run_level
+    from repro.errors import ConfigError
     from repro.telemetry.export import write_chrome_trace
     from repro.telemetry.session import TelemetrySession
     from repro.telemetry.sinks import ListSink
 
+    if args.from_path is not None:
+        return _trace_from(args, parser)
+
+    stream_sink = None
+    if args.stream is not None:
+        from repro.obs.stream import StreamingTraceSink
+
+        try:
+            stream_sink = StreamingTraceSink(args.stream)
+        except ConfigError as exc:
+            parser.error(str(exc))
+    collector = _SummaryCollector()
     runs = []
-    for name in names:
-        sink = ListSink()
-        session = TelemetrySession(
-            sinks=[sink],
-            miss_sample_every=args.miss_sample,
-            prefetch_sample_every=args.prefetch_sample,
-            tracing=True,
-        )
-        result = run_level(
-            name, args.level, opt=cache.opt, passes=cache.passes_for(name), telemetry=session
-        )
-        runs.append((f"{name}/{args.level}", sink.events))
-        print(f"  traced {name}/{args.level}: {result.cycles} cycles, {len(sink.events)} events")
-    entries = write_chrome_trace(runs, args.out)
+    try:
+        for name in names:
+            sink = ListSink()
+            sinks = [sink, collector] + ([stream_sink] if stream_sink is not None else [])
+            session = TelemetrySession(
+                sinks=sinks,
+                miss_sample_every=args.miss_sample,
+                prefetch_sample_every=args.prefetch_sample,
+                tracing=True,
+                proc_attribution=args.by_proc or stream_sink is not None,
+            )
+            result = run_level(
+                name, args.level, opt=cache.opt, passes=cache.passes_for(name), telemetry=session
+            )
+            runs.append((f"{name}/{args.level}", sink.events))
+            print(f"  traced {name}/{args.level}: {result.cycles} cycles, {len(sink.events)} events")
+    finally:
+        if stream_sink is not None:
+            stream_sink.close()
+    entries = write_chrome_trace(runs, args.out, summaries=collector.docs)
     print(
         f"chrome trace written to {args.out} ({entries} entries); "
         "open in chrome://tracing or ui.perfetto.dev"
     )
+    if stream_sink is not None:
+        print(
+            f"streamed chunks + perfetto sidecar in {args.stream} "
+            "(repro-bench trace --from <dir> merges them)"
+        )
     return 0
 
 
 def _run_explain(args, names: Sequence[str], cache: ResultCache, parser) -> int:
+    from repro.errors import ConfigError
     from repro.tracing.explain import (
         diff_levels,
         explain_level,
+        offline_explanations,
         render_explanation,
         render_level_diff,
     )
 
+    if args.from_path is not None:
+        if args.stream is not None or args.against is not None:
+            parser.error("--from renders stored summaries; it cannot combine "
+                         "with --stream or --against")
+        try:
+            explanations = offline_explanations(args.from_path)
+        except ConfigError as exc:
+            parser.error(str(exc))
+        for exp in explanations:
+            print(render_explanation(exp))
+            print()
+        return 0
     if args.stream is not None and len(names) != 1:
         parser.error("--stream needs a single workload (use --workloads <name>)")
     if args.against is not None:
@@ -354,7 +463,11 @@ def _run_explain(args, names: Sequence[str], cache: ResultCache, parser) -> int:
     status = 0
     for name in names:
         exp = explain_level(
-            name, args.level, opt=cache.opt, passes=cache.passes_for(name)
+            name,
+            args.level,
+            opt=cache.opt,
+            passes=cache.passes_for(name),
+            by_proc=args.by_proc,
         )
         print(render_explanation(exp, stream=args.stream))
         print()
@@ -423,6 +536,29 @@ def _run_verify(args, store: Optional[ResultStore], durability=None) -> int:
     print(report.format())
     _print_cache_summary(store)
     return 0 if report.ok else 1
+
+
+def _run_status(args, parser) -> int:
+    """``repro-bench status [run-dir]``: render a supervised run's progress.
+
+    Works identically on a run that is still executing, one that finished,
+    and one whose process died — the file's age distinguishes them.
+    """
+    from repro.engine.cache import default_cache_root
+    from repro.errors import ConfigError
+    from repro.obs.status import read_status, render_status
+
+    run_dir = args.subcommand
+    if run_dir is None:
+        root = Path(args.cache_dir) if args.cache_dir else default_cache_root()
+        run_dir = Path(root) / "journal"
+    try:
+        doc = read_status(run_dir)
+    except ConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(render_status(doc))
+    return 0
 
 
 def _run_cache(args, parser) -> int:
@@ -545,6 +681,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "figures",
             "trace",
             "explain",
+            "status",
             "verify",
             "cache",
             "all",
@@ -554,7 +691,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "subcommand",
         nargs="?",
         default=None,
-        help="cache: optional subcommand (gc)",
+        help="cache: optional subcommand (gc); "
+        "status: run directory (default: the result cache's journal root)",
     )
     parser.add_argument("--scale", type=float, default=1.0, help="workload pass-count scale")
     parser.add_argument("--workloads", default="", help="comma-separated subset of benchmarks")
@@ -702,9 +840,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--stream",
-        metavar="ID",
+        metavar="ID|DIR",
         default=None,
-        help="explain: zoom into one stream's scorecard (id from the summary table)",
+        help="explain: zoom into one stream's scorecard (id from the summary "
+        "table); trace/figures: also stream events into this directory as "
+        "sealed, digest-tagged chunks with a Perfetto sidecar",
+    )
+    parser.add_argument(
+        "--from",
+        dest="from_path",
+        metavar="PATH",
+        default=None,
+        help="trace/explain: read an existing chunk directory or monolithic "
+        "trace JSON instead of simulating (trace: merge to --out; "
+        "explain: render the embedded run summaries)",
+    )
+    parser.add_argument(
+        "--by-proc",
+        action="store_true",
+        help="explain/trace: record per-procedure cycle attribution "
+        "(explain renders the per-proc table; trace embeds it in summaries)",
+    )
+    parser.add_argument(
+        "--flush-every",
+        type=int,
+        default=512,
+        metavar="N",
+        help="telemetry JSONL sink: flush buffered events every N records "
+        "(default 512; 1 = line-buffered)",
     )
     parser.add_argument(
         "--against",
@@ -760,8 +923,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--task-timeout must be > 0")
     if args.checkpoint_every is not None and args.checkpoint_every < 1:
         parser.error("--checkpoint-every must be >= 1")
+    if args.flush_every < 1:
+        parser.error("--flush-every must be >= 1")
     if args.artifact == "cache":
         return _run_cache(args, parser)
+    if args.artifact == "status":
+        return _run_status(args, parser)
     store = None if args.no_cache else ResultStore(args.cache_dir)
     durability = _durability_policy(args)
 
@@ -779,14 +946,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 open(path, "a", encoding="utf-8").close()
             except OSError as exc:
                 parser.error(f"cannot write {path}: {exc}")
+    # For figures-path artifacts --stream is a chunk directory wired into the
+    # shared recorder; trace manages its own streaming sink and explain keeps
+    # the historical stream-id zoom semantics.
+    figures_stream = args.stream if args.artifact not in ("trace", "explain") else None
     recorder = None
-    if args.telemetry or args.metrics:
-        recorder = TelemetryRecorder(
-            events_path=args.telemetry,
-            metrics_path=args.metrics,
-            miss_sample_every=args.miss_sample,
-            prefetch_sample_every=args.prefetch_sample,
-        )
+    if args.telemetry or args.metrics or figures_stream:
+        from repro.errors import ConfigError
+
+        try:
+            recorder = TelemetryRecorder(
+                events_path=args.telemetry,
+                metrics_path=args.metrics,
+                miss_sample_every=args.miss_sample,
+                prefetch_sample_every=args.prefetch_sample,
+                flush_every=args.flush_every,
+                stream_dir=figures_stream,
+            )
+        except ConfigError as exc:
+            parser.error(str(exc))
     opt = OptimizerConfig()
     if args.watchdog:
         opt = replace(opt, watchdog=WatchdogConfig())
@@ -817,7 +995,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if level is not None and level not in LEVELS:
                 parser.error(f"unknown level {level!r}; known: {', '.join(LEVELS)}")
         if args.artifact == "trace":
-            return _run_trace(args, names, cache)
+            return _run_trace(args, names, cache, parser)
         status = _run_explain(args, names, cache, parser)
         _print_cache_summary(store)
         return status
@@ -849,6 +1027,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"telemetry events written to {args.telemetry}")
         if args.metrics:
             print(f"metrics snapshots written to {args.metrics}")
+        if figures_stream:
+            print(
+                f"streamed chunks + perfetto sidecar in {figures_stream} "
+                "(repro-bench trace --from <dir> merges them)"
+            )
     _print_cache_summary(store)
     return 0
 

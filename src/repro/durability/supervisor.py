@@ -45,10 +45,14 @@ from repro.durability.runner import DEFAULT_CHECKPOINT_EVERY, run_spec_durable
 from repro.engine.cache import ResultStore, default_cache_root
 from repro.engine.result import RunResult
 from repro.engine.spec import RunPlan, RunSpec
-from repro.telemetry.events import TaskRetried, WorkerCrashed, WorkerTimedOut
+from repro.obs.status import StatusWriter
+from repro.telemetry.events import TaskRetried, WorkerCrashed, WorkerSlow, WorkerTimedOut
 from repro.telemetry.sinks import NULL_SINK
 
 ProgressHook = Callable[[RunSpec, RunResult], None]
+
+#: Slots in the per-task shared progress array (doubles), in order.
+_PROGRESS_FIELDS = ("icount", "cycles", "epoch", "hit_ewma", "acc_ewma")
 
 
 @dataclass(frozen=True)
@@ -102,12 +106,17 @@ def _durable_worker(
     heartbeat,
     heartbeat_every: float,
     directive: Optional[str],
+    progress_array=None,
 ) -> None:
     """Worker process: execute one spec durably, heartbeating throughout.
 
     ``directive`` carries a chaos order decided by the parent: ``kill``
     makes the worker SIGKILL itself mid-task (after checkpointing, so the
     retry exercises resume); ``stall`` makes it stop heartbeating and hang.
+
+    ``progress_array`` is a shared 5-double array (:data:`_PROGRESS_FIELDS`)
+    the worker stamps at every slice boundary — the supervisor reads it to
+    feed ``status.json`` and to tell *slow but progressing* from *stuck*.
     """
     spec = RunSpec.from_dict(spec_doc)
     if directive == "stall":
@@ -123,18 +132,33 @@ def _durable_worker(
 
     heartbeat.value = time.monotonic()
     threading.Thread(target=beat, daemon=True).start()
+    progress = _progress_callback(progress_array)
     if directive == "kill":
         # Die mid-run with progress on disk (one checkpoint if the run is
         # long enough to reach a boundary).
         run_spec_durable(
             spec, checkpoint_path, checkpoint_every,
-            resume=True, stop_after_checkpoints=1,
+            resume=True, stop_after_checkpoints=1, progress=progress,
         )
         os.kill(os.getpid(), signal.SIGKILL)
-    result = run_spec_durable(spec, checkpoint_path, checkpoint_every, resume=True)
+    result = run_spec_durable(
+        spec, checkpoint_path, checkpoint_every, resume=True, progress=progress
+    )
     conn.send(result.to_dict())
     conn.close()
     stop.set()
+
+
+def _progress_callback(progress_array):
+    """Adapt a shared 5-double array to the runner's progress-dict callback."""
+    if progress_array is None:
+        return None
+
+    def publish(doc: dict) -> None:
+        for slot, name in enumerate(_PROGRESS_FIELDS):
+            progress_array[slot] = float(doc.get(name, 0.0))
+
+    return publish
 
 
 class _Task:
@@ -143,6 +167,7 @@ class _Task:
     __slots__ = (
         "index", "spec", "fingerprint", "checkpoint_path", "attempts",
         "proc", "conn", "heartbeat", "started", "eligible_at",
+        "progress", "last_icount", "advanced_at", "slow_logged",
     )
 
     def __init__(self, index: int, spec: RunSpec, fingerprint: str, checkpoint_path: Path) -> None:
@@ -156,6 +181,90 @@ class _Task:
         self.heartbeat = None
         self.started = 0.0
         self.eligible_at = 0.0
+        #: shared 5-double array (_PROGRESS_FIELDS); survives retries so a
+        #: resumed attempt keeps reporting from its checkpointed icount
+        self.progress = multiprocessing.Array("d", len(_PROGRESS_FIELDS))
+        self.last_icount = 0.0
+        self.advanced_at = 0.0
+        self.slow_logged = False
+
+
+class _StatusBoard:
+    """Maintains ``status.json`` (atomic, throttled) for one supervised plan.
+
+    Purely supervisor-side bookkeeping over heartbeat/progress arrays the
+    workers already maintain; nothing here touches a simulation, and a dead
+    supervisor simply leaves the last written document behind — which is
+    exactly what ``repro-bench status`` then reports (with its staleness
+    inferred from ``updated_at``).
+    """
+
+    def __init__(self, plan: RunPlan, plan_fp: str, root: Path, jobs: int) -> None:
+        self.writer = StatusWriter(root)
+        self.plan_fp = plan_fp
+        self.jobs = max(1, jobs)
+        self.tasks = [
+            {
+                "index": i,
+                "workload": spec.workload,
+                "level": spec.level,
+                "state": "pending",
+                "attempts": 0,
+                "icount": 0,
+                "cycles": 0,
+                "epoch": 0,
+                "hit_ewma": 0.0,
+                "acc_ewma": 0.0,
+            }
+            for i, spec in enumerate(plan)
+        ]
+        self._ran_started: dict[int, float] = {}
+        self._durations: list[float] = []
+
+    def mark(self, index: int, state: str, attempts: Optional[int] = None) -> None:
+        entry = self.tasks[index]
+        now = time.monotonic()
+        if state == "running" and index not in self._ran_started:
+            self._ran_started[index] = now
+        if state == "done" and index in self._ran_started:
+            self._durations.append(now - self._ran_started.pop(index))
+        entry["state"] = state
+        if attempts is not None:
+            entry["attempts"] = attempts
+        self.write(force=True)
+
+    def observe(self, task: "_Task") -> None:
+        """Copy a running task's shared progress array into its status row."""
+        entry = self.tasks[task.index]
+        values = task.progress[:]
+        entry["icount"] = int(values[0])
+        entry["cycles"] = int(values[1])
+        entry["epoch"] = int(values[2])
+        entry["hit_ewma"] = round(values[3], 4)
+        entry["acc_ewma"] = round(values[4], 4)
+        entry["attempts"] = task.attempts
+
+    def _eta(self) -> Optional[float]:
+        remaining = sum(
+            1
+            for entry in self.tasks
+            if entry["state"] not in ("done", "replayed", "cached")
+        )
+        if not remaining or not self._durations:
+            return None
+        mean = sum(self._durations) / len(self._durations)
+        return mean * remaining / self.jobs
+
+    def write(self, force: bool = False, done: bool = False) -> None:
+        self.writer.write(
+            {
+                "plan": self.plan_fp,
+                "done": done,
+                "eta_s": self._eta(),
+                "tasks": self.tasks,
+            },
+            force=force,
+        )
 
 
 def execute_plan_supervised(
@@ -182,6 +291,7 @@ def execute_plan_supervised(
     journal = RunJournal(journal_path(root, plan_fp), bus=bus)
     fingerprints = [spec.fingerprint() for spec in plan]
     results: list[Optional[RunResult]] = [None] * len(plan)
+    board = _StatusBoard(plan, plan_fp, root, jobs)
 
     def resolve(index: int, result: RunResult, journal_it: bool) -> None:
         if journal_it:
@@ -193,6 +303,7 @@ def execute_plan_supervised(
         if chaos is not None and journal_it and chaos.fire("flip_journal_byte", str(journal.path)):
             chaos.corrupt_file(journal.path, "flip_journal_byte")
         results[index] = result
+        board.mark(index, "done")
         if progress is not None:
             progress(plan[index], result)
 
@@ -209,6 +320,7 @@ def execute_plan_supervised(
             except Exception:
                 continue  # malformed-but-digest-valid: recompute
             resolve(index, result, journal_it=False)
+            board.mark(index, "replayed")
     else:
         journal.discard()
 
@@ -221,6 +333,7 @@ def execute_plan_supervised(
             cached = store.load(spec)
             if cached is not None:
                 results[index] = cached
+                board.mark(index, "cached")
                 if progress is not None:
                     progress(spec, cached)
 
@@ -233,7 +346,7 @@ def execute_plan_supervised(
         journal.plan_begin(plan_fp, len(plan))
 
     # Phase 2: supervised workers.
-    _supervise(pending, jobs, cfg, policy, chaos, bus, resolve)
+    _supervise(pending, jobs, cfg, policy, chaos, bus, resolve, board)
 
     # Phase 3: the journal marks completion, then retires; checkpoints of
     # killed final attempts retire with it.
@@ -245,6 +358,7 @@ def execute_plan_supervised(
             task.checkpoint_path.unlink()
         except OSError:
             pass
+    board.write(force=True, done=True)
     return [r for r in results if r is not None]
 
 
@@ -256,6 +370,7 @@ def _supervise(
     chaos: Optional[ChaosInjector],
     bus,
     resolve: Callable[[int, RunResult, bool], None],
+    board: _StatusBoard,
 ) -> None:
     """Drive the worker fleet until every pending task has a result."""
     queue = list(pending)
@@ -283,6 +398,7 @@ def _supervise(
                     task.heartbeat,
                     cfg.heartbeat_every,
                     directive,
+                    task.progress,
                 ),
                 daemon=True,
             )
@@ -291,6 +407,9 @@ def _supervise(
         except Exception:
             return False
         task.started = time.monotonic()
+        task.advanced_at = task.started
+        task.slow_logged = False
+        board.mark(task.index, "running", attempts=task.attempts)
         return True
 
     def reap(task: _Task) -> None:
@@ -306,10 +425,12 @@ def _supervise(
     def run_inline(task: _Task) -> None:
         # The availability backstop: exhausted retries run here, in-process,
         # resuming the worker's last checkpoint.
+        board.mark(task.index, "running", attempts=task.attempts)
         result = run_spec_durable(
             task.spec, task.checkpoint_path, policy.checkpoint_every,
-            resume=True, bus=bus,
+            resume=True, bus=bus, progress=_progress_callback(task.progress),
         )
+        board.observe(task)
         resolve(task.index, result, True)
 
     def fail(task: _Task, reason: str, elapsed: float) -> None:
@@ -338,6 +459,7 @@ def _supervise(
                 attempt=task.attempts, backoff=round(backoff, 3),
             ))
         task.eligible_at = time.monotonic() + backoff
+        board.mark(task.index, "retrying", attempts=task.attempts)
         queue.append(task)
 
     while queue or running:
@@ -357,6 +479,14 @@ def _supervise(
         for task in list(running):
             now = time.monotonic()
             elapsed = now - task.started
+            # Track simulated progress (slice-boundary icount stamps) so the
+            # stall deadline can tell *slow but progressing* from *stuck*.
+            icount = task.progress[0]
+            if icount > task.last_icount:
+                task.last_icount = icount
+                task.advanced_at = now
+                task.slow_logged = False
+            board.observe(task)
             # The pipe is checked before liveness so a worker that delivered
             # its result and exited in the same poll window counts as done,
             # not crashed (a lost-then-recomputed result would still be
@@ -382,8 +512,23 @@ def _supervise(
                 fail(task, "timeout", elapsed)
                 made_progress = True
             elif now - task.heartbeat.value > cfg.stall_timeout:
-                running.remove(task)
-                fail(task, "stall", elapsed)
-                made_progress = True
+                if now - task.advanced_at <= cfg.stall_timeout:
+                    # Heartbeats missed but the simulation is still moving
+                    # (slice stamps advance): slow, not stuck.  Spare it and
+                    # log once per quiet spell instead of killing work that
+                    # a retry would only have to redo.
+                    if not task.slow_logged:
+                        task.slow_logged = True
+                        if bus.enabled:
+                            bus.emit(WorkerSlow(
+                                cycle=0, workload=task.spec.workload,
+                                level=task.spec.level, attempt=task.attempts + 1,
+                                seconds=round(elapsed, 3), icount=int(icount),
+                            ))
+                else:
+                    running.remove(task)
+                    fail(task, "stall", elapsed)
+                    made_progress = True
+        board.write()
         if not made_progress:
             time.sleep(cfg.poll_every)

@@ -298,6 +298,30 @@ def finish_workload(prepared: PreparedRun, stats) -> RunResult:
     interp = prepared.interp
     interp.hierarchy.finalize(now=stats.cycles)
     prepared.session.finalize_run(stats, interp.hierarchy, prepared.summary)
+    # Streaming sinks record a per-run summary (cycle attribution, per-proc
+    # rows) in their manifest, making chunk directories self-describing for
+    # `repro-bench explain --from`.  Duck-typed so telemetry stays decoupled.
+    if prepared.session.bus.enabled:
+        notes = [
+            note
+            for note in (
+                getattr(sink, "note_run_summary", None)
+                for sink in prepared.session.bus._sinks
+            )
+            if note is not None
+        ]
+        if notes:
+            from repro.obs.stream import run_summary_doc
+
+            doc = run_summary_doc(
+                prepared.workload_name,
+                prepared.level,
+                stats,
+                interp.config,
+                interp.proc_attr,
+            )
+            for note in notes:
+                note(doc)
     return RunResult(
         workload=prepared.workload_name,
         level=prepared.level,

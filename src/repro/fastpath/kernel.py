@@ -162,6 +162,11 @@ def run_fast(interp, state, limit: int, raise_on_limit: bool):
     program = interp.program
     mirror = ctx.mirror
     hwpref = interp.hw_prefetcher is not None
+    # Per-procedure attribution: compiled kernels flush every counter back
+    # into `state` before returning a signal, so charging the parked state at
+    # each procedure boundary is exact — the same charge points the reference
+    # loop uses (CALL before the switch, RET before the pop, park/finish).
+    pattr = interp.proc_attr
     # Per-run memo over the weak-keyed compile cache: the trampoline is
     # crossed on every call/return, and the WeakKeyDictionary lookup is
     # measurable at that frequency.  Strong keys are fine here — every proc
@@ -174,6 +179,8 @@ def run_fast(interp, state, limit: int, raise_on_limit: bool):
                 raise ExecutionError(
                     f"instruction limit {limit} exceeded in {state.proc.name}"
                 )
+            if pattr is not None:
+                pattr.charge_state(state)
             return None
         mkey = (id(state.proc), state.mode)
         entry = memo.get(mkey)
@@ -197,6 +204,8 @@ def run_fast(interp, state, limit: int, raise_on_limit: bool):
         if sig == SIG_PARK:
             continue
         if sig == SIG_CALL:
+            if pattr is not None:
+                pattr.charge_state(state)
             dst, name, arg_regs = ctx.call
             callee = program.resolve(name)
             new_regs = [0] * callee.num_regs
@@ -209,6 +218,8 @@ def run_fast(interp, state, limit: int, raise_on_limit: bool):
             state.regs = new_regs
             state.ip = 0
         elif sig == SIG_RET:
+            if pattr is not None:
+                pattr.charge_state(state)
             value = ctx.ret_value
             stack = state.stack
             if not stack:
@@ -225,5 +236,7 @@ def run_fast(interp, state, limit: int, raise_on_limit: bool):
         elif sig == SIG_TRANS:
             _burst_transition(interp, state)
         else:  # SIG_DONE (HALT)
+            if pattr is not None:
+                pattr.charge_state(state)
             state.finished = True
             return _final_stats(state)

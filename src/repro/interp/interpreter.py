@@ -197,6 +197,12 @@ class Interpreter:
         #: :meth:`run_slice`); None until :meth:`start`, and untouched by
         #: :meth:`run`.
         self.exec_state: Optional[ExecState] = None
+        #: Per-procedure attribution recorder
+        #: (:class:`~repro.tracing.attribution.ProcAttrRecorder`); None = off.
+        #: Charged at procedure boundaries (CALL/RET) and park points only,
+        #: so the straight-line hot path is untouched; descriptive-only, so
+        #: the observer-effect-zero invariant covers it.
+        self.proc_attr = None
 
     def set_counters(self, n_check0: int, n_instr0: int) -> None:
         """Set the counter reload values (profiling rate, Section 2.1)."""
@@ -327,6 +333,7 @@ class Interpreter:
         telem = self.telemetry
         pf_source = self.prefetch_source
         dstate = self.dfsm_state
+        pattr = self.proc_attr
         finished = False
 
         while True:
@@ -461,6 +468,10 @@ class Interpreter:
 
             elif op == OP_CALL:
                 # (op, dst, name, args)
+                if pattr is not None:
+                    # The CALL instruction itself charges to the caller.
+                    pattr.charge(proc.name, icount, mem_stall, nchecks,
+                                 trace_chg, detect_cyc, pf_issued, charged)
                 callee = program.resolve(t[2])
                 new_regs = [0] * callee.num_regs
                 for k, a in enumerate(t[3]):
@@ -473,6 +484,10 @@ class Interpreter:
                 ip = 0
 
             elif op == OP_RET:
+                if pattr is not None:
+                    # The RET instruction charges to the returning procedure.
+                    pattr.charge(proc.name, icount, mem_stall, nchecks,
+                                 trace_chg, detect_cyc, pf_issued, charged)
                 value = regs[t[1]] if t[1] is not None else 0
                 if not stack:
                     return_value = value
@@ -507,6 +522,11 @@ class Interpreter:
 
         # Park the loop registers — on suspension for the next slice, on
         # completion so schedulers can still read the final clock/icount.
+        if pattr is not None:
+            # Park/finish is a charge point too: slice boundaries (and the
+            # chunk seals that ride on them) see fully-attributed counters.
+            pattr.charge(proc.name, icount, mem_stall, nchecks,
+                         trace_chg, detect_cyc, pf_issued, charged)
         self.dfsm_state = dstate
         state.proc = proc
         state.code_pair = code_pair

@@ -1,0 +1,66 @@
+"""repro.obs — streaming observability for long runs.
+
+Three surfaces, all observer-effect-zero (nothing here charges simulated
+cycles or perturbs the architectural state):
+
+- :mod:`repro.obs.chunks` / :mod:`repro.obs.stream`: bounded-memory trace
+  export in sealed, digest-tagged chunks with a streaming Perfetto
+  protobuf sidecar (:mod:`repro.obs.perfetto`).  A SIGKILLed run leaves a
+  valid trace prefix; the surviving chunks concatenate byte-identically to
+  the buffered exporter's log.
+- :mod:`repro.obs.status`: the atomic ``status.json`` progress file the
+  supervised runner maintains, plus its reader/renderer for
+  ``repro-bench status``.
+- Per-procedure cycle attribution lives in
+  :mod:`repro.tracing.attribution` (:class:`ProcAttrRecorder`); the
+  streaming sink carries its rows in run-summary manifest records.
+"""
+
+from repro.obs.chunks import (
+    CHUNK_FORMAT,
+    DEFAULT_MAX_BYTES,
+    MANIFEST_NAME,
+    ChunkLoad,
+    ChunkWriter,
+    chunk_name,
+    is_chunk_dir,
+    load_chunk_events,
+    load_chunks,
+)
+from repro.obs.perfetto import PerfettoWriter, parse_packet_count
+from repro.obs.status import (
+    STATUS_FORMAT,
+    STATUS_NAME,
+    StatusWriter,
+    read_status,
+    render_status,
+)
+from repro.obs.stream import (
+    PFTRACE_NAME,
+    StreamingTraceSink,
+    run_summary_doc,
+    split_runs,
+)
+
+__all__ = [
+    "CHUNK_FORMAT",
+    "DEFAULT_MAX_BYTES",
+    "MANIFEST_NAME",
+    "ChunkLoad",
+    "ChunkWriter",
+    "chunk_name",
+    "is_chunk_dir",
+    "load_chunk_events",
+    "load_chunks",
+    "PerfettoWriter",
+    "parse_packet_count",
+    "STATUS_FORMAT",
+    "STATUS_NAME",
+    "StatusWriter",
+    "read_status",
+    "render_status",
+    "PFTRACE_NAME",
+    "StreamingTraceSink",
+    "run_summary_doc",
+    "split_runs",
+]

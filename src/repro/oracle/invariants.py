@@ -540,3 +540,139 @@ def check_fastpath_identity(spec=None) -> None:
         reference.to_dict() == compiled.to_dict(),
         f"{context}: serialized results differ beyond the counter fingerprint",
     )
+
+
+class _SummaryProbe:
+    """Minimal sink that captures the run-summary docs the engine publishes."""
+
+    def __init__(self) -> None:
+        self.docs: list[dict] = []
+
+    def handle(self, event) -> None:
+        pass
+
+    def note_run_summary(self, doc: dict) -> None:
+        self.docs.append(doc)
+
+
+def check_streaming_trace_identity(spec=None) -> None:
+    """Streamed chunked export must be byte-identical to buffered export.
+
+    Runs ``spec`` (default: vortex/dyn, one pass) once with the full export
+    stack attached — buffered JSONL sink, in-memory sink and the chunked
+    :class:`~repro.obs.stream.StreamingTraceSink` with a deliberately tiny
+    chunk bound so many seals occur — and requires:
+
+    * zero observer effect: the instrumented run is fingerprint-identical
+      to a plain run of the same spec;
+    * the concatenated sealed chunks are byte-identical to the buffered
+      JSONL file;
+    * a Chrome trace merged from the chunk directory is byte-identical to
+      one written by the buffered exporter from the live event list;
+    * the Perfetto sidecar parses to a nonzero packet count.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.engine.spec import RunSpec
+    from repro.obs.chunks import load_chunk_events
+    from repro.obs.perfetto import parse_packet_count
+    from repro.obs.stream import PFTRACE_NAME, StreamingTraceSink, split_runs
+    from repro.telemetry.export import write_chrome_trace
+    from repro.telemetry.sinks import JsonlSink, ListSink
+
+    spec = spec if spec is not None else RunSpec("vortex", "dyn", passes=1)
+    context = f"streaming trace identity ({spec.label})"
+    plain = run_workload(spec.build(), spec.level, machine=spec.machine, opt=spec.opt)
+    with tempfile.TemporaryDirectory() as tmp_name:
+        tmp = Path(tmp_name)
+        chunk_dir = tmp / "chunks"
+        buffered_path = tmp / "buffered.jsonl"
+        events = ListSink()
+        probe = _SummaryProbe()
+        jsonl = JsonlSink(buffered_path, flush_every=64)
+        stream = StreamingTraceSink(chunk_dir, max_bytes=1 << 14)
+        session = TelemetrySession(
+            sinks=[events, probe, jsonl, stream],
+            miss_sample_every=1,
+            prefetch_sample_every=1,
+            tracing=True,
+            proc_attribution=True,
+        )
+        streamed = run_workload(
+            spec.build(), spec.level, machine=spec.machine, opt=spec.opt, telemetry=session
+        )
+        jsonl.close()
+        stream.close()
+        _diff_fingerprints(run_fingerprint(plain), run_fingerprint(streamed), context)
+
+        load_events, load = load_chunk_events(chunk_dir)
+        _require(load.complete and load.ok, f"{context}: chunk load incomplete ({load.notes})")
+        chunk_bytes = b"".join(
+            path.read_bytes() for path in sorted(chunk_dir.glob("chunk-*.jsonl"))
+        )
+        _require(
+            chunk_bytes == buffered_path.read_bytes(),
+            f"{context}: concatenated chunks differ from the buffered JSONL "
+            f"({len(chunk_bytes)} vs {buffered_path.stat().st_size} bytes)",
+        )
+
+        label = f"{streamed.workload}/{streamed.level}"
+        buffered_trace = tmp / "buffered.json"
+        merged_trace = tmp / "merged.json"
+        write_chrome_trace([(label, events.events)], buffered_trace, summaries=probe.docs)
+        write_chrome_trace(split_runs(load_events), merged_trace, summaries=load.summaries)
+        _require(
+            buffered_trace.read_bytes() == merged_trace.read_bytes(),
+            f"{context}: chunk-merged Chrome trace differs from the buffered render",
+        )
+
+        packets = parse_packet_count((chunk_dir / PFTRACE_NAME).read_bytes())
+        _require(packets > 0, f"{context}: Perfetto sidecar parsed to zero packets")
+
+
+def check_proc_attribution(spec=None, machine: MachineConfig = PAPER_MACHINE) -> None:
+    """Per-procedure attribution must sum exactly to the 7-category totals.
+
+    Runs ``spec`` (default: vortex/dyn, one pass) with per-procedure
+    recording on, through the reference interpreter and the compiled
+    fastpath kernel, and requires:
+
+    * per-procedure category columns sum exactly to the run's
+      :class:`~repro.tracing.attribution.CycleAttribution` categories (the
+      conservation-checked Figure 11 split gains a procedure dimension
+      without losing a cycle);
+    * reference and compiled execution produce identical per-procedure rows.
+    """
+    from repro.engine.levels import execute_workload
+    from repro.engine.spec import RunSpec
+    from repro.telemetry.sinks import ListSink
+    from repro.tracing.attribution import CycleAttribution, ProcAttribution
+
+    spec = spec if spec is not None else RunSpec("vortex", "dyn", passes=1)
+    context = f"proc attribution ({spec.label})"
+
+    def run(fast: bool):
+        session = TelemetrySession(sinks=[ListSink()], proc_attribution=True)
+        result = execute_workload(
+            spec.build(), spec.level, spec.machine, spec.opt, telemetry=session, fast=fast
+        )
+        _require(
+            session.proc_attr is not None,
+            f"{context}: session recorded no per-procedure attribution",
+        )
+        return result, ProcAttribution.from_recorder(session.proc_attr, spec.machine)
+
+    reference, ref_rows = run(fast=False)
+    _compiled, fast_rows = run(fast=True)
+    totals = CycleAttribution.from_run(reference.stats, spec.machine).to_dict()
+    summed = ref_rows.totals()
+    _require(
+        summed == totals,
+        f"{context}: per-procedure sums diverge from the run attribution "
+        f"({summed} != {totals})",
+    )
+    _require(
+        ref_rows.to_dict() == fast_rows.to_dict(),
+        f"{context}: reference and fastpath per-procedure rows differ",
+    )

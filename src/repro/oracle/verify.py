@@ -20,6 +20,13 @@ Sections (all seeded, all deterministic for a given ``--seed``):
                 cell executed by the reference dispatch loop and by
                 ``repro.fastpath``, bit-compared (store bypassed, so cache
                 hits cannot make the comparison vacuous).
+``obs``         streaming observability: every golden cell run with the
+                chunked exporter attached — zero observer effect, the
+                concatenated sealed chunks byte-identical to the buffered
+                JSONL, the chunk-merged Chrome trace byte-identical to the
+                buffered render — and per-procedure attribution summing
+                exactly to the 7-category totals, reference vs fastpath
+                rows identical.
 ``golden``      the frozen corpus under ``tests/golden/`` (skippable).
 
 Differential failures are delta-debugged to 1-minimal reproducers before
@@ -48,6 +55,8 @@ from repro.oracle.invariants import (
     check_disabled_resilience_identical,
     check_fastpath_identity,
     check_observer_effect,
+    check_proc_attribution,
+    check_streaming_trace_identity,
     check_relabel_invariance,
     check_tenancy_pollution_reconciliation,
     check_tenancy_single_equivalence,
@@ -225,6 +234,26 @@ def _verify_fastpath() -> SectionResult:
     return section
 
 
+def _verify_obs() -> SectionResult:
+    """Streaming export identity + per-procedure attribution, golden grid.
+
+    Every golden (workload, level) cell runs with the chunked streaming
+    exporter attached and is byte-compared against the buffered exporter
+    (chunks vs JSONL, merged vs buffered Chrome render, zero observer
+    effect), then re-runs with per-procedure recording through both
+    execution engines to hold the by-proc split to the category totals.
+    All legs execute fresh builds directly, never through the result store.
+    """
+    from repro.engine.spec import RunSpec
+
+    section = SectionResult("obs")
+    for golden_run in golden.GOLDEN_RUNS:
+        spec = RunSpec(golden_run.workload, golden_run.level, passes=1)
+        section.run_case(lambda s=spec: check_streaming_trace_identity(s))
+        section.run_case(lambda s=spec: check_proc_attribution(s))
+    return section
+
+
 def _verify_golden(
     golden_dir: Optional[Union[str, Path]],
     store=None,
@@ -274,6 +303,7 @@ def run_verify(
         lambda: _verify_invariants(rng, runs),
         _verify_tenancy,
         _verify_fastpath,
+        _verify_obs,
     ]
     if include_golden:
         sections.append(

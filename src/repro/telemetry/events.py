@@ -426,6 +426,23 @@ class WorkerTimedOut(Event):
 
 
 @dataclass(frozen=True, slots=True)
+class WorkerSlow(Event):
+    """A worker missed its heartbeat deadline but is still making progress.
+
+    The stall detector distinguishes *slow but progressing* (simulated
+    ``icount`` advanced within the stall window — the worker is spared and
+    this event logs it, once per attempt) from *stuck* (no heartbeat and no
+    progress — killed with ``WorkerTimedOut(reason="stall")``).
+    """
+
+    workload: str
+    level: str
+    attempt: int
+    seconds: float
+    icount: int
+
+
+@dataclass(frozen=True, slots=True)
 class TaskRetried(Event):
     """The supervisor rescheduled a failed task after backing off."""
 

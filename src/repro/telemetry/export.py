@@ -266,7 +266,9 @@ def chrome_trace_events(events: Sequence[Event], pid: int = 1, label: str = "") 
 
 
 def write_chrome_trace(
-    runs: Sequence[tuple[str, Sequence[Event]]], path: PathLike
+    runs: Sequence[tuple[str, Sequence[Event]]],
+    path: PathLike,
+    summaries: Optional[Sequence[dict]] = None,
 ) -> int:
     """Write one Chrome trace-event JSON document covering ``runs``.
 
@@ -274,11 +276,26 @@ def write_chrome_trace(
     run; each becomes its own process (pid) in the trace so multiple
     workloads/levels land side by side on a shared timeline.  Returns the
     number of trace entries written.
+
+    ``summaries`` (when given) is attached verbatim under the extra
+    ``reproSummaries`` key — the same per-run summary documents a chunk
+    directory's manifest carries, so monolithic traces and chunk
+    directories are interchangeable inputs to ``repro-bench explain
+    --from``.  Trace viewers and :func:`validate_chrome_trace` ignore
+    unknown document keys, and the key is omitted entirely when no
+    summaries are supplied, so existing outputs are byte-unchanged.
     """
     entries: list[dict] = []
     for pid, (label, events) in enumerate(runs, start=1):
         entries.extend(chrome_trace_events(events, pid=pid, label=label))
     document = {"traceEvents": entries, "displayTimeUnit": "ms"}
+    if summaries is not None:
+        # Canonicalize key order so a trace merged from chunks (whose
+        # manifest bodies are canonical-sorted) is byte-identical to one
+        # written live from the same runs.
+        document["reproSummaries"] = [
+            json.loads(json.dumps(doc, sort_keys=True)) for doc in summaries
+        ]
     with open(os.fspath(path), "w", encoding="utf-8") as fh:
         json.dump(document, fh, separators=(",", ":"))
         fh.write("\n")

@@ -73,6 +73,7 @@ class TelemetrySession:
         prefetch_sample_every: int = DEFAULT_PREFETCH_SAMPLE_EVERY,
         tracing: bool = False,
         track_prefetches: bool = False,
+        proc_attribution: bool = False,
     ) -> None:
         self.registry = MetricsRegistry()
         self.bus = EventBus()
@@ -89,6 +90,11 @@ class TelemetrySession:
         self.ledger: Optional[PrefetchLedger] = (
             PrefetchLedger() if track_prefetches else None
         )
+        #: per-procedure cycle attribution; ``proc_attribution=True`` installs
+        #: a :class:`~repro.tracing.attribution.ProcAttrRecorder` at
+        #: :meth:`wire` (descriptive counters only — never charges cycles)
+        self.proc_attribution = proc_attribution
+        self.proc_attr = None
         self._run_span = 0
         for sink in sinks:
             self.bus.attach(sink)
@@ -106,6 +112,7 @@ class TelemetrySession:
         prefetch_sample_every: int = DEFAULT_PREFETCH_SAMPLE_EVERY,
         tracing: bool = False,
         track_prefetches: bool = False,
+        proc_attribution: bool = False,
     ) -> "TelemetrySession":
         """Session collecting events in memory (``session.events``)."""
         return cls(
@@ -114,6 +121,7 @@ class TelemetrySession:
             prefetch_sample_every=prefetch_sample_every,
             tracing=tracing,
             track_prefetches=track_prefetches,
+            proc_attribution=proc_attribution,
         )
 
     @classmethod
@@ -122,10 +130,11 @@ class TelemetrySession:
         path: Union[str, os.PathLike],
         miss_sample_every: int = DEFAULT_MISS_SAMPLE_EVERY,
         prefetch_sample_every: int = DEFAULT_PREFETCH_SAMPLE_EVERY,
+        flush_every: int = 512,
     ) -> "TelemetrySession":
         """Session streaming events to a JSONL file (close() flushes it)."""
         return cls(
-            sinks=[JsonlSink(path)],
+            sinks=[JsonlSink(path, flush_every=flush_every)],
             miss_sample_every=miss_sample_every,
             prefetch_sample_every=prefetch_sample_every,
         )
@@ -144,6 +153,15 @@ class TelemetrySession:
         """Attach this session to an interpreter and its memory hierarchy."""
         interp.telemetry = self.bus
         interp.tracer = self.tracer
+        if self.proc_attribution:
+            # A checkpointed interpreter restores with its recorder attached;
+            # replacing it would drop every pre-checkpoint charge, so only a
+            # bare interpreter gets a fresh one.
+            if interp.proc_attr is None:
+                from repro.tracing.attribution import ProcAttrRecorder
+
+                interp.proc_attr = ProcAttrRecorder()
+            self.proc_attr = interp.proc_attr
         hierarchy = interp.hierarchy
         hierarchy.telemetry = self.bus
         hierarchy.ledger = self.ledger
@@ -255,27 +273,45 @@ class TelemetryRecorder:
         metrics_path: Optional[Union[str, os.PathLike]] = None,
         miss_sample_every: int = DEFAULT_MISS_SAMPLE_EVERY,
         prefetch_sample_every: int = DEFAULT_PREFETCH_SAMPLE_EVERY,
+        flush_every: int = 512,
+        stream_dir: Optional[Union[str, os.PathLike]] = None,
     ) -> None:
         self.events_path = events_path
         self.metrics_path = metrics_path
         self.miss_sample_every = miss_sample_every
         self.prefetch_sample_every = prefetch_sample_every
         self.snapshots: dict[str, object] = {}
-        self._jsonl = JsonlSink(events_path) if events_path else None
+        self._jsonl = JsonlSink(events_path, flush_every=flush_every) if events_path else None
+        #: bounded-memory chunked export (``--stream DIR``), shared by every
+        #: run of the session exactly like the JSONL sink
+        self.stream_dir = stream_dir
+        if stream_dir is not None:
+            from repro.obs.stream import StreamingTraceSink
+
+            self._stream = StreamingTraceSink(stream_dir)
+        else:
+            self._stream = None
 
     @property
     def enabled(self) -> bool:
-        return self.events_path is not None or self.metrics_path is not None
+        return (
+            self.events_path is not None
+            or self.metrics_path is not None
+            or self.stream_dir is not None
+        )
 
     def session_for(self, workload: str, level: str) -> Optional[TelemetrySession]:
         """A fresh session for one run, sharing the recorder's JSONL sink."""
         if not self.enabled:
             return None
-        sinks = [self._jsonl] if self._jsonl is not None else []
+        sinks = [s for s in (self._jsonl, self._stream) if s is not None]
         session = TelemetrySession(
             sinks=sinks,
             miss_sample_every=self.miss_sample_every,
             prefetch_sample_every=self.prefetch_sample_every,
+            # Streamed runs record per-procedure attribution so chunk
+            # summaries and Perfetto proc tracks carry the by-proc split.
+            proc_attribution=self._stream is not None,
         )
         session.begin_run(workload, level)
         return session
@@ -288,5 +324,7 @@ class TelemetryRecorder:
         """Flush the shared JSONL log and write the metrics JSON document."""
         if self._jsonl is not None:
             self._jsonl.close()
+        if self._stream is not None:
+            self._stream.close()
         if self.metrics_path is not None:
             write_metrics_json(self.snapshots, self.metrics_path)

@@ -99,3 +99,161 @@ class CycleAttribution:
         for name in CATEGORIES:
             out[name] = getattr(self, name)
         return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CycleAttribution":
+        """Inverse of :meth:`to_dict` (summary documents round-trip)."""
+        return cls(
+            total=int(data.get("total", 0)),
+            **{name: int(data.get(name, 0)) for name in CATEGORIES},
+        )
+
+
+#: Raw counter fields tracked per procedure, in :class:`ProcAttrRecorder`
+#: row order.  Deliberately the *counters* (not cycles): the per-category
+#: cycle split is derived later from the machine's cost model, exactly as
+#: :meth:`CycleAttribution.from_run` does for the whole run, and the
+#: scheduler-owned clock (which tenancy may advance between slices) can
+#: never skew the procedure split.
+PROC_COUNTER_FIELDS = (
+    "icount", "mem_stall", "nchecks", "trace_chg", "detect_cyc", "pf_issued", "charged",
+)
+
+
+class ProcAttrRecorder:
+    """Per-procedure counter deltas, charged at procedure boundaries.
+
+    The dispatch loops (reference and compiled) call :meth:`charge` with the
+    *absolute* run counters at every point where control changes procedure —
+    CALL before the switch, RET before the pop, and every park/finish — so
+    each delta lands on the procedure that was executing while it accrued.
+    Between charge points the counters only ever grow inside one procedure,
+    which makes the split exact: summing any column over ``rows`` recovers
+    the run total.
+
+    PC→procedure mapping piggybacks on ``proc.name``: both the static dual
+    versions and dynamically injected copies preserve the original
+    procedure's name (see :func:`repro.vulcan.dynamic_edit.optimized_copy`),
+    so a procedure's row aggregates over every code version it ran under.
+    The paper's Section 3.2 stale-frame caveat applies unchanged: a frame
+    still executing a removed copy runs to completion and keeps charging to
+    the same name — which is exactly the attribution a reader wants.
+
+    Pickles with the interpreter (plain dict + marks), so checkpointed runs
+    resume their attribution mid-flight.
+    """
+
+    __slots__ = ("rows", "_marks")
+
+    def __init__(self) -> None:
+        #: procedure name -> counter deltas in PROC_COUNTER_FIELDS order
+        self.rows: dict[str, list[int]] = {}
+        self._marks = [0] * len(PROC_COUNTER_FIELDS)
+
+    def charge(
+        self,
+        name: str,
+        icount: int,
+        mem_stall: int,
+        nchecks: int,
+        trace_chg: int,
+        detect_cyc: int,
+        pf_issued: int,
+        charged: int,
+    ) -> None:
+        """Charge counter growth since the previous charge point to ``name``."""
+        marks = self._marks
+        row = self.rows.get(name)
+        if row is None:
+            row = self.rows[name] = [0] * len(marks)
+        row[0] += icount - marks[0]
+        row[1] += mem_stall - marks[1]
+        row[2] += nchecks - marks[2]
+        row[3] += trace_chg - marks[3]
+        row[4] += detect_cyc - marks[4]
+        row[5] += pf_issued - marks[5]
+        row[6] += charged - marks[6]
+        marks[0] = icount
+        marks[1] = mem_stall
+        marks[2] = nchecks
+        marks[3] = trace_chg
+        marks[4] = detect_cyc
+        marks[5] = pf_issued
+        marks[6] = charged
+
+    def charge_state(self, state) -> None:
+        """Charge from a parked :class:`~repro.interp.interpreter.ExecState`."""
+        self.charge(
+            state.proc.name,
+            state.icount,
+            state.mem_stall,
+            state.nchecks,
+            state.trace_chg,
+            state.detect_cyc,
+            state.pf_issued,
+            state.charged,
+        )
+
+    def __getstate__(self) -> dict:
+        return {"rows": self.rows, "marks": self._marks}
+
+    def __setstate__(self, state: dict) -> None:
+        self.rows = state["rows"]
+        self._marks = state["marks"]
+
+
+@dataclass(frozen=True)
+class ProcAttribution:
+    """The 7-category cycle split with a procedure dimension.
+
+    ``rows`` maps procedure name -> :class:`CycleAttribution` whose ``total``
+    is that procedure's attributed cycles.  :meth:`totals` recovers the
+    whole-run split; the oracle invariant
+    :func:`repro.oracle.invariants.check_proc_attribution` pins that it
+    equals :meth:`CycleAttribution.from_run` category by category.
+    """
+
+    rows: tuple[tuple[str, CycleAttribution], ...]
+
+    @classmethod
+    def from_recorder(
+        cls, recorder: ProcAttrRecorder, machine: "MachineConfig"
+    ) -> "ProcAttribution":
+        """Derive per-procedure cycle categories from recorded counters."""
+        built = []
+        for name, row in recorder.rows.items():
+            icount, mem_stall, nchecks, trace_chg, detect_cyc, pf_issued, charged = row
+            categories = dict(
+                user_work=icount,
+                mem_stall=mem_stall,
+                check_overhead=nchecks * machine.check_cost,
+                trace_record=trace_chg * machine.trace_cost,
+                dfsm_detect=detect_cyc,
+                prefetch_issue=pf_issued * machine.prefetch_issue_cost,
+                analysis=charged,
+            )
+            built.append((name, CycleAttribution(total=sum(categories.values()), **categories)))
+        built.sort(key=lambda kv: (-kv[1].total, kv[0]))
+        return cls(rows=tuple(built))
+
+    def totals(self) -> dict[str, int]:
+        """Column sums over every procedure, keyed by category (plus total)."""
+        out = {name: 0 for name in CATEGORIES}
+        out["total"] = 0
+        for _, att in self.rows:
+            out["total"] += att.total
+            for name in CATEGORIES:
+                out[name] += getattr(att, name)
+        return out
+
+    def to_dict(self) -> dict[str, dict[str, int]]:
+        """JSON view preserving row order: proc name -> category cycles."""
+        return {name: att.to_dict() for name, att in self.rows}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProcAttribution":
+        return cls(
+            rows=tuple(
+                (name, CycleAttribution.from_dict(doc)) for name, doc in data.items()
+            )
+        )

@@ -22,7 +22,7 @@ from repro.errors import ConfigError
 from repro.machine.config import PAPER_MACHINE, MachineConfig
 from repro.telemetry.session import TelemetrySession
 from repro.telemetry.sinks import ListSink
-from repro.tracing.attribution import CycleAttribution
+from repro.tracing.attribution import CycleAttribution, ProcAttribution
 from repro.tracing.ledger import StreamLedgerStats
 
 
@@ -67,6 +67,10 @@ class WorkloadExplanation:
     scorecards: list
     #: ledger-vs-PrefetchStats mismatches (empty on a healthy run)
     mismatches: list = field(default_factory=list)
+    #: per-procedure cycle attribution (``--by-proc``); None when not recorded
+    by_proc: Optional[ProcAttribution] = None
+    #: True when built offline from a trace/chunk summary (no scorecards)
+    offline: bool = False
 
     def scorecard(self, sid: str) -> StreamScorecard:
         for card in self.scorecards:
@@ -82,8 +86,15 @@ def explain_level(
     machine: MachineConfig = PAPER_MACHINE,
     opt: Optional[OptimizerConfig] = None,
     passes: Optional[int] = None,
+    by_proc: bool = False,
 ) -> WorkloadExplanation:
-    """Run ``name`` at ``level`` with full tracing and build its explanation."""
+    """Run ``name`` at ``level`` with full tracing and build its explanation.
+
+    ``by_proc=True`` additionally records per-procedure cycle attribution
+    (the 7-category split gains a procedure dimension; see
+    :class:`~repro.tracing.attribution.ProcAttrRecorder` for the PC→procedure
+    mapping rules and the Section 3.2 stale-frame caveat).
+    """
     from repro.bench.runner import run_level
 
     sink = ListSink()
@@ -93,6 +104,7 @@ def explain_level(
         prefetch_sample_every=1,
         tracing=True,
         track_prefetches=True,
+        proc_attribution=by_proc,
     )
     result = run_level(name, level, machine, opt, passes=passes, telemetry=session)
     ledger = session.ledger
@@ -141,7 +153,67 @@ def explain_level(
         attribution=CycleAttribution.from_run(result.stats, machine),
         scorecards=cards,
         mismatches=mismatches,
+        by_proc=(
+            ProcAttribution.from_recorder(session.proc_attr, machine)
+            if by_proc and session.proc_attr is not None
+            else None
+        ),
     )
+
+
+def offline_explanations(path) -> list[WorkloadExplanation]:
+    """Rebuild explanations from a trace artifact, without re-simulating.
+
+    ``path`` may be a chunk directory (:mod:`repro.obs.chunks`) or a
+    monolithic Chrome trace JSON written with summaries — the two carry the
+    same per-run summary documents, so ``repro-bench explain --from`` accepts
+    them interchangeably.  Stream scorecards need a live ledger and are not
+    part of summaries; offline explanations carry attribution (and per-proc
+    rows when the traced run recorded them) only.
+    """
+    import json
+    import os
+
+    from repro.obs.chunks import is_chunk_dir, load_chunks
+
+    if is_chunk_dir(path):
+        load = load_chunks(path)
+        summaries = load.summaries
+    elif os.path.isfile(path):
+        try:
+            with open(os.fspath(path), "r", encoding="utf-8") as fh:
+                document = json.load(fh)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ConfigError(f"cannot read {path} as a trace JSON: {exc}") from exc
+        summaries = document.get("reproSummaries", []) if isinstance(document, dict) else []
+    else:
+        raise ConfigError(f"{path} is neither a chunk directory nor a trace JSON file")
+    out = []
+    for doc in summaries:
+        if not isinstance(doc, dict):
+            continue
+        by_proc_doc = doc.get("by_proc")
+        out.append(
+            WorkloadExplanation(
+                workload=str(doc.get("workload", "?")),
+                level=str(doc.get("level", "?")),
+                cycles=int(doc.get("cycles", 0)),
+                attribution=CycleAttribution.from_dict(doc.get("attribution", {})),
+                scorecards=[],
+                by_proc=(
+                    ProcAttribution.from_dict(by_proc_doc)
+                    if isinstance(by_proc_doc, dict)
+                    else None
+                ),
+                offline=True,
+            )
+        )
+    if not out:
+        raise ConfigError(
+            f"{path} carries no run summaries; re-export with --stream or "
+            "a summaries-enabled trace"
+        )
+    return out
 
 
 @dataclass
@@ -283,7 +355,50 @@ def render_explanation(exp: WorkloadExplanation, stream: Optional[str] = None) -
         )
     )
 
-    if stream is not None:
+    if exp.by_proc is not None:
+        proc_rows = []
+        for proc_name, att_p in exp.by_proc.rows:
+            proc_rows.append(
+                (
+                    proc_name,
+                    att_p.total,
+                    att_p.user_work,
+                    att_p.mem_stall,
+                    att_p.check_overhead,
+                    att_p.trace_record,
+                    att_p.dfsm_detect,
+                    att_p.prefetch_issue,
+                    att_p.analysis,
+                )
+            )
+        totals = exp.by_proc.totals()
+        proc_rows.append(
+            (
+                "total",
+                totals["total"],
+                totals["user_work"],
+                totals["mem_stall"],
+                totals["check_overhead"],
+                totals["trace_record"],
+                totals["dfsm_detect"],
+                totals["prefetch_issue"],
+                totals["analysis"],
+            )
+        )
+        blocks.append(
+            format_table(
+                ("procedure", "cycles", "work", "stall", "check", "trace", "detect", "pf", "analysis"),
+                proc_rows,
+                title=f"per-procedure attribution ({len(exp.by_proc.rows)} procedures)",
+            )
+        )
+
+    if exp.offline:
+        blocks.append(
+            "(offline explanation from trace summaries; per-stream scorecards "
+            "need a live run)"
+        )
+    elif stream is not None:
         card = exp.scorecard(stream)
         s = card.stats
         detail = [

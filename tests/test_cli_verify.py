@@ -19,7 +19,7 @@ class TestRunVerify:
         assert quick_report.ok
         assert [s.name for s in quick_report.sections] == [
             "cache", "hierarchy", "sequitur", "streams", "invariants", "tenancy",
-            "fastpath",
+            "fastpath", "obs",
         ]
         assert all(s.cases > 0 for s in quick_report.sections)
 
@@ -29,7 +29,7 @@ class TestRunVerify:
         assert "seed=0" in text
         for name in (
             "cache", "hierarchy", "sequitur", "streams", "invariants",
-            "tenancy", "fastpath",
+            "tenancy", "fastpath", "obs",
         ):
             assert name in text
 

@@ -187,3 +187,41 @@ class TestDurableRunner:
         policy = DurabilityPolicy(journal_root=tmp_path / "journal", supervisor=FAST)
         results = execute_plan(PLAN, jobs=2, durability=policy)
         assert _docs(results) == plain_docs
+
+
+class TestStatusAndStallDistinction:
+    def test_status_file_tracks_the_run_to_done(self, tmp_path, plain_docs):
+        from repro.obs.status import read_status
+
+        root = tmp_path / "journal"
+        policy = DurabilityPolicy(journal_root=root, supervisor=FAST)
+        execute_plan_supervised(PLAN, jobs=2, policy=policy)
+        doc = read_status(root)
+        assert doc["done"] is True
+        assert doc["plan"] == plan_fingerprint(PLAN)
+        states = [task["state"] for task in doc["tasks"]]
+        assert len(states) == len(PLAN) and set(states) <= {"done", "cached"}
+        assert all(task["icount"] > 0 for task in doc["tasks"])
+
+    def test_slow_but_progressing_worker_is_spared(self, tmp_path, plain_docs):
+        """Missed heartbeats with advancing slice stamps must not kill the
+        worker: huge heartbeat_every makes every worker look quiet, but the
+        simulation progresses, so the supervisor logs WorkerSlow and waits."""
+        bus, events = _bus()
+        policy = DurabilityPolicy(
+            journal_root=tmp_path / "journal",
+            checkpoint_every=2000,
+            supervisor=SupervisorConfig(
+                task_timeout=120.0,
+                stall_timeout=0.3,
+                heartbeat_every=60.0,
+                backoff_base=0.05,
+            ),
+            bus=bus,
+        )
+        supervised = execute_plan_supervised(PLAN, jobs=2, policy=policy)
+        assert _docs(supervised) == plain_docs
+        counts = events.counts()
+        assert counts.get("WorkerSlow", 0) >= 1
+        assert counts.get("WorkerTimedOut", 0) == 0
+        assert counts.get("WorkerCrashed", 0) == 0

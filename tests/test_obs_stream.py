@@ -1,0 +1,131 @@
+"""StreamingTraceSink: dual-sink byte identity, Perfetto sidecar, run splits.
+
+The sink's contract is that streaming is a pure re-packaging of the buffered
+export: same serialization, same order, chunked.  The heavyweight end-to-end
+version of this (full workload, Chrome render comparison) lives in the
+``obs`` verify section; these tests pin the mechanism on synthetic events.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.chunks import load_chunk_events, load_chunks
+from repro.obs.perfetto import parse_packet_count
+from repro.obs.stream import (
+    PFTRACE_NAME,
+    StreamingTraceSink,
+    run_summary_doc,
+    split_runs,
+)
+from repro.telemetry.events import (
+    BurstBegin,
+    BurstEnd,
+    CacheMiss,
+    EventBus,
+    RunBegin,
+    RunEnd,
+    SpanBegin,
+    SpanEnd,
+)
+from repro.telemetry.sinks import JsonlSink
+
+
+def _sample_run(bus, workload="vpr", base=0):
+    bus.emit(RunBegin(cycle=base, workload=workload, level="dyn"))
+    bus.emit(SpanBegin(cycle=base + 1, span_id=1, parent_id=0, name="run", category="run", detail=""))
+    bus.emit(BurstBegin(cycle=base + 2))
+    bus.emit(CacheMiss(cycle=base + 3, level="L1", block=2, stall=18))
+    bus.emit(BurstEnd(cycle=base + 5, index=0))
+    bus.emit(SpanEnd(cycle=base + 6, span_id=1))
+    bus.emit(RunEnd(cycle=base + 9, instructions=5, bursts=1))
+
+
+class TestDualSinkIdentity:
+    def test_chunks_byte_identical_to_buffered_jsonl(self, tmp_path):
+        jsonl_path = tmp_path / "buffered.jsonl"
+        bus = EventBus()
+        jsonl = JsonlSink(jsonl_path, flush_every=10_000)
+        stream = StreamingTraceSink(tmp_path / "chunks", max_records=3)
+        bus.attach(jsonl)
+        bus.attach(stream)
+        _sample_run(bus)
+        _sample_run(bus, workload="mcf", base=100)
+        jsonl.close()
+        stream.close()
+        chunk_bytes = b"".join(
+            p.read_bytes() for p in sorted((tmp_path / "chunks").glob("chunk-*.jsonl"))
+        )
+        assert chunk_bytes == jsonl_path.read_bytes()
+        events, load = load_chunk_events(tmp_path / "chunks")
+        assert load.complete and len(events) == 14
+
+    def test_existing_manifest_refused(self, tmp_path):
+        StreamingTraceSink(tmp_path / "c").close()
+        with pytest.raises(ConfigError, match="already holds a manifest"):
+            StreamingTraceSink(tmp_path / "c")
+
+    def test_flush_seals_partial_buffer(self, tmp_path):
+        stream = StreamingTraceSink(tmp_path / "c", max_records=1000)
+        bus = EventBus()
+        bus.attach(stream)
+        _sample_run(bus)
+        stream.flush()
+        # Sealed without close: the events are already durable on disk.
+        load = load_chunks(tmp_path / "c")
+        assert len(load.records) == 7 and not load.complete
+
+
+class TestPerfettoSidecar:
+    def test_sidecar_parses_and_tolerates_torn_tail(self, tmp_path):
+        stream = StreamingTraceSink(tmp_path / "c", max_records=3)
+        bus = EventBus()
+        bus.attach(stream)
+        _sample_run(bus)
+        stream.close()
+        data = (tmp_path / "c" / PFTRACE_NAME).read_bytes()
+        packets = parse_packet_count(data)
+        assert packets > 0
+        # A torn tail only shortens the packet count, never errors.
+        assert parse_packet_count(data[: len(data) // 2]) <= packets
+
+    def test_perfetto_disabled(self, tmp_path):
+        stream = StreamingTraceSink(tmp_path / "c", perfetto=False)
+        bus = EventBus()
+        bus.attach(stream)
+        _sample_run(bus)
+        stream.close()
+        assert not (tmp_path / "c" / PFTRACE_NAME).exists()
+        assert load_chunks(tmp_path / "c").complete
+
+
+class TestRunSplits:
+    def test_split_runs_on_run_begin(self, tmp_path):
+        stream = StreamingTraceSink(tmp_path / "c")
+        bus = EventBus()
+        bus.attach(stream)
+        _sample_run(bus, workload="vpr")
+        _sample_run(bus, workload="mcf", base=50)
+        stream.close()
+        events, _load = load_chunk_events(tmp_path / "c")
+        runs = split_runs(events)
+        assert [label for label, _ in runs] == ["vpr/dyn", "mcf/dyn"]
+        assert all(len(evs) == 7 for _, evs in runs)
+
+    def test_pre_run_events_get_fallback_label(self):
+        runs = split_runs([SpanEnd(cycle=1, span_id=9)])
+        assert len(runs) == 1 and runs[0][0] == "?"
+
+
+def test_run_summary_doc_shape():
+    from repro.interp.interpreter import ExecStats
+    from repro.machine.config import PAPER_MACHINE
+
+    stats = ExecStats()
+    stats.icount = 10
+    stats.cycles = 10
+    doc = run_summary_doc("vpr", "dyn", stats, PAPER_MACHINE)
+    assert doc["workload"] == "vpr" and doc["level"] == "dyn"
+    assert doc["attribution"]["total"] == 10
+    assert "by_proc" not in doc

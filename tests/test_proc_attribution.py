@@ -1,0 +1,78 @@
+"""Per-procedure cycle attribution: exactness, engine parity, durability.
+
+The per-proc split is held to the same standard as the 7-category totals:
+column sums must equal :class:`CycleAttribution` exactly (no cycle lost or
+double-charged), and the compiled fastpath kernel must produce the very
+same rows as the reference dispatch loop.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.engine.levels import execute_workload
+from repro.engine.spec import RunSpec
+from repro.machine.config import PAPER_MACHINE
+from repro.telemetry.session import TelemetrySession
+from repro.telemetry.sinks import ListSink
+from repro.tracing.attribution import (
+    CycleAttribution,
+    ProcAttrRecorder,
+    ProcAttribution,
+)
+
+
+def _run(spec, fast=False):
+    session = TelemetrySession(sinks=[ListSink()], proc_attribution=True)
+    result = execute_workload(
+        spec.build(), spec.level, spec.machine, spec.opt, telemetry=session, fast=fast
+    )
+    assert session.proc_attr is not None
+    return result, ProcAttribution.from_recorder(session.proc_attr, spec.machine)
+
+
+@pytest.mark.parametrize("level", ["orig", "base", "hds", "dyn"])
+def test_per_proc_sums_equal_run_attribution(level):
+    spec = RunSpec("vortex", level, passes=1)
+    result, rows = _run(spec)
+    totals = CycleAttribution.from_run(result.stats, spec.machine).to_dict()
+    assert rows.totals() == totals
+
+
+def test_reference_and_fastpath_rows_identical():
+    spec = RunSpec("vortex", "dyn", passes=1)
+    _, reference = _run(spec, fast=False)
+    _, compiled = _run(spec, fast=True)
+    assert reference.to_dict() == compiled.to_dict()
+
+
+def test_rows_sorted_by_descending_cycles():
+    _, rows = _run(RunSpec("vortex", "dyn", passes=1))
+    cycles = [att.total for _, att in rows.rows]
+    assert cycles == sorted(cycles, reverse=True)
+    assert len(rows.rows) > 1  # the split is not vacuous
+
+
+def test_attribution_round_trips_through_dict():
+    _, rows = _run(RunSpec("vortex", "dyn", passes=1))
+    assert ProcAttribution.from_dict(rows.to_dict()).to_dict() == rows.to_dict()
+
+
+def test_recorder_survives_pickling():
+    """Checkpointed interpreters carry the recorder across resume."""
+    recorder = ProcAttrRecorder()
+    recorder.charge("walk0", 10, 20, 1, 2, 3, 4, 5)
+    recorder.charge("walk1", 15, 25, 2, 3, 4, 5, 6)
+    clone = pickle.loads(pickle.dumps(recorder))
+    assert clone.rows == recorder.rows
+    rows = ProcAttribution.from_recorder(clone, PAPER_MACHINE)
+    assert {name for name, _ in rows.rows} == {"walk0", "walk1"}
+
+
+def test_disabled_session_records_nothing():
+    spec = RunSpec("vortex", "dyn", passes=1)
+    session = TelemetrySession(sinks=[ListSink()])
+    execute_workload(spec.build(), spec.level, spec.machine, spec.opt, telemetry=session)
+    assert session.proc_attr is None

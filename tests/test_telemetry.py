@@ -92,6 +92,7 @@ SAMPLE_EVENTS = {
     "WorkerTimedOut": lambda: EVENT_TYPES["WorkerTimedOut"](
         0, "vpr", "dyn", 1, 10.5, "stall"
     ),
+    "WorkerSlow": lambda: EVENT_TYPES["WorkerSlow"](0, "vpr", "dyn", 1, 10.5, 250000),
     "TaskRetried": lambda: EVENT_TYPES["TaskRetried"](0, "vpr", "dyn", 2, 0.5),
     "JournalReplayed": lambda: EVENT_TYPES["JournalReplayed"](
         0, "/tmp/plan.jsonl", 3, 1

@@ -80,3 +80,43 @@ class TestSigterm:
         lines = path.read_text().splitlines()
         assert len(lines) == 7
         assert all(json.loads(line) for line in lines)
+
+    def test_sigterm_flushes_recorder_jsonl_and_stream_chunks(self, tmp_path):
+        """The recorder path (--telemetry/--stream) flushes on SIGTERM too:
+        a large flush_every buffer still reaches disk, and the streaming
+        sink seals its open chunk so the directory holds a valid prefix."""
+        events_path = tmp_path / "events.jsonl"
+        chunk_dir = tmp_path / "chunks"
+        script = textwrap.dedent(
+            f"""
+            import os, signal
+            from repro.telemetry.events import RunBegin
+            from repro.telemetry.session import TelemetryRecorder
+
+            recorder = TelemetryRecorder(
+                events_path={str(events_path)!r},
+                flush_every=10_000,
+                stream_dir={str(chunk_dir)!r},
+            )
+            session = recorder.session_for("vpr", "dyn")
+            for i in range(1, 6):
+                session.bus.emit(RunBegin(cycle=i, workload="vpr", level="dyn"))
+            os.kill(os.getpid(), signal.SIGTERM)
+            raise SystemExit("unreachable: SIGTERM must terminate")
+            """
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True,
+            env={**__import__("os").environ, "PYTHONPATH": "src"},
+            cwd="/root/repo",
+        )
+        assert proc.returncode == -signal.SIGTERM
+        lines = events_path.read_text().splitlines()
+        assert len(lines) == 6  # begin_run + 5 emitted events
+        from repro.obs.chunks import load_chunks
+
+        load = load_chunks(chunk_dir)
+        assert load.ok and len(load.records) == 6
+        assert b"".join(
+            p.read_bytes() for p in sorted(chunk_dir.glob("chunk-*.jsonl"))
+        ) == events_path.read_bytes()
