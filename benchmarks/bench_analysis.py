@@ -1,0 +1,290 @@
+"""Analysis hot-path benchmark: flat-core Sequitur + batched feed vs PR 9.
+
+Three tiers, each identity-checked while it is timed:
+
+``sequitur_micro``   grammar construction throughput (tokens/sec): the flat
+                     array-backed engine fed in batches vs the demoted
+                     linked reference fed per token, on the same stream.
+``incremental``      hot-stream analysis across optimizer-style epochs:
+                     the dirty-tracking :class:`HotStreamAnalyzer` vs the
+                     one-shot full re-walk, identical facts demanded.
+``figures_dyn``      the real ``dyn`` experiment cells end-to-end under the
+                     compiled kernel: the current hot path (flat engine,
+                     ``ref_buffer`` batching, incremental analysis) vs a
+                     faithful legacy profiler (linked engine, one Python
+                     call per traced reference, full re-analysis) swapped
+                     into the optimizer — results bit-compared.
+
+As in ``bench_fastpath.py``, hard floors fail the run (the CI regression
+signal); aspirational targets only warn.  The figures floor is the honest
+headline: the refactor's claim is >=2x wall-clock on the dyn grid against
+the pre-refactor hot path, with zero observable drift.
+
+Usage:
+    python benchmarks/bench_analysis.py            # full run, writes BENCH_analysis.json
+    python benchmarks/bench_analysis.py --quick    # CI-sized run
+    python benchmarks/bench_analysis.py --out PATH # write elsewhere
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+import repro.core.optimizer as optimizer_mod
+from repro.analysis.hotstreams import (
+    AnalysisConfig,
+    HotStreamAnalyzer,
+    analyze_grammar,
+    find_hot_streams,
+)
+from repro.engine.levels import execute_workload
+from repro.oracle.fuzz import grammar_state_diff
+from repro.oracle.refsequitur import RefSequitur
+from repro.profiling.trace import SymbolTable
+from repro.sequitur import Sequitur
+from repro.workloads import build_named, names
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_analysis.json"
+
+#: Hard floors fail the run; targets are aspirational and only warn.
+#: ``figures_dyn`` is the refactor's acceptance gate: the whole dyn grid,
+#: same bytes out, at least twice as fast as the faithful PR 9 hot path.
+#: The micro floors are set from the structural wins (no per-symbol object
+#: allocation; no full re-walk per epoch) with headroom for slow CI boxes.
+GATES = {
+    "sequitur_micro": {"fail_below": 1.15, "target": 3.0},
+    "incremental": {"fail_below": 1.2, "target": 3.0},
+    "figures_dyn": {"fail_below": 2.0, "target": 5.0},
+}
+
+
+def _token_stream(n: int) -> list[int]:
+    """A profiler-shaped stream: hot motifs with occasional cold noise."""
+    rng = random.Random(7)
+    motifs = [[rng.randrange(64) for _ in range(12)] for _ in range(4)]
+    tokens: list[int] = []
+    while len(tokens) < n:
+        tokens.extend(motifs[rng.randrange(4)])
+        if rng.random() < 0.2:
+            tokens.append(64 + rng.randrange(512))
+    return tokens[:n]
+
+
+def _time_sequitur_micro(n_tokens: int, repeats: int) -> dict:
+    """Flat batched construction vs linked per-token, identical grammars."""
+    tokens = _token_stream(n_tokens)
+    flat_times, ref_times = [], []
+    flat = ref = None
+    for _ in range(repeats):
+        flat = Sequitur()
+        t0 = time.perf_counter()
+        flat.extend_batch(tokens)
+        flat_times.append(time.perf_counter() - t0)
+
+        ref = RefSequitur()
+        append = ref.append
+        t0 = time.perf_counter()
+        for token in tokens:
+            append(token)
+        ref_times.append(time.perf_counter() - t0)
+    delta = grammar_state_diff(flat.__getstate__(), ref.__getstate__())
+    if delta:
+        raise SystemExit(f"identity violation in sequitur micro: {delta}")
+    ref_t, flat_t = min(ref_times), min(flat_times)
+    return {
+        "tokens": n_tokens,
+        "reference_s": round(ref_t, 4),
+        "flat_s": round(flat_t, 4),
+        "reference_tokens_per_s": round(n_tokens / ref_t),
+        "flat_tokens_per_s": round(n_tokens / flat_t),
+        "speedup": round(ref_t / flat_t, 2),
+    }
+
+
+def _motif_stream(n: int) -> list[int]:
+    """A stable-working-set stream: many distinct recurring motifs, no noise.
+
+    This is the paper's hot-data-stream regime — once the grammar has seen
+    the motif vocabulary, later epochs mostly touch existing rules, which is
+    exactly what incremental analysis exploits.  The noisy ``_token_stream``
+    (kept for the construction micro) churns transient rules every epoch and
+    is the analyzer's worst case, not its operating point.
+    """
+    rng = random.Random(7)
+    motifs = [[rng.randrange(4096) for _ in range(16)] for _ in range(300)]
+    tokens: list[int] = []
+    while len(tokens) < n:
+        tokens.extend(motifs[rng.randrange(300)])
+    return tokens[:n]
+
+
+def _time_incremental(n_tokens: int, epochs: int, repeats: int) -> dict:
+    """Per-epoch analysis cost: dirty-tracking analyzer vs full re-walk."""
+    tokens = _motif_stream(n_tokens)
+    config = AnalysisConfig(heat_ratio=0.002, min_length=2, max_length=64, min_unique=3)
+    chunk = len(tokens) // epochs
+    inc_times, full_times = [], []
+    for _ in range(repeats):
+        seq = Sequitur()
+        analyzer = HotStreamAnalyzer(seq)
+        inc = full = 0.0
+        for e in range(epochs):
+            seq.extend_batch(tokens[e * chunk:(e + 1) * chunk])
+            t0 = time.perf_counter()
+            got = analyzer.analyze(config)
+            inc += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            want = analyze_grammar(seq, config)
+            full += time.perf_counter() - t0
+            if got != want:
+                raise SystemExit(f"identity violation in incremental analysis, epoch {e}")
+        inc_times.append(inc)
+        full_times.append(full)
+    full_t, inc_t = min(full_times), min(inc_times)
+    return {
+        "tokens": n_tokens,
+        "epochs": epochs,
+        "full_s": round(full_t, 4),
+        "incremental_s": round(inc_t, 4),
+        "speedup": round(full_t / inc_t, 2),
+    }
+
+
+class LegacyProfiler:
+    """The PR 9 analysis hot path, faithfully: linked-object Sequitur, one
+    Python call per traced reference (no ``ref_buffer``, so both kernels
+    fall back to the per-call sink), full re-analysis every epoch."""
+
+    def __init__(self) -> None:
+        self.symbols = SymbolTable()
+        self.sequitur = RefSequitur()
+        self.total_recorded = 0
+
+    def record(self, pc, addr) -> None:
+        self.sequitur.append(self.symbols.intern(pc, addr))
+        self.total_recorded += 1
+
+    __call__ = record
+
+    def flush(self) -> None:
+        pass
+
+    @property
+    def trace_length(self) -> int:
+        return self.sequitur.length
+
+    def hot_streams(self, config):
+        return find_hot_streams(self.sequitur, config)
+
+    def reset(self) -> None:
+        self.sequitur = RefSequitur()
+
+
+def _time_figures_dyn(passes: int, repeats: int) -> dict:
+    """The dyn grid end-to-end, current hot path vs the legacy profiler.
+
+    Workload construction is identical input prep on both sides (and
+    execution does not mutate the built objects), so it happens outside
+    the timed region; the clock covers run + profile + analyze + patch.
+    """
+    grid = names()
+
+    def one_pass():
+        built = [build_named(workload, passes=passes) for workload in grid]
+        t0 = time.perf_counter()
+        docs = [execute_workload(b, "dyn", fast=True).to_dict() for b in built]
+        return time.perf_counter() - t0, docs
+
+    legacy_times, legacy_docs = [], None
+    real = optimizer_mod.TemporalProfiler
+    optimizer_mod.TemporalProfiler = LegacyProfiler
+    try:
+        for _ in range(repeats):
+            dt, legacy_docs = one_pass()
+            legacy_times.append(dt)
+    finally:
+        optimizer_mod.TemporalProfiler = real
+
+    new_times, new_docs = [], None
+    for _ in range(repeats):
+        dt, new_docs = one_pass()
+        new_times.append(dt)
+    if new_docs != legacy_docs:
+        raise SystemExit("identity violation in figures dyn grid — aborting")
+    legacy, new = min(legacy_times), min(new_times)
+    return {
+        "grid": [f"{w}/dyn" for w in grid],
+        "passes": passes,
+        "legacy_s": round(legacy, 3),
+        "new_s": round(new, 3),
+        "speedup": round(legacy / new, 2),
+    }
+
+
+def run_benchmark(quick=False):
+    micro_tokens = 40_000 if quick else 120_000
+    repeats = 2 if quick else 3
+    sections = {
+        "sequitur_micro": _time_sequitur_micro(micro_tokens, repeats),
+        "incremental": _time_incremental(
+            micro_tokens // 2, epochs=10 if quick else 20, repeats=repeats
+        ),
+        # passes=1 keeps every timed cycle in the profiling/analysis regime;
+        # later passes run mostly patched code with the profiler hibernating,
+        # which is identical on both sides and only dilutes the signal.
+        "figures_dyn": _time_figures_dyn(passes=1, repeats=repeats),
+    }
+    speedups = {key: sections[key]["speedup"] for key in GATES}
+    failures, warnings = [], []
+    for key, gate in GATES.items():
+        got = speedups[key]
+        if got < gate["fail_below"]:
+            failures.append(f"{key}: {got}x < hard floor {gate['fail_below']}x")
+        elif got < gate["target"]:
+            warnings.append(f"{key}: {got}x below aspirational {gate['target']}x")
+    return {
+        "schema": 1,
+        "quick": quick,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "gates": GATES,
+        "speedups": speedups,
+        "sections": sections,
+        "warnings": warnings,
+        "failures": failures,
+        "status": "fail" if failures else "pass",
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default: {DEFAULT_OUT})")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure and gate without touching the JSON")
+    args = parser.parse_args(argv)
+    doc = run_benchmark(quick=args.quick)
+    for key, value in doc["speedups"].items():
+        print(f"{key:<16} {value:>6.2f}x")
+    for line in doc["warnings"]:
+        print(f"warning: {line}")
+    for line in doc["failures"]:
+        print(f"FAIL: {line}")
+    if not args.no_write:
+        args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    print(f"status: {doc['status']}")
+    return 1 if doc["failures"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,7 +38,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.analysis.hotstreams import find_hot_streams
 from repro.analysis.stream import HotDataStream
 from repro.core.config import OptimizerConfig
 from repro.core.stats import OptCycleStats, OptimizerSummary
@@ -150,7 +149,7 @@ class DynamicPrefetcher:
         self._epoch_index = 0
         # Wire into the interpreter: profiling starts awake.
         interp.check_listener = self
-        interp.trace_sink = self.profiler.record
+        interp.trace_sink = self.profiler
         interp.tracing_enabled = True
         interp.set_counters(config.counters.n_check0, config.counters.n_instr0)
         self._trace_epoch(0, AWAKE)
@@ -188,7 +187,7 @@ class DynamicPrefetcher:
     def burst_end(self, now: int) -> int:
         """Advance the phase machine; returns cycles to charge for analysis."""
         if self._sink_override:
-            self.interp.trace_sink = self.profiler.record
+            self.interp.trace_sink = self.profiler
             self._sink_override = False
         try:
             if self.phase == AWAKE:
@@ -246,12 +245,13 @@ class DynamicPrefetcher:
         if faults is not None and faults.fire("analysis_error", now):
             self._emit_fault("analysis_error", "analysis phase raised", now)
             raise InjectedFault("analysis_error")
+        self.profiler.flush()
         traced = self.profiler.trace_length
         charge = 0
         streams: list[HotDataStream] = []
         if config.analyze and traced:
             charge = self.machine.analysis_cost_per_symbol * traced
-            streams = find_hot_streams(self.profiler.sequitur, config.analysis)
+            streams = self.profiler.hot_streams(config.analysis)
             streams = [s for s in streams if s.length > config.head_len]
             streams = _dedupe_streams(streams, config.head_len)
             streams = self._admit_streams(streams, now)

@@ -137,7 +137,7 @@ class _Emitter:
 
 
 def _compile_mode(
-    code: list[tuple], num_regs: int, mode: int, mirror: bool, hwpref: bool
+    code: list[tuple], num_regs: int, mode: int, mirror: bool, hwkind: str
 ) -> CompiledMode:
     """Compile one lowered code list; raises on anything unrecognised."""
     n = len(code)
@@ -369,7 +369,14 @@ def _compile_mode(
                     em.w("if tracing and sink is not None:")
                     em.indent += 1
                     em.w("traced += 1")
+                    em.w("if rpush is not None:")
+                    em.indent += 1
+                    em.w(f"rpush(({K(t[4])}, addr))")
+                    em.indent -= 1
+                    em.w("else:")
+                    em.indent += 1
                     em.w(f"sink({K(t[4])}, addr)")
+                    em.indent -= 1
                     em.indent -= 1
                 det = t[6]
                 if det is not None:
@@ -390,7 +397,93 @@ def _compile_mode(
                     if mirror:
                         em.w("lblk = -1")
                     em.indent -= 1
-                if hwpref:
+                if hwkind == "stride":
+                    # Transliterated StridePrefetcher.observe with the table,
+                    # bounds and block size bound at kernel entry.  The table
+                    # lives on the prefetcher object, so state carries across
+                    # kernel exits exactly as with the method call.
+                    uses.add("hwstride")
+                    em.w(f"entry = st_get({K(t[4])})")
+                    em.w("if entry is None:")
+                    em.indent += 1
+                    em.w("if len(st_table) >= st_size:")
+                    em.indent += 1
+                    em.w("st_pop(last=False)")
+                    em.indent -= 1
+                    em.w(f"st_table[{K(t[4])}] = [addr, 0, 0]")
+                    em.indent -= 1
+                    em.w("else:")
+                    em.indent += 1
+                    em.w("delta = addr - entry[0]")
+                    em.w("stride = entry[1]")
+                    em.w("if delta == stride and delta != 0:")
+                    em.indent += 1
+                    em.w("confidence = entry[2] + 1")
+                    em.indent -= 1
+                    em.w("else:")
+                    em.indent += 1
+                    em.w("stride = delta")
+                    em.w("confidence = 0")
+                    em.indent -= 1
+                    em.w("entry[0] = addr")
+                    em.w("entry[1] = stride")
+                    em.w("entry[2] = confidence")
+                    em.w("if confidence >= st_min and stride != 0:")
+                    em.indent += 1
+                    em.w(
+                        "step = stride if abs(stride) >= st_block"
+                        " else (st_block if stride > 0 else -st_block)"
+                    )
+                    em.w("for _k in range(1, st_degree + 1):")
+                    em.indent += 1
+                    em.w("target = addr + step * _k")
+                    em.w("if target >= 0:")
+                    em.indent += 1
+                    em.w('issue_prefetch(target, cycles, "stride")')
+                    em.indent -= 1
+                    em.indent -= 1
+                    if mirror:
+                        em.w("lblk = -1")
+                    em.indent -= 1
+                    em.indent -= 1
+                elif hwkind == "markov":
+                    # Transliterated MarkovPrefetcher.observe.  _last_block is
+                    # read/written through the prefetcher attribute at each
+                    # site so it survives kernel parks and trampoline
+                    # crossings without a flush path of its own.
+                    uses.add("hwmarkov")
+                    em.w("block = addr >> mk_shift")
+                    em.w("mk_last = hwpref._last_block")
+                    em.w("if mk_last is not None and block != mk_last:")
+                    em.indent += 1
+                    em.w("successors = mk_get(mk_last)")
+                    em.w("if successors is None:")
+                    em.indent += 1
+                    em.w("if len(mk_table) >= mk_size:")
+                    em.indent += 1
+                    em.w("mk_pop(last=False)")
+                    em.indent -= 1
+                    em.w("successors = {}")
+                    em.w("mk_table[mk_last] = successors")
+                    em.indent -= 1
+                    em.w("successors[block] = successors.get(block, 0) + 1")
+                    em.indent -= 1
+                    em.w("if block != mk_last:")
+                    em.indent += 1
+                    em.w("predicted = mk_get(block)")
+                    em.w("if predicted:")
+                    em.indent += 1
+                    em.w("for successor, _count in sorted(predicted.items(), key=_MK_RANK)[:mk_fanout]:")
+                    em.indent += 1
+                    em.w('issue_prefetch(successor << mk_shift, cycles, "markov")')
+                    em.indent -= 1
+                    if mirror:
+                        em.w("lblk = -1")
+                    em.indent -= 1
+                    em.indent -= 1
+                    em.w("hwpref._last_block = block")
+                elif hwkind:
+                    # Unknown prefetcher implementation: keep the method call.
                     uses.add("hwpref")
                     em.w(f"hwpref.observe({K(t[4])}, addr, cycles, hier)")
                     if mirror:
@@ -526,8 +619,9 @@ def _compile_mode(
         out.w("access = ctx.access")
         out.w("mem = ctx.mem")
         out.w("mget = mem.get")
-    if uses & {"detect", "prefetch"}:
+    if uses & {"detect", "prefetch", "hwstride", "hwmarkov"}:
         out.w("issue_prefetch = ctx.issue_prefetch")
+    if uses & {"detect", "prefetch"}:
         out.w("pf_cost = ctx.pf_cost")
         out.w("pf_source = interp.prefetch_source")
     if "alloc" in uses:
@@ -536,6 +630,8 @@ def _compile_mode(
         out.w("trace_cost = ctx.trace_cost")
         out.w("tracing = interp.tracing_enabled")
         out.w("sink = interp.trace_sink")
+        out.w('rbuf = getattr(sink, "ref_buffer", None)')
+        out.w("rpush = None if rbuf is None else rbuf.append")
     if "check" in uses:
         out.w("check_cost = ctx.check_cost")
     if "detect" in uses:
@@ -543,6 +639,23 @@ def _compile_mode(
         out.w("detect_per_case = ctx.detect_per_case")
     if "hwpref" in uses:
         out.w("hwpref = interp.hw_prefetcher")
+    if "hwstride" in uses:
+        out.w("hwpref = interp.hw_prefetcher")
+        out.w("st_table = hwpref._table")
+        out.w("st_get = st_table.get")
+        out.w("st_pop = st_table.popitem")
+        out.w("st_size = hwpref.table_size")
+        out.w("st_min = hwpref.min_confidence")
+        out.w("st_degree = hwpref.degree")
+        out.w("st_block = ctx.hier.config.block_bytes")
+    if "hwmarkov" in uses:
+        out.w("hwpref = interp.hw_prefetcher")
+        out.w("mk_table = hwpref._table")
+        out.w("mk_get = mk_table.get")
+        out.w("mk_pop = mk_table.popitem")
+        out.w("mk_size = hwpref.table_size")
+        out.w("mk_fanout = hwpref.fanout")
+        out.w("mk_shift = ctx.hier.config.block_bytes.bit_length() - 1")
     if "mirror" in uses:
         out.w("l1 = ctx.l1")
         out.w("l1_sets = ctx.l1_sets")
@@ -628,7 +741,7 @@ def _compile_mode(
     # those recompiles into a dict hit plus a _make(consts) call.
     make = _MAKERS.get(source)
     if make is None:
-        namespace: dict[str, object] = {"MemoryFault": MemoryFault}
+        namespace: dict[str, object] = {"MemoryFault": MemoryFault, "_MK_RANK": _MK_RANK}
         exec(compile(source, f"<fastpath:{counter_attr}>", "exec"), namespace)
         make = namespace["_make"]
         _MAKERS[source] = make
@@ -638,6 +751,11 @@ def _compile_mode(
 
 #: source text -> exec'd ``_make`` closure factory (see _compile_mode).
 _MAKERS: dict = {}
+
+
+def _MK_RANK(kv):
+    """Markov successor ranking key (count-descending, insertion-stable)."""
+    return -kv[1]
 
 
 def _flush_stmts(num_regs: int, counter_attr: str) -> list[str]:
@@ -661,7 +779,7 @@ def _flush_stmts(num_regs: int, counter_attr: str) -> list[str]:
     return stmts
 
 
-#: proc -> {(mode, mirror, hwpref) -> CompiledMode | None}.  Keyed weakly so
+#: proc -> {(mode, mirror, hwkind) -> CompiledMode | None}.  Keyed weakly so
 #: compiled functions never become part of the procedure object (checkpoints
 #: pickle procedures; generated functions are unpicklable and are instead
 #: transparently recompiled after a restore).
@@ -670,18 +788,22 @@ _CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 _MISSING = object()
 
 
-def compiled_entry(proc, mode: int, mirror: bool, hwpref: bool) -> Optional[CompiledMode]:
-    """Compiled kernel for one procedure version, or None if not compilable."""
+def compiled_entry(proc, mode: int, mirror: bool, hwkind: str) -> Optional[CompiledMode]:
+    """Compiled kernel for one procedure version, or None if not compilable.
+
+    ``hwkind`` selects the hardware-prefetcher specialization: "" (none),
+    "stride"/"markov" (inlined observers), or "other" (method call).
+    """
     per = _CACHE.get(proc)
     if per is None:
         per = {}
         _CACHE[proc] = per
-    key = (mode, mirror, hwpref)
+    key = (mode, mirror, hwkind)
     entry = per.get(key, _MISSING)
     if entry is _MISSING:
         try:
             code = lower_procedure(proc)[mode]
-            entry = _compile_mode(code, proc.num_regs, mode, mirror, hwpref)
+            entry = _compile_mode(code, proc.num_regs, mode, mirror, hwkind)
         except Exception:
             # Anything unrecognised falls back to the reference interpreter.
             entry = None

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.hwpref import MarkovPrefetcher, StridePrefetcher
 from repro.errors import ExecutionError
 from repro.interp.lowering import lower_procedure
 from repro.telemetry.events import BurstBegin, BurstEnd
@@ -161,7 +162,17 @@ def run_fast(interp, state, limit: int, raise_on_limit: bool):
     ctx = FastCtx(interp)
     program = interp.program
     mirror = ctx.mirror
-    hwpref = interp.hw_prefetcher is not None
+    hwpref = interp.hw_prefetcher
+    # Exact-type match: a subclass may override observe(), so only the two
+    # known implementations get their observers compiled inline.
+    if hwpref is None:
+        hwkind = ""
+    elif type(hwpref) is StridePrefetcher:
+        hwkind = "stride"
+    elif type(hwpref) is MarkovPrefetcher:
+        hwkind = "markov"
+    else:
+        hwkind = "other"
     # Per-procedure attribution: compiled kernels flush every counter back
     # into `state` before returning a signal, so charging the parked state at
     # each procedure boundary is exact — the same charge points the reference
@@ -185,7 +196,7 @@ def run_fast(interp, state, limit: int, raise_on_limit: bool):
         mkey = (id(state.proc), state.mode)
         entry = memo.get(mkey)
         if entry is None:
-            entry = compiled_entry(state.proc, state.mode, mirror, hwpref)
+            entry = compiled_entry(state.proc, state.mode, mirror, hwkind)
             memo[mkey] = entry if entry is not None else False
         elif entry is False:
             entry = None

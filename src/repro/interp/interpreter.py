@@ -328,6 +328,11 @@ class Interpreter:
         n_instr = state.n_instr
         tracing = self.tracing_enabled
         sink = self.trace_sink
+        # Batched feed: a sink exposing a ref_buffer (the TemporalProfiler)
+        # gets raw (pc, addr) pairs appended directly; wrapped/ad-hoc sinks
+        # fall back to one call per reference.
+        rbuf = getattr(sink, "ref_buffer", None)
+        rpush = None if rbuf is None else rbuf.append
         listener = self.check_listener
         hwpref = self.hw_prefetcher
         telem = self.telemetry
@@ -358,7 +363,10 @@ class Interpreter:
                     trace_chg += 1
                     if tracing and sink is not None:
                         traced += 1
-                        sink(t[4], addr)
+                        if rpush is not None:
+                            rpush((t[4], addr))
+                        else:
+                            sink(t[4], addr)
                 det = t[6]
                 if det is not None:
                     dstate, prefetches, cases = det.step(dstate, addr)
@@ -389,7 +397,10 @@ class Interpreter:
                     trace_chg += 1
                     if tracing and sink is not None:
                         traced += 1
-                        sink(t[4], addr)
+                        if rpush is not None:
+                            rpush((t[4], addr))
+                        else:
+                            sink(t[4], addr)
                 det = t[6]
                 if det is not None:
                     dstate, prefetches, cases = det.step(dstate, addr)
@@ -442,6 +453,8 @@ class Interpreter:
                             charged += extra
                             tracing = self.tracing_enabled
                             sink = self.trace_sink
+                            rbuf = getattr(sink, "ref_buffer", None)
+                            rpush = None if rbuf is None else rbuf.append
                             dstate = self.dfsm_state
                             n_instr = self.n_instr0
                 else:
@@ -460,6 +473,8 @@ class Interpreter:
                             charged += extra
                             tracing = self.tracing_enabled
                             sink = self.trace_sink
+                            rbuf = getattr(sink, "ref_buffer", None)
+                            rpush = None if rbuf is None else rbuf.append
                             dstate = self.dfsm_state
                             # The listener may have switched phase (awake <->
                             # hibernating); its new reload values take effect

@@ -19,12 +19,13 @@ from typing import Callable, Sequence
 
 from repro.analysis.exact import enumerate_hot_substrings
 from repro.analysis.hotstreams import AnalysisConfig, find_hot_streams
-from repro.errors import OracleError
+from repro.errors import AnalysisError, OracleError
 from repro.machine.cache import Cache
 from repro.machine.config import CacheGeometry, MachineConfig
 from repro.machine.hierarchy import MemoryHierarchy
 from repro.oracle.refgrammar import check_sequitur, ref_expand
 from repro.oracle.refmodel import RefCache, RefHierarchy
+from repro.oracle.refsequitur import RefSequitur
 from repro.oracle.refstreams import check_hot_streams, ref_hot_substrings
 from repro.sequitur.sequitur import Sequitur
 
@@ -188,12 +189,54 @@ def diff_hierarchy(machine: MachineConfig, ops: Sequence[Op]) -> None:
         )
 
 
+def grammar_state_diff(got: dict, want: dict) -> str:
+    """First observable difference between two grammar wire states, or ''."""
+    if got == want:
+        return ""
+    for field in ("length", "next_rule_id", "start_id"):
+        if got[field] != want[field]:
+            return f"{field}: flat {got[field]}, reference {want[field]}"
+    got_rules, want_rules = got["rules"], want["rules"]
+    if [r[0] for r in got_rules] != [r[0] for r in want_rules]:
+        return (
+            f"rules insertion order: flat {[r[0] for r in got_rules]}, "
+            f"reference {[r[0] for r in want_rules]}"
+        )
+    for (rid, grc, gbody), (_, wrc, wbody) in zip(got_rules, want_rules):
+        if grc != wrc:
+            return f"R{rid} refcount: flat {grc}, reference {wrc}"
+        if gbody != wbody:
+            return f"R{rid} body: flat {gbody}, reference {wbody}"
+    if got["digrams"] != want["digrams"]:
+        return (
+            f"digram index (key, position) order: flat {got['digrams']}, "
+            f"reference {want['digrams']}"
+        )
+    return "states differ in an unexpected field"
+
+
 def diff_sequitur(tokens: Sequence[int]) -> None:
-    """Build a grammar over ``tokens`` and verify it three independent ways."""
+    """Build a grammar over ``tokens`` and verify it four independent ways.
+
+    The flat production engine consumes the tokens as one batch; its
+    structural self-check, a per-token linked :class:`RefSequitur`, and the
+    brute-force grammar checker must all agree.  Flat-core invariant
+    violations are re-raised as :class:`OracleError` so ddmin shrinking
+    produces a 1-minimal reproducer for them too.
+    """
     tokens = list(tokens)
     seq = Sequitur()
-    seq.extend(tokens)
-    seq.verify_invariants()  # the production self-check first
+    seq.extend_batch(tokens)
+    try:
+        seq.verify_invariants()  # the production self-check first
+    except AnalysisError as err:
+        raise OracleError(f"flat-core invariant violated: {err}") from err
+    ref = RefSequitur()
+    for token in tokens:
+        ref.append(token)
+    delta = grammar_state_diff(seq.__getstate__(), ref.__getstate__())
+    if delta:
+        raise OracleError(f"flat grammar diverges from linked reference: {delta}")
     check_sequitur(seq, tokens)  # then the independent brute force
     if seq.expand() != ref_expand(seq):
         raise OracleError("Sequitur.expand() disagrees with the reference expander")

@@ -1,0 +1,430 @@
+"""Reference Sequitur: the original linked-object implementation, verbatim.
+
+This is the per-:class:`Symbol` doubly-linked implementation that
+``repro.sequitur`` shipped before the flat-core refactor, demoted to the
+oracle as the differential baseline.  It is deliberately simple and slow —
+one Python call frame per token, one heap object per symbol — which is
+exactly what makes it trustworthy: the flat engine must reproduce its
+grammars bit-for-bit (same rules, same refcounts, same ``rules`` and
+``_digrams`` dict insertion orders, identical ``__getstate__`` wire state).
+The fuzz driver and the golden-grid differential compare the two; keep this
+module frozen unless the algorithm itself changes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.errors import AnalysisError
+
+
+class Symbol:
+    """One node in a rule body (or the rule's guard node)."""
+
+    __slots__ = ("next", "prev", "terminal", "rule", "owner")
+
+    def __init__(
+        self,
+        terminal: Optional[int] = None,
+        rule: Optional["RefRule"] = None,
+        owner: Optional["RefRule"] = None,
+    ) -> None:
+        self.next: Optional[Symbol] = None
+        self.prev: Optional[Symbol] = None
+        self.terminal = terminal
+        self.rule = rule
+        #: set only on guard nodes: the rule this guard heads
+        self.owner = owner
+        if rule is not None:
+            rule.refcount += 1
+
+    @property
+    def is_guard(self) -> bool:
+        return self.owner is not None
+
+    @property
+    def key(self) -> int:
+        """Digram key: terminals map to themselves, rules to negative ids."""
+        if self.rule is not None:
+            return -1 - self.rule.id
+        assert self.terminal is not None
+        return self.terminal
+
+    def value(self) -> Union[int, "RefRule"]:
+        """The payload: a terminal int or a RefRule."""
+        return self.rule if self.rule is not None else self.terminal  # type: ignore[return-value]
+
+    def __reduce__(self):  # pragma: no cover - defensive
+        raise TypeError("Symbol is not picklable on its own; pickle the RefSequitur")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_guard:
+            return f"<guard R{self.owner.id}>"  # type: ignore[union-attr]
+        if self.rule is not None:
+            return f"<R{self.rule.id}>"
+        return f"<{self.terminal}>"
+
+
+class RefRule:
+    """A grammar rule; its body hangs off the guard node."""
+
+    __slots__ = ("id", "refcount", "guard")
+
+    def __init__(self, rule_id: int) -> None:
+        self.id = rule_id
+        #: number of non-terminal symbols referring to this rule
+        self.refcount = 0
+        self.guard = Symbol(owner=self)
+        self.guard.next = self.guard
+        self.guard.prev = self.guard
+
+    def first(self) -> Symbol:
+        assert self.guard.next is not None
+        return self.guard.next
+
+    def last(self) -> Symbol:
+        assert self.guard.prev is not None
+        return self.guard.prev
+
+    @property
+    def is_empty(self) -> bool:
+        return self.guard.next is self.guard
+
+    def symbols(self) -> Iterator[Symbol]:
+        """Iterate the body symbols left to right (excluding the guard)."""
+        node = self.guard.next
+        while node is not self.guard:
+            assert node is not None
+            yield node
+            node = node.next
+
+    def rhs(self) -> list[Union[int, "RefRule"]]:
+        """Body as a list of terminals and RefRule references."""
+        return [sym.value() for sym in self.symbols()]
+
+    def rhs_length(self) -> int:
+        """Number of symbols on the right-hand side."""
+        return sum(1 for _ in self.symbols())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RefRule(R{self.id}, refs={self.refcount})"
+
+
+class RefSequitur:
+    """Online grammar inference over a stream of integer tokens (reference)."""
+
+    def __init__(self) -> None:
+        self._next_rule_id = 0
+        self.start = self._new_rule()
+        #: live rules by id (includes the start rule)
+        self.rules: dict[int, RefRule] = {self.start.id: self.start}
+        #: digram key-pair -> leftmost symbol of the indexed digram
+        self._digrams: dict[tuple[int, int], Symbol] = {}
+        self.length = 0
+
+    # ------------------------------------------------------------- plumbing
+
+    def _new_rule(self) -> RefRule:
+        rule = RefRule(self._next_rule_id)
+        self._next_rule_id += 1
+        return rule
+
+    def _digram_key(self, sym: Symbol) -> tuple[int, int]:
+        assert sym.next is not None
+        return (sym.key, sym.next.key)
+
+    def _index(self, sym: Symbol) -> None:
+        """Record the digram starting at ``sym`` in the index."""
+        if sym.is_guard or sym.next is None or sym.next.is_guard:
+            return
+        self._digrams[self._digram_key(sym)] = sym
+
+    def _unindex(self, sym: Symbol) -> None:
+        """Remove the digram starting at ``sym`` iff the index points at it."""
+        if sym.is_guard or sym.next is None or sym.next.is_guard:
+            return
+        key = self._digram_key(sym)
+        if self._digrams.get(key) is sym:
+            del self._digrams[key]
+
+    def _join(self, left: Symbol, right: Symbol) -> None:
+        """Link ``left`` -> ``right``, maintaining the digram index."""
+        if left.next is not None:
+            self._unindex(left)
+            # Overlapping-triple repair (e.g. "aaa"): unindexing (left, old
+            # next) may have removed an entry that a neighbouring equal-value
+            # digram should now own.
+            rp, rn = right.prev, right.next
+            if (
+                rp is not None
+                and rn is not None
+                and not right.is_guard
+                and not rp.is_guard
+                and not rn.is_guard
+                and rp.key == right.key == rn.key
+            ):
+                self._index(right)
+            lp, ln = left.prev, left.next
+            if (
+                lp is not None
+                and ln is not None
+                and not left.is_guard
+                and not lp.is_guard
+                and not ln.is_guard
+                and lp.key == left.key == ln.key
+            ):
+                self._index(lp)
+        left.next = right
+        right.prev = left
+
+    def _insert_after(self, at: Symbol, sym: Symbol) -> None:
+        assert at.next is not None
+        self._join(sym, at.next)
+        self._join(at, sym)
+
+    def _delete(self, sym: Symbol) -> None:
+        """Unlink ``sym`` from its rule, updating index and refcounts."""
+        assert sym.prev is not None and sym.next is not None
+        self._join(sym.prev, sym.next)
+        if not sym.is_guard:
+            self._unindex(sym)
+            if sym.rule is not None:
+                sym.rule.refcount -= 1
+
+    # ------------------------------------------------------ the two invariants
+
+    def _check(self, sym: Symbol) -> bool:
+        """Enforce digram uniqueness for the digram starting at ``sym``."""
+        if sym.is_guard or sym.next is None or sym.next.is_guard:
+            return False
+        key = self._digram_key(sym)
+        match = self._digrams.get(key)
+        if match is None:
+            self._digrams[key] = sym
+            return False
+        if match.next is sym:
+            # Overlapping occurrence (e.g. the middle of "aaa"): do nothing.
+            return True
+        self._match(sym, match)
+        return True
+
+    def _match(self, new: Symbol, match: Symbol) -> None:
+        """Handle a repeated digram: reuse or create a rule."""
+        assert match.prev is not None and match.next is not None
+        assert match.next.next is not None
+        if match.prev.is_guard and match.next.next.is_guard:
+            # The matching digram is the entire body of an existing rule.
+            rule = match.prev.owner
+            assert rule is not None
+            self._substitute(new, rule)
+        else:
+            rule = self._new_rule()
+            self.rules[rule.id] = rule
+            assert new.next is not None
+            first = Symbol(terminal=new.terminal, rule=new.rule)
+            second = Symbol(terminal=new.next.terminal, rule=new.next.rule)
+            self._insert_after(rule.guard, first)
+            self._insert_after(first, second)
+            self._substitute(match, rule)
+            self._substitute(new, rule)
+            self._index(rule.first())
+        # Rule utility: substitution may have dropped some rule's use count
+        # to one; the remaining use can only be inside the (re)used rule.
+        for candidate in (rule.first(), rule.last()):
+            if candidate.rule is not None and candidate.rule.refcount == 1:
+                self._expand(candidate)
+                break
+
+    def _substitute(self, sym: Symbol, rule: RefRule) -> None:
+        """Replace the digram starting at ``sym`` with non-terminal ``rule``."""
+        prev = sym.prev
+        assert prev is not None and prev.next is not None
+        self._delete(prev.next)
+        assert prev.next is not None
+        self._delete(prev.next)
+        self._insert_after(prev, Symbol(rule=rule))
+        if not self._check(prev):
+            assert prev.next is not None
+            self._check(prev.next)
+
+    def _expand(self, sym: Symbol) -> None:
+        """Inline the under-used rule referenced by ``sym`` and delete it."""
+        rule = sym.rule
+        assert rule is not None and rule.refcount == 1
+        left, right = sym.prev, sym.next
+        assert left is not None and right is not None
+        first, last = rule.first(), rule.last()
+        self._unindex(sym)
+        del self.rules[rule.id]
+        self._join(left, first)
+        self._join(last, right)
+        self._index(last)
+
+    # --------------------------------------------------------------- public
+
+    def append(self, token: int) -> None:
+        """Append one terminal to the inferred string."""
+        if token < 0:
+            raise AnalysisError(f"terminals must be non-negative, got {token}")
+        self.length += 1
+        last = self.start.last()
+        self._insert_after(last, Symbol(terminal=token))
+        if last is not self.start.guard:
+            self._check(last)
+
+    def extend(self, tokens: Iterable[int]) -> None:
+        """Append a sequence of terminals."""
+        for token in tokens:
+            self.append(token)
+
+    def grammar_size(self) -> int:
+        """Total number of symbols on all right-hand sides."""
+        return sum(rule.rhs_length() for rule in self.rules.values())
+
+    def expansion_lengths(self) -> dict[int, int]:
+        """Expansion (terminal-string) length of every rule, by rule id."""
+        lengths: dict[int, int] = {}
+
+        def visit(rule: RefRule) -> int:
+            cached = lengths.get(rule.id)
+            if cached is not None:
+                return cached
+            total = 0
+            for value in rule.rhs():
+                total += 1 if isinstance(value, int) else visit(value)
+            lengths[rule.id] = total
+            return total
+
+        for rule in self.rules.values():
+            visit(rule)
+        return lengths
+
+    def expand(
+        self, rule: Optional[RefRule] = None, limit: Optional[int] = None
+    ) -> list[int]:
+        """Terminal expansion of ``rule`` (default: the whole string)."""
+        if rule is None:
+            rule = self.start
+        out: list[int] = []
+
+        def walk(r: RefRule) -> bool:
+            for value in r.rhs():
+                if isinstance(value, int):
+                    out.append(value)
+                    if limit is not None and len(out) >= limit:
+                        return False
+                else:
+                    if not walk(value):
+                        return False
+            return True
+
+        walk(rule)
+        return out
+
+    def children(self, rule: RefRule) -> list[RefRule]:
+        """Rules appearing on ``rule``'s right-hand side (with repetition)."""
+        return [value for value in rule.rhs() if isinstance(value, RefRule)]
+
+    # ---------------------------------------------------------- serialization
+
+    def __getstate__(self) -> dict:
+        """Flatten the grammar for pickling — the shared wire format.
+
+        Identical to :meth:`repro.sequitur.sequitur.Sequitur.__getstate__`;
+        state-dict equality between the two engines is the grammar
+        fingerprint the differential tests compare.
+        """
+        symbol_index: dict[int, int] = {}
+        bodies: list[tuple[int, int, list[tuple[Optional[int], Optional[int]]]]] = []
+        for rule in self.rules.values():
+            body: list[tuple[Optional[int], Optional[int]]] = []
+            for sym in rule.symbols():
+                symbol_index[id(sym)] = len(symbol_index)
+                body.append((sym.terminal, sym.rule.id if sym.rule is not None else None))
+            bodies.append((rule.id, rule.refcount, body))
+        return {
+            "next_rule_id": self._next_rule_id,
+            "start_id": self.start.id,
+            "length": self.length,
+            "rules": bodies,
+            "digrams": [(key, symbol_index[id(sym)]) for key, sym in self._digrams.items()],
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        """Rebuild the linked structure iteratively (inverse of __getstate__)."""
+        self._next_rule_id = state["next_rule_id"]
+        self.length = state["length"]
+        rules: dict[int, RefRule] = {
+            rule_id: RefRule(rule_id) for rule_id, _, _ in state["rules"]
+        }
+        flat: list[Symbol] = []
+        for rule_id, refcount, body in state["rules"]:
+            rule = rules[rule_id]
+            rule.refcount = refcount
+            prev = rule.guard
+            for terminal, ref_id in body:
+                sym = Symbol.__new__(Symbol)
+                sym.terminal = terminal
+                sym.rule = rules[ref_id] if ref_id is not None else None
+                sym.owner = None
+                sym.prev = prev
+                sym.next = None
+                prev.next = sym
+                prev = sym
+                flat.append(sym)
+            prev.next = rule.guard
+            rule.guard.prev = prev
+        self.rules = rules
+        self.start = rules[state["start_id"]]
+        self._digrams = {key: flat[pos] for key, pos in state["digrams"]}
+
+    # ------------------------------------------------------------ inspection
+
+    def to_text(self, terminal_names: Optional[dict[int, str]] = None) -> str:
+        """Readable rendering, e.g. ``S -> A a B B`` (start rule is ``S``)."""
+
+        def name(rule: RefRule) -> str:
+            return "S" if rule is self.start else f"R{rule.id}"
+
+        def term(token: int) -> str:
+            if terminal_names and token in terminal_names:
+                return terminal_names[token]
+            return str(token)
+
+        lines = []
+        for rule_id in sorted(self.rules):
+            rule = self.rules[rule_id]
+            rhs = " ".join(name(v) if isinstance(v, RefRule) else term(v) for v in rule.rhs())
+            lines.append(f"{name(rule)} -> {rhs}")
+        return "\n".join(lines)
+
+    def verify_invariants(self) -> None:
+        """Assert digram uniqueness, rule utility and refcount consistency."""
+        seen: dict[tuple[int, int], tuple[int, int]] = {}
+        refcounts: dict[int, int] = {rule_id: 0 for rule_id in self.rules}
+        for rule in self.rules.values():
+            position = 0
+            for sym in rule.symbols():
+                if sym.rule is not None:
+                    if sym.rule.id not in self.rules:
+                        raise AnalysisError(f"R{rule.id} references dead rule R{sym.rule.id}")
+                    refcounts[sym.rule.id] += 1
+                nxt = sym.next
+                assert nxt is not None
+                if not nxt.is_guard:
+                    key = (sym.key, nxt.key)
+                    prior = seen.get(key)
+                    if prior is not None and prior != (rule.id, position - 1):
+                        raise AnalysisError(f"digram {key} occurs twice: {prior} and R{rule.id}")
+                    seen[key] = (rule.id, position)
+                position += 1
+        for rule_id, count in refcounts.items():
+            rule = self.rules[rule_id]
+            if rule is self.start:
+                continue
+            if count < 2:
+                raise AnalysisError(f"rule utility violated: R{rule_id} used {count} times")
+            if count != rule.refcount:
+                raise AnalysisError(
+                    f"refcount drift on R{rule_id}: stored {rule.refcount}, actual {count}"
+                )

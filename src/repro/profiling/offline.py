@@ -66,6 +66,7 @@ def collect_offline_profile(
     workload: BuiltWorkload,
     machine: MachineConfig = PAPER_MACHINE,
     max_refs: Optional[int] = None,
+    fast: Optional[bool] = None,
 ) -> OfflineProfile:
     """Run ``workload`` tracing *every* data reference into Sequitur.
 
@@ -73,7 +74,8 @@ def collect_offline_profile(
     continuously (``nCheck0 = 1``): complete temporal information, at full
     tracing cost — exactly the overhead problem the paper's online framework
     exists to avoid.  ``max_refs`` stops recording (not execution) after a
-    bound, keeping grammars tractable on long runs.
+    bound, keeping grammars tractable on long runs.  ``fast`` selects the
+    execution kernel as in :meth:`Interpreter.run` (None = default).
     """
     program, _ = instrument_program(workload.program)
     interp = Interpreter(program, workload.memory, machine)
@@ -81,7 +83,8 @@ def collect_offline_profile(
     profiler = TemporalProfiler()
 
     if max_refs is None:
-        interp.trace_sink = profiler.record
+        # The profiler object sink lets the kernels batch into ref_buffer.
+        interp.trace_sink = profiler
     else:
         def bounded_sink(pc, addr, _profiler=profiler):
             if _profiler.trace_length < max_refs:
@@ -89,5 +92,6 @@ def collect_offline_profile(
 
         interp.trace_sink = bounded_sink
     interp.tracing_enabled = True
-    stats = interp.run(workload.args)
+    stats = interp.run(workload.args) if fast is None else interp.run(workload.args, fast=fast)
+    profiler.flush()
     return OfflineProfile(profiler=profiler, stats=stats)

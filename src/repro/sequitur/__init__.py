@@ -1,6 +1,10 @@
-"""Incremental Sequitur grammar inference (Nevill-Manning & Witten)."""
+"""Incremental Sequitur grammar inference (Nevill-Manning & Witten).
 
-from repro.sequitur.grammar import Rule, Symbol
-from repro.sequitur.sequitur import Sequitur
+Flat array-backed core; the original linked-object implementation is
+retained as the differential reference in :mod:`repro.oracle.refsequitur`.
+"""
 
-__all__ = ["Sequitur", "Rule", "Symbol"]
+from repro.sequitur.grammar import Rule
+from repro.sequitur.sequitur import MAX_TERMINAL, Sequitur
+
+__all__ = ["Sequitur", "Rule", "MAX_TERMINAL"]

@@ -1,108 +1,71 @@
-"""Grammar objects for Sequitur: symbols (doubly-linked) and rules.
+"""Grammar handles for the flat Sequitur engine.
 
-A rule's right-hand side is a circular doubly-linked list of
-:class:`Symbol` nodes headed by a *guard* node.  Terminals are non-negative
-integers; non-terminals hold a reference to their :class:`Rule`.  Digram keys
-encode terminals as themselves and rule ids as negative integers, so a digram
-is a plain ``(int, int)`` tuple.
+Since the flat-core refactor the grammar's structure lives in parallel
+integer arrays owned by :class:`~repro.sequitur.sequitur.Sequitur` (prev/
+next links, digram keys, owner rule ids, a free list).  A :class:`Rule` is a
+*handle* into that storage: it carries the rule id, the externally-mutable
+refcount and the slot index of the rule's guard node, plus a backref to the
+engine so the public ``rhs()`` view keeps working for downstream consumers
+(the oracle's brute-force checker, ``to_text``).
+
+Digram keys encode terminals as themselves and rule ids as negative
+integers (``-1 - rule_id``), exactly as the original linked-object
+implementation did — the linked reference now lives in
+:mod:`repro.oracle.refsequitur` as the differential baseline.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Union
+from typing import TYPE_CHECKING, Union
 
-
-class Symbol:
-    """One node in a rule body (or the rule's guard node)."""
-
-    __slots__ = ("next", "prev", "terminal", "rule", "owner")
-
-    def __init__(
-        self,
-        terminal: Optional[int] = None,
-        rule: Optional["Rule"] = None,
-        owner: Optional["Rule"] = None,
-    ) -> None:
-        self.next: Optional[Symbol] = None
-        self.prev: Optional[Symbol] = None
-        self.terminal = terminal
-        self.rule = rule
-        #: set only on guard nodes: the rule this guard heads
-        self.owner = owner
-        if rule is not None:
-            rule.refcount += 1
-
-    @property
-    def is_guard(self) -> bool:
-        return self.owner is not None
-
-    @property
-    def key(self) -> int:
-        """Digram key: terminals map to themselves, rules to negative ids."""
-        if self.rule is not None:
-            return -1 - self.rule.id
-        assert self.terminal is not None
-        return self.terminal
-
-    def value(self) -> Union[int, "Rule"]:
-        """The payload: a terminal int or a Rule."""
-        return self.rule if self.rule is not None else self.terminal  # type: ignore[return-value]
-
-    def __reduce__(self):  # pragma: no cover - defensive
-        # A symbol is one node of a circular linked list: default (recursive)
-        # pickling would blow the stack on long rule bodies.  Symbols are only
-        # ever serialized as part of their grammar, which flattens them
-        # iteratively (:meth:`repro.sequitur.sequitur.Sequitur.__getstate__`).
-        raise TypeError("Symbol is not picklable on its own; pickle the Sequitur")
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        if self.is_guard:
-            return f"<guard R{self.owner.id}>"  # type: ignore[union-attr]
-        if self.rule is not None:
-            return f"<R{self.rule.id}>"
-        return f"<{self.terminal}>"
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sequitur.sequitur import Sequitur
 
 
 class Rule:
-    """A grammar rule; its body hangs off the guard node."""
+    """Handle for one grammar rule; the body lives in the engine's arrays."""
 
-    __slots__ = ("id", "refcount", "guard")
+    __slots__ = ("id", "refcount", "guard", "eng")
 
-    def __init__(self, rule_id: int) -> None:
+    def __init__(self, rule_id: int, guard: int, eng: "Sequitur") -> None:
         self.id = rule_id
         #: number of non-terminal symbols referring to this rule
         self.refcount = 0
-        self.guard = Symbol(owner=self)
-        self.guard.next = self.guard
-        self.guard.prev = self.guard
-
-    def first(self) -> Symbol:
-        assert self.guard.next is not None
-        return self.guard.next
-
-    def last(self) -> Symbol:
-        assert self.guard.prev is not None
-        return self.guard.prev
-
-    @property
-    def is_empty(self) -> bool:
-        return self.guard.next is self.guard
-
-    def symbols(self) -> Iterator[Symbol]:
-        """Iterate the body symbols left to right (excluding the guard)."""
-        node = self.guard.next
-        while node is not self.guard:
-            assert node is not None
-            yield node
-            node = node.next
+        #: slot index of this rule's guard node in the engine's arrays
+        self.guard = guard
+        self.eng = eng
 
     def rhs(self) -> list[Union[int, "Rule"]]:
         """Body as a list of terminals and Rule references."""
-        return [sym.value() for sym in self.symbols()]
+        eng = self.eng
+        nxt = eng._nxt
+        key = eng._key
+        rules = eng.rules
+        out: list[Union[int, Rule]] = []
+        g = self.guard
+        s = nxt[g]
+        while s != g:
+            k = key[s]
+            out.append(k if k >= 0 else rules[-1 - k])
+            s = nxt[s]
+        return out
 
     def rhs_length(self) -> int:
         """Number of symbols on the right-hand side."""
-        return sum(1 for _ in self.symbols())
+        eng = self.eng
+        nxt = eng._nxt
+        g = self.guard
+        n = 0
+        s = nxt[g]
+        while s != g:
+            n += 1
+            s = nxt[s]
+        return n
+
+    def __reduce__(self):  # pragma: no cover - defensive
+        # A handle is meaningless without its engine's arrays; grammars are
+        # serialized as a whole (:meth:`Sequitur.__getstate__`).
+        raise TypeError("Rule is not picklable on its own; pickle the Sequitur")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Rule(R{self.id}, refs={self.refcount})"

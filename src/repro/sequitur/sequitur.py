@@ -9,295 +9,600 @@ whose language is exactly the input string, by enforcing two invariants:
   twice; an under-used rule is inlined and deleted.
 
 Terminals are non-negative integers (the profiling layer interns data
-references ``(pc, addr)`` to such ids).  The implementation follows the
-reference algorithm's structure: ``join`` maintains the digram index across
-relinks (including the overlapping-triple case, e.g. ``aaa``), ``check``
-enforces digram uniqueness, ``match``/``substitute`` introduce rules, and
-``expand`` enforces rule utility.
+references ``(pc, addr)`` to such ids).
+
+**Flat core.**  The grammar is stored in parallel integer arrays rather
+than per-symbol linked objects: ``_nxt``/``_prv`` hold the doubly-linked
+body lists (slot indices), ``_key`` holds each slot's digram key (terminal
+``t`` as ``t``, rule ``r`` as ``-1 - r``, guards as ``None``), ``_own``
+holds the owning rule id, and ``_free`` recycles slots.  The digram index
+maps a packed 64-bit key (two 32-bit-masked digram keys) to the left slot
+of the indexed occurrence.  :meth:`extend_batch` consumes a whole batch of
+tokens in one call frame, inlining the no-repetition fast path; the rare
+repair paths (``_match``/``_substitute``/``_expand``) transliterate the
+reference algorithm exactly — same rule-creation order, same digram-index
+insertion/deletion sequence — so the produced grammar, including the
+``rules`` and ``_digrams`` dict insertion orders that downstream analysis
+iterates, is bit-identical to the linked-object implementation retained in
+:mod:`repro.oracle.refsequitur` as the differential reference.
+
+The engine additionally tracks the set of rules whose bodies changed since
+the last :meth:`take_dirty` call, which drives the incremental hot-stream
+analysis (:class:`repro.analysis.hotstreams.HotStreamAnalyzer`).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.errors import AnalysisError
-from repro.sequitur.grammar import Rule, Symbol
+from repro.sequitur.grammar import Rule
+
+#: 32-bit mask for one half of a packed digram key.  Terminals are bounded
+#: by :data:`MAX_TERMINAL` and rule ids by the trace length, so both digram
+#: keys round-trip through ``key & _M`` injectively.
+_M = 0xFFFFFFFF
+#: Exclusive terminal bound (2^31).  Interned reference ids are dense and
+#: never approach it; the explicit check turns a silent packing collision
+#: into a typed error.
+MAX_TERMINAL = 0x80000000
+
+
+def _unpack(packed: int) -> tuple[int, int]:
+    """Inverse of the ``((a & _M) << 32) | (b & _M)`` digram packing."""
+    a = packed >> 32
+    b = packed & _M
+    if a >= MAX_TERMINAL:
+        a -= _M + 1
+    if b >= MAX_TERMINAL:
+        b -= _M + 1
+    return (a, b)
 
 
 class Sequitur:
     """Online grammar inference over a stream of integer tokens."""
 
     def __init__(self) -> None:
+        self._nxt: list[int] = []
+        self._prv: list[int] = []
+        self._key: list[Optional[int]] = []
+        self._own: list[int] = []
+        self._free: list[int] = []
         self._next_rule_id = 0
+        #: digram packed-key -> leftmost slot of the indexed digram
+        self._digrams: dict[int, int] = {}
+        #: rule ids whose bodies changed since the last take_dirty()
+        self._dirty: set[int] = set()
         self.start = self._new_rule()
         #: live rules by id (includes the start rule)
         self.rules: dict[int, Rule] = {self.start.id: self.start}
-        #: digram key-pair -> leftmost symbol of the indexed digram
-        self._digrams: dict[tuple[int, int], Symbol] = {}
         self.length = 0
+        # Every rule enters the dirty stream at birth (and at death); the
+        # incremental analyzer relies on never having to scan for changes.
+        self._dirty.add(self.start.id)
 
     # ------------------------------------------------------------- plumbing
 
+    def _alloc(self, key: Optional[int], owner: int) -> int:
+        """Allocate a slot (recycling the free list); links start unset."""
+        free = self._free
+        if free:
+            s = free.pop()
+            self._key[s] = key
+            self._own[s] = owner
+            return s
+        s = len(self._nxt)
+        self._nxt.append(-1)
+        self._prv.append(-1)
+        self._key.append(key)
+        self._own.append(owner)
+        return s
+
     def _new_rule(self) -> Rule:
-        rule = Rule(self._next_rule_id)
+        rule_id = self._next_rule_id
         self._next_rule_id += 1
-        return rule
+        g = self._alloc(None, rule_id)
+        self._nxt[g] = g
+        self._prv[g] = g
+        return Rule(rule_id, g, self)
 
-    def _digram_key(self, sym: Symbol) -> tuple[int, int]:
-        assert sym.next is not None
-        return (sym.key, sym.next.key)
-
-    def _index(self, sym: Symbol) -> None:
-        """Record the digram starting at ``sym`` in the index."""
-        if sym.is_guard or sym.next is None or sym.next.is_guard:
+    def _index(self, s: int) -> None:
+        """Record the digram starting at slot ``s`` in the index."""
+        k = self._key[s]
+        ns = self._nxt[s]
+        if k is None or ns == -1:
             return
-        self._digrams[self._digram_key(sym)] = sym
-
-    def _unindex(self, sym: Symbol) -> None:
-        """Remove the digram starting at ``sym`` iff the index points at it."""
-        if sym.is_guard or sym.next is None or sym.next.is_guard:
+        nk = self._key[ns]
+        if nk is None:
             return
-        key = self._digram_key(sym)
-        if self._digrams.get(key) is sym:
-            del self._digrams[key]
+        self._digrams[((k & _M) << 32) | (nk & _M)] = s
 
-    def _join(self, left: Symbol, right: Symbol) -> None:
-        """Link ``left`` -> ``right``, maintaining the digram index."""
-        if left.next is not None:
-            self._unindex(left)
+    def _unindex(self, s: int) -> None:
+        """Remove the digram starting at ``s`` iff the index points at it."""
+        k = self._key[s]
+        ns = self._nxt[s]
+        if k is None or ns == -1:
+            return
+        nk = self._key[ns]
+        if nk is None:
+            return
+        packed = ((k & _M) << 32) | (nk & _M)
+        if self._digrams.get(packed) == s:
+            del self._digrams[packed]
+
+    def _join(self, left: int, right: int) -> None:
+        """Link ``left`` -> ``right``, maintaining the digram index.
+
+        The ``_unindex``/``_index`` helpers are inlined here (hottest call
+        site in the engine); the guard conditions collapse because the
+        repair branches already establish every precondition.
+        """
+        nxt = self._nxt
+        prv = self._prv
+        key = self._key
+        if nxt[left] != -1:
+            digrams = self._digrams
+            # Inline _unindex(left).
+            lk = key[left]
+            ln = nxt[left]
+            if lk is not None and ln != -1:
+                nk = key[ln]
+                if nk is not None:
+                    packed = ((lk & _M) << 32) | (nk & _M)
+                    if digrams.get(packed) == left:
+                        del digrams[packed]
             # Overlapping-triple repair (e.g. "aaa"): unindexing (left, old
             # next) may have removed an entry that a neighbouring equal-value
-            # digram should now own.
-            rp, rn = right.prev, right.next
-            if (
-                rp is not None
-                and rn is not None
-                and not right.is_guard
-                and not rp.is_guard
-                and not rn.is_guard
-                and rp.key == right.key == rn.key
-            ):
-                self._index(right)
-            lp, ln = left.prev, left.next
-            if (
-                lp is not None
-                and ln is not None
-                and not left.is_guard
-                and not lp.is_guard
-                and not ln.is_guard
-                and lp.key == left.key == ln.key
-            ):
-                self._index(lp)
-        left.next = right
-        right.prev = left
+            # digram should now own.  ``_index`` inlines to a plain store:
+            # the repair condition guarantees both digram halves are equal
+            # non-guard keys.
+            rp, rn = prv[right], nxt[right]
+            if rp != -1 and rn != -1:
+                rk = key[right]
+                if rk is not None and key[rp] == rk and key[rn] == rk:
+                    digrams[((rk & _M) << 32) | (rk & _M)] = right
+            lp = prv[left]
+            if lp != -1 and ln != -1 and lk is not None and key[lp] == lk and key[ln] == lk:
+                digrams[((lk & _M) << 32) | (lk & _M)] = lp
+        nxt[left] = right
+        prv[right] = left
 
-    def _insert_after(self, at: Symbol, sym: Symbol) -> None:
-        assert at.next is not None
-        self._join(sym, at.next)
-        self._join(at, sym)
+    def _insert_after(self, at: int, s: int) -> None:
+        # Every call site passes a freshly allocated ``s`` (nxt[s] == -1),
+        # so the first half of the splice — _join(s, nxt[at]) — skips the
+        # digram block and reduces to a raw relink.
+        nxt = self._nxt
+        right = nxt[at]
+        nxt[s] = right
+        self._prv[right] = s
+        self._join(at, s)
 
-    def _delete(self, sym: Symbol) -> None:
-        """Unlink ``sym`` from its rule, updating index and refcounts."""
-        assert sym.prev is not None and sym.next is not None
-        self._join(sym.prev, sym.next)
-        if not sym.is_guard:
-            self._unindex(sym)
-            if sym.rule is not None:
-                sym.rule.refcount -= 1
+    def _delete(self, s: int) -> None:
+        """Unlink slot ``s``, update index and refcounts, recycle the slot.
+
+        Inlines ``_join(prv[s], nxt[s])`` followed by ``_unindex(s)``, in
+        that order, with the guards specialised: ``s`` is always linked, so
+        left's old next is ``s`` itself and the digram block always runs.
+        """
+        nxt = self._nxt
+        prv = self._prv
+        key = self._key
+        digrams = self._digrams
+        left = prv[s]
+        right = nxt[s]
+        k = key[s]
+        # Inline _join(left, right): unindex (left, s) ...
+        lk = key[left]
+        if lk is not None and k is not None:
+            packed = ((lk & _M) << 32) | (k & _M)
+            if digrams.get(packed) == left:
+                del digrams[packed]
+        # ... then the overlapping-triple repairs (ln == s throughout).
+        rp, rn = prv[right], nxt[right]
+        if rp != -1 and rn != -1:
+            rk = key[right]
+            if rk is not None and key[rp] == rk and key[rn] == rk:
+                digrams[((rk & _M) << 32) | (rk & _M)] = right
+        lp = prv[left]
+        if lp != -1 and lk is not None and key[lp] == lk and k == lk:
+            digrams[((lk & _M) << 32) | (lk & _M)] = lp
+        nxt[left] = right
+        prv[right] = left
+        if k is not None:
+            # Inline _unindex(s): the relink above left s's own links
+            # intact, so (key[s], key[nxt[s]]) is still the digram s headed
+            # before the unlink.
+            if right != -1:
+                nk = key[right]
+                if nk is not None:
+                    packed = ((k & _M) << 32) | (nk & _M)
+                    if digrams.get(packed) == s:
+                        del digrams[packed]
+            if k < 0:
+                self.rules[-1 - k].refcount -= 1
+        nxt[s] = -1
+        prv[s] = -1
+        self._free.append(s)
 
     # ------------------------------------------------------ the two invariants
 
-    def _check(self, sym: Symbol) -> bool:
-        """Enforce digram uniqueness for the digram starting at ``sym``.
+    def _check(self, s: int) -> bool:
+        """Enforce digram uniqueness for the digram starting at ``s``.
 
         Returns True when a repetition was found and processed (in which case
-        the neighbourhood of ``sym`` may have been rewritten).
+        the neighbourhood of ``s`` may have been rewritten).
         """
-        if sym.is_guard or sym.next is None or sym.next.is_guard:
+        k = self._key[s]
+        ns = self._nxt[s]
+        if k is None or ns == -1:
             return False
-        key = self._digram_key(sym)
-        match = self._digrams.get(key)
+        nk = self._key[ns]
+        if nk is None:
+            return False
+        packed = ((k & _M) << 32) | (nk & _M)
+        match = self._digrams.get(packed)
         if match is None:
-            self._digrams[key] = sym
+            self._digrams[packed] = s
             return False
-        if match.next is sym:
+        if self._nxt[match] == s:
             # Overlapping occurrence (e.g. the middle of "aaa"): do nothing.
             return True
-        self._match(sym, match)
+        self._match(s, match)
         return True
 
-    def _match(self, new: Symbol, match: Symbol) -> None:
+    def _match(self, new: int, match: int) -> None:
         """Handle a repeated digram: reuse or create a rule."""
-        assert match.prev is not None and match.next is not None
-        assert match.next.next is not None
-        if match.prev.is_guard and match.next.next.is_guard:
+        nxt = self._nxt
+        prv = self._prv
+        key = self._key
+        mp = prv[match]
+        mnn = nxt[nxt[match]]
+        if key[mp] is None and key[mnn] is None:
             # The matching digram is the entire body of an existing rule.
-            rule = match.prev.owner
-            assert rule is not None
+            rule = self.rules[self._own[mp]]
             self._substitute(new, rule)
         else:
             rule = self._new_rule()
             self.rules[rule.id] = rule
-            assert new.next is not None
-            first = Symbol(terminal=new.terminal, rule=new.rule)
-            second = Symbol(terminal=new.next.terminal, rule=new.next.rule)
+            self._dirty.add(rule.id)
+            k1 = key[new]
+            k2 = key[nxt[new]]
+            first = self._alloc(k1, rule.id)
+            if k1 is not None and k1 < 0:
+                self.rules[-1 - k1].refcount += 1
+            second = self._alloc(k2, rule.id)
+            if k2 is not None and k2 < 0:
+                self.rules[-1 - k2].refcount += 1
             self._insert_after(rule.guard, first)
             self._insert_after(first, second)
             self._substitute(match, rule)
             self._substitute(new, rule)
-            self._index(rule.first())
+            self._index(nxt[rule.guard])
         # Rule utility: substitution may have dropped some rule's use count
         # to one; the remaining use can only be inside the (re)used rule.
-        for candidate in (rule.first(), rule.last()):
-            if candidate.rule is not None and candidate.rule.refcount == 1:
+        g = rule.guard
+        for candidate in (nxt[g], prv[g]):
+            ck = key[candidate]
+            if ck is not None and ck < 0 and self.rules[-1 - ck].refcount == 1:
                 self._expand(candidate)
                 break
 
-    def _substitute(self, sym: Symbol, rule: Rule) -> None:
-        """Replace the digram starting at ``sym`` with non-terminal ``rule``."""
-        prev = sym.prev
-        assert prev is not None and prev.next is not None
-        self._delete(prev.next)
-        assert prev.next is not None
-        self._delete(prev.next)
-        self._insert_after(prev, Symbol(rule=rule))
+    def _substitute(self, s: int, rule: Rule) -> None:
+        """Replace the digram starting at ``s`` with non-terminal ``rule``."""
+        nxt = self._nxt
+        prev = self._prv[s]
+        owner = self._own[prev]
+        self._dirty.add(owner)
+        self._delete(nxt[prev])
+        self._delete(nxt[prev])
+        rule.refcount += 1
+        ns = self._alloc(-1 - rule.id, owner)
+        # Inline _insert_after(prev, ns): ns is fresh, raw relink first.
+        right = nxt[prev]
+        nxt[ns] = right
+        self._prv[right] = ns
+        self._join(prev, ns)
         if not self._check(prev):
-            assert prev.next is not None
-            self._check(prev.next)
+            self._check(nxt[prev])
 
-    def _expand(self, sym: Symbol) -> None:
-        """Inline the under-used rule referenced by ``sym`` and delete it."""
-        rule = sym.rule
-        assert rule is not None and rule.refcount == 1
-        left, right = sym.prev, sym.next
-        assert left is not None and right is not None
-        first, last = rule.first(), rule.last()
-        self._unindex(sym)
+    def _expand(self, s: int) -> None:
+        """Inline the under-used rule referenced by slot ``s``, delete it."""
+        nxt = self._nxt
+        prv = self._prv
+        own = self._own
+        rule = self.rules[-1 - self._key[s]]  # type: ignore[operator]
+        target = own[s]
+        self._dirty.add(target)
+        # The dying rule's id goes into the dirty stream too, so incremental
+        # consumers can prune its cached facts without scanning all rules.
+        self._dirty.add(rule.id)
+        left, right = prv[s], nxt[s]
+        g = rule.guard
+        first, last = nxt[g], prv[g]
+        self._unindex(s)
         del self.rules[rule.id]
+        # The spliced body symbols now belong to the surrounding rule.
+        node = first
+        while node != g:
+            own[node] = target
+            node = nxt[node]
         self._join(left, first)
         self._join(last, right)
         self._index(last)
+        nxt[s] = -1
+        prv[s] = -1
+        self._free.append(s)
+        nxt[g] = -1
+        prv[g] = -1
+        self._free.append(g)
 
     # --------------------------------------------------------------- public
 
     def append(self, token: int) -> None:
         """Append one terminal to the inferred string."""
-        if token < 0:
-            raise AnalysisError(f"terminals must be non-negative, got {token}")
-        self.length += 1
-        last = self.start.last()
-        self._insert_after(last, Symbol(terminal=token))
-        if last is not self.start.guard:
-            self._check(last)
+        self.extend_batch((token,))
 
     def extend(self, tokens: Iterable[int]) -> None:
         """Append a sequence of terminals."""
-        for token in tokens:
-            self.append(token)
+        self.extend_batch(tokens)
+
+    def extend_batch(self, tokens: Union[Sequence[int], Iterable[int]]) -> None:
+        """Append a batch of terminals in one call frame.
+
+        Equivalent to per-token :meth:`append` — the batch boundaries are
+        not observable in the resulting grammar (pinned by the partition
+        property tests and the oracle differential) — but the no-repetition
+        fast path runs inline over locally-bound arrays, which is what makes
+        the profiling hot path cheap.  A negative (or over-bound) token
+        raises :class:`AnalysisError` at the exact offending position, with
+        every earlier token already applied.
+        """
+        if not isinstance(tokens, (list, tuple)):
+            tokens = list(tokens)
+        if not tokens:
+            return
+        nxt = self._nxt
+        prv = self._prv
+        key = self._key
+        own = self._own
+        free = self._free
+        digrams = self._digrams
+        dget = digrams.get
+        start = self.start
+        g = start.guard
+        sid = start.id
+        self._dirty.add(sid)
+        length = self.length
+        try:
+            for token in tokens:
+                if token < 0:
+                    raise AnalysisError(f"terminals must be non-negative, got {token}")
+                if token >= MAX_TERMINAL:
+                    raise AnalysisError(
+                        f"terminal {token} exceeds the flat engine's bound {MAX_TERMINAL}"
+                    )
+                length += 1
+                last = prv[g]
+                if free:
+                    s = free.pop()
+                    key[s] = token
+                    own[s] = sid
+                else:
+                    s = len(nxt)
+                    nxt.append(-1)
+                    prv.append(-1)
+                    key.append(token)
+                    own.append(sid)
+                # Link at the end of the start rule.  As in the reference
+                # implementation, appending at a rule's tail touches no
+                # indexed digram (the old tail digram ends at the guard),
+                # so the raw relink is exact.
+                nxt[s] = g
+                prv[g] = s
+                nxt[last] = s
+                prv[s] = last
+                if last != g:
+                    # Inline digram-uniqueness check for (last, token).
+                    lk = key[last]
+                    packed = ((lk & _M) << 32) | token  # type: ignore[operator]
+                    m = dget(packed)
+                    if m is None:
+                        digrams[packed] = last
+                    elif nxt[m] != last:
+                        self._match(last, m)
+                    # else: overlapping occurrence — skip, as _check does.
+        finally:
+            self.length = length
+
+    def take_dirty(self) -> set[int]:
+        """Rule ids whose bodies changed since the last call (then cleared).
+
+        Single-consumer: intended for the one incremental analyzer attached
+        to this grammar (see :class:`repro.analysis.hotstreams.HotStreamAnalyzer`).
+        Ids of since-deleted rules may appear; rule ids are never reused, so
+        consumers simply ignore ids absent from :attr:`rules`.
+        """
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty
 
     def grammar_size(self) -> int:
         """Total number of symbols on all right-hand sides."""
-        return sum(rule.rhs_length() for rule in self.rules.values())
+        nxt = self._nxt
+        total = 0
+        for rule in self.rules.values():
+            g = rule.guard
+            s = nxt[g]
+            while s != g:
+                total += 1
+                s = nxt[s]
+        return total
 
     def expansion_lengths(self) -> dict[int, int]:
-        """Expansion (terminal-string) length of every rule, by rule id."""
+        """Expansion (terminal-string) length of every rule, by rule id.
+
+        Iterative (explicit worklist): deep grammars from long traces must
+        not depend on Python's recursion limit.
+        """
+        nxt = self._nxt
+        key = self._key
+        terms: dict[int, int] = {}
+        kids: dict[int, list[int]] = {}
+        for rule_id, rule in self.rules.items():
+            g = rule.guard
+            t = 0
+            ks: list[int] = []
+            s = nxt[g]
+            while s != g:
+                k = key[s]
+                if k >= 0:  # type: ignore[operator]
+                    t += 1
+                else:
+                    ks.append(-1 - k)  # type: ignore[operator]
+                s = nxt[s]
+            terms[rule_id] = t
+            kids[rule_id] = ks
         lengths: dict[int, int] = {}
-
-        def visit(rule: Rule) -> int:
-            cached = lengths.get(rule.id)
-            if cached is not None:
-                return cached
-            total = 0
-            for value in rule.rhs():
-                total += 1 if isinstance(value, int) else visit(value)
-            lengths[rule.id] = total
-            return total
-
-        for rule in self.rules.values():
-            visit(rule)
+        for rule_id in self.rules:
+            if rule_id in lengths:
+                continue
+            stack: list[tuple[int, bool]] = [(rule_id, False)]
+            while stack:
+                cur, ready = stack.pop()
+                if cur in lengths:
+                    continue
+                if ready:
+                    lengths[cur] = terms[cur] + sum(lengths[c] for c in kids[cur])
+                    continue
+                stack.append((cur, True))
+                for child in kids[cur]:
+                    if child not in lengths:
+                        stack.append((child, False))
         return lengths
 
     def expand(self, rule: Optional[Rule] = None, limit: Optional[int] = None) -> list[int]:
         """Terminal expansion of ``rule`` (default: the whole string).
 
         ``limit`` truncates the expansion (useful when only a prefix of a
-        candidate stream is needed).
+        candidate stream is needed).  Iterative: the continuation stack
+        replaces the recursive walker.
         """
         if rule is None:
             rule = self.start
+        nxt = self._nxt
+        key = self._key
+        rules = self.rules
         out: list[int] = []
-
-        def walk(r: Rule) -> bool:
-            for value in r.rhs():
-                if isinstance(value, int):
-                    out.append(value)
+        g = rule.guard
+        stack: list[tuple[int, int]] = [(nxt[g], g)]
+        while stack:
+            s, term = stack.pop()
+            while s != term:
+                k = key[s]
+                if k >= 0:  # type: ignore[operator]
+                    out.append(k)  # type: ignore[arg-type]
                     if limit is not None and len(out) >= limit:
-                        return False
+                        return out
+                    s = nxt[s]
                 else:
-                    if not walk(value):
-                        return False
-            return True
-
-        walk(rule)
+                    child_guard = rules[-1 - k].guard  # type: ignore[operator]
+                    stack.append((nxt[s], term))
+                    s = nxt[child_guard]
+                    term = child_guard
         return out
 
     def children(self, rule: Rule) -> list[Rule]:
         """Rules appearing on ``rule``'s right-hand side (with repetition)."""
-        return [value for value in rule.rhs() if isinstance(value, Rule)]
+        nxt = self._nxt
+        key = self._key
+        rules = self.rules
+        out: list[Rule] = []
+        g = rule.guard
+        s = nxt[g]
+        while s != g:
+            k = key[s]
+            if k < 0:  # type: ignore[operator]
+                out.append(rules[-1 - k])  # type: ignore[operator]
+            s = nxt[s]
+        return out
 
     # ---------------------------------------------------------- serialization
 
     def __getstate__(self) -> dict:
         """Flatten the grammar for pickling (checkpoints, process pools).
 
-        The rule bodies are circular doubly-linked symbol lists, so default
-        recursive pickling overflows the stack on real traces.  The state is
-        a flat description — per-rule bodies as ``(terminal, rule_id)`` pairs
-        plus the digram index as symbol positions — and both dict insertion
-        orders (``rules``, ``_digrams``) are preserved exactly, because
-        downstream analysis iterates them.
+        The wire format is unchanged from the linked-object implementation —
+        per-rule bodies as ``(terminal, rule_id)`` pairs plus the digram
+        index as symbol positions, both dict insertion orders (``rules``,
+        ``_digrams``) preserved exactly — so checkpoints stay kernel- and
+        engine-representation-agnostic.
         """
-        symbol_index: dict[int, int] = {}
+        nxt = self._nxt
+        key = self._key
+        slot_position: dict[int, int] = {}
         bodies: list[tuple[int, int, list[tuple[Optional[int], Optional[int]]]]] = []
+        position = 0
         for rule in self.rules.values():
             body: list[tuple[Optional[int], Optional[int]]] = []
-            for sym in rule.symbols():
-                symbol_index[id(sym)] = len(symbol_index)
-                body.append((sym.terminal, sym.rule.id if sym.rule is not None else None))
+            g = rule.guard
+            s = nxt[g]
+            while s != g:
+                slot_position[s] = position
+                position += 1
+                k = key[s]
+                body.append((k, None) if k >= 0 else (None, -1 - k))  # type: ignore[operator]
+                s = nxt[s]
             bodies.append((rule.id, rule.refcount, body))
         return {
             "next_rule_id": self._next_rule_id,
             "start_id": self.start.id,
             "length": self.length,
             "rules": bodies,
-            "digrams": [(key, symbol_index[id(sym)]) for key, sym in self._digrams.items()],
+            "digrams": [
+                (_unpack(packed), slot_position[s]) for packed, s in self._digrams.items()
+            ],
         }
 
     def __setstate__(self, state: dict) -> None:
-        """Rebuild the linked structure iteratively (inverse of __getstate__)."""
+        """Rebuild the flat arrays (inverse of __getstate__)."""
+        self._nxt = []
+        self._prv = []
+        self._key = []
+        self._own = []
+        self._free = []
         self._next_rule_id = state["next_rule_id"]
         self.length = state["length"]
-        rules: dict[int, Rule] = {rule_id: Rule(rule_id) for rule_id, _, _ in state["rules"]}
-        flat: list[Symbol] = []
+        rules: dict[int, Rule] = {}
+        for rule_id, _, _ in state["rules"]:
+            g = self._alloc(None, rule_id)
+            self._nxt[g] = g
+            self._prv[g] = g
+            rules[rule_id] = Rule(rule_id, g, self)
+        flat: list[int] = []
+        nxt = self._nxt
+        prv = self._prv
         for rule_id, refcount, body in state["rules"]:
             rule = rules[rule_id]
             rule.refcount = refcount
-            prev = rule.guard
+            g = rule.guard
+            prev = g
             for terminal, ref_id in body:
-                sym = Symbol.__new__(Symbol)
-                sym.terminal = terminal
-                sym.rule = rules[ref_id] if ref_id is not None else None
-                sym.owner = None
-                sym.prev = prev
-                sym.next = None
-                prev.next = sym
-                prev = sym
-                flat.append(sym)
-            prev.next = rule.guard
-            rule.guard.prev = prev
+                s = self._alloc(terminal if ref_id is None else -1 - ref_id, rule_id)
+                prv[s] = prev
+                nxt[prev] = s
+                prev = s
+                flat.append(s)
+            nxt[prev] = g
+            prv[g] = prev
         self.rules = rules
         self.start = rules[state["start_id"]]
-        self._digrams = {key: flat[pos] for key, pos in state["digrams"]}
+        self._digrams = {
+            (((k1 & _M) << 32) | (k2 & _M)): flat[pos]
+            for (k1, k2), pos in state["digrams"]
+        }
+        # Restored grammars start with every rule dirty: analyzer caches are
+        # not serialized, so the first incremental analysis rebuilds them.
+        self._dirty = set(rules)
 
     # ------------------------------------------------------------ inspection
 
@@ -320,28 +625,96 @@ class Sequitur:
         return "\n".join(lines)
 
     def verify_invariants(self) -> None:
-        """Assert digram uniqueness, rule utility and refcount consistency.
+        """Assert grammar and flat-storage invariants.
 
-        Intended for tests; raises :class:`AnalysisError` on violation.
+        Beyond the algorithmic invariants (digram uniqueness, rule utility,
+        refcount consistency) this re-derives the flat core's structural
+        claims: doubly-linked consistency, slot accounting against the free
+        list, ownership labels, and digram-index soundness/completeness.
+        Intended for tests and the fuzz driver; raises
+        :class:`AnalysisError` on violation.
         """
+        nxt = self._nxt
+        prv = self._prv
+        key = self._key
+        own = self._own
+        total_slots = len(nxt)
+        live: set[int] = set()
         seen: dict[tuple[int, int], tuple[int, int]] = {}
+        adjacent: set[int] = set()
         refcounts: dict[int, int] = {rule_id: 0 for rule_id in self.rules}
-        for rule in self.rules.values():
+        for rule_id, rule in self.rules.items():
+            g = rule.guard
+            if key[g] is not None:
+                raise AnalysisError(f"R{rule_id} guard slot {g} has a digram key")
+            if own[g] != rule_id:
+                raise AnalysisError(f"R{rule_id} guard slot {g} owned by R{own[g]}")
+            live.add(g)
             position = 0
-            for sym in rule.symbols():
-                if sym.rule is not None:
-                    if sym.rule.id not in self.rules:
-                        raise AnalysisError(f"R{rule.id} references dead rule R{sym.rule.id}")
-                    refcounts[sym.rule.id] += 1
-                nxt = sym.next
-                assert nxt is not None
-                if not nxt.is_guard:
-                    key = (sym.key, nxt.key)
-                    prior = seen.get(key)
-                    if prior is not None and prior != (rule.id, position - 1):
-                        raise AnalysisError(f"digram {key} occurs twice: {prior} and R{rule.id}")
-                    seen[key] = (rule.id, position)
+            s = nxt[g]
+            steps = 0
+            while s != g:
+                steps += 1
+                if steps > total_slots:
+                    raise AnalysisError(f"R{rule_id} body does not terminate")
+                if s in live:
+                    raise AnalysisError(f"slot {s} appears in two bodies")
+                live.add(s)
+                if nxt[prv[s]] != s or prv[nxt[s]] != s:
+                    raise AnalysisError(f"R{rule_id} slot {s} has inconsistent links")
+                if own[s] != rule_id:
+                    raise AnalysisError(
+                        f"R{rule_id} slot {s} carries owner R{own[s]}"
+                    )
+                k = key[s]
+                if k is None:
+                    raise AnalysisError(f"R{rule_id} body contains guard slot {s}")
+                if k < 0:
+                    child_id = -1 - k
+                    if child_id not in self.rules:
+                        raise AnalysisError(f"R{rule_id} references dead rule R{child_id}")
+                    refcounts[child_id] += 1
+                ns = nxt[s]
+                nk = key[ns]
+                if nk is not None:
+                    digram = (k, nk)
+                    adjacent.add(((k & _M) << 32) | (nk & _M))
+                    prior = seen.get(digram)
+                    if prior is not None and prior != (rule_id, position - 1):
+                        raise AnalysisError(
+                            f"digram {digram} occurs twice: {prior} and R{rule_id}"
+                        )
+                    seen[digram] = (rule_id, position)
                 position += 1
+                s = ns
+        free = set(self._free)
+        if len(free) != len(self._free):
+            raise AnalysisError("free list contains duplicate slots")
+        if free & live:
+            raise AnalysisError(f"slots both live and free: {sorted(free & live)[:8]}")
+        leaked = set(range(total_slots)) - live - free
+        if leaked:
+            raise AnalysisError(f"leaked slots (neither live nor free): {sorted(leaked)[:8]}")
+        for packed, s in self._digrams.items():
+            if s not in live:
+                raise AnalysisError(f"digram index entry {_unpack(packed)} -> freed slot {s}")
+            k = key[s]
+            ns = nxt[s]
+            nk = key[ns]
+            if k is None or nk is None:
+                raise AnalysisError(
+                    f"digram index entry {_unpack(packed)} -> guard-adjacent slot {s}"
+                )
+            if ((k & _M) << 32) | (nk & _M) != packed:
+                raise AnalysisError(
+                    f"digram index entry {_unpack(packed)} points at digram ({k}, {nk})"
+                )
+        missing = adjacent - set(self._digrams)
+        if missing:
+            raise AnalysisError(
+                f"digrams present in bodies but absent from the index: "
+                f"{[_unpack(p) for p in sorted(missing)][:8]}"
+            )
         for rule_id, count in refcounts.items():
             rule = self.rules[rule_id]
             if rule is self.start:

@@ -1,0 +1,132 @@
+"""Flat-vs-linked Sequitur differential over the golden workload grid.
+
+Every reference stream a real simulation feeds the flat engine is replayed
+through the demoted linked reference (:mod:`repro.oracle.refsequitur`) and
+the two grammars are compared field-by-field — rules in insertion order,
+refcounts, bodies, and the digram index's own insertion order.  The streams
+are captured live from the actual runs (both execution kernels), so the
+batched kernel feed, the profiler's flush points and period resets are all
+exercised, not simulated.
+
+The default run covers a two-workload subset of the grid; set
+``REPRO_DIFF_FULL=1`` (the CI analysis job does) for all seven workloads
+x {orig, dyn} x {reference dispatch, fastpath kernel}.
+"""
+
+import os
+
+import pytest
+
+from repro.engine.levels import prepare_workload
+from repro.interp.interpreter import Interpreter
+from repro.machine.config import PAPER_MACHINE
+from repro.oracle.fuzz import grammar_state_diff
+from repro.oracle.golden import GoldenRun, build_golden_workload
+from repro.oracle.refsequitur import RefSequitur
+from repro.profiling.profiler import TemporalProfiler
+from repro.sequitur import Sequitur
+from repro.vulcan.static_edit import instrument_program
+
+FULL_GRID = os.environ.get("REPRO_DIFF_FULL") == "1"
+ALL_WORKLOADS = ("vortex", "twolf", "mcf", "vpr", "parser", "boxsim", "phaseshift")
+WORKLOADS = ALL_WORKLOADS if FULL_GRID else ("vortex", "phaseshift")
+
+
+class TeeProfiler(TemporalProfiler):
+    """A profiler that also keeps the interned token stream per period.
+
+    Both feed disciplines funnel through ``sequitur.extend_batch``, so
+    wrapping that one method captures exactly what the grammar saw, in
+    order, including batch boundaries.
+    """
+
+    def __init__(self) -> None:
+        self.periods: list[list[int]] = []
+        super().__init__()
+        self._start_period()
+
+    def _start_period(self) -> None:
+        self.periods.append([])
+        seen = self.periods[-1]
+        inner = self.sequitur.extend_batch
+
+        def tee_extend(tokens):
+            tokens = list(tokens)
+            seen.extend(tokens)
+            inner(tokens)
+
+        self.sequitur.extend_batch = tee_extend
+
+    def reset(self) -> None:
+        super().reset()
+        self._start_period()
+
+
+def assert_periods_differential(tee: TeeProfiler) -> None:
+    """Replay every captured period through both engines; demand identity."""
+    assert any(tee.periods), "run traced no references; differential is vacuous"
+    for tokens in tee.periods:
+        flat = Sequitur()
+        flat.extend_batch(tokens)
+        ref = RefSequitur()
+        for token in tokens:
+            ref.append(token)
+        delta = grammar_state_diff(flat.__getstate__(), ref.__getstate__())
+        assert delta == "", delta
+        flat.verify_invariants()
+    # The live grammar is exactly the replay of the last period: ties the
+    # captured stream back to the state the optimizer actually analyzed.
+    final = Sequitur()
+    final.extend_batch(tee.periods[-1])
+    delta = grammar_state_diff(tee.sequitur.__getstate__(), final.__getstate__())
+    assert delta == "", delta
+
+
+def run_orig_cell(workload: str, fast: bool) -> TeeProfiler:
+    """Full-trace offline profiling of the instrumented program."""
+    built = build_golden_workload(GoldenRun(workload=workload, level="orig", passes=1))
+    program, _ = instrument_program(built.program)
+    interp = Interpreter(program, built.memory, PAPER_MACHINE)
+    interp.set_counters(1, 1 << 40)
+    tee = TeeProfiler()
+    interp.trace_sink = tee
+    interp.tracing_enabled = True
+    interp.run(built.args, fast=fast)
+    tee.flush()
+    return tee
+
+
+def run_dyn_cell(workload: str, fast: bool) -> TeeProfiler:
+    """The full online pipeline with the optimizer's profiler swapped for a tee."""
+    built = build_golden_workload(GoldenRun(workload=workload, level="dyn", passes=2))
+    prepared = prepare_workload(built, "dyn")
+    optimizer = prepared.interp.check_listener
+    tee = TeeProfiler()
+    optimizer.profiler = tee
+    prepared.interp.trace_sink = tee
+    prepared.interp.run(prepared.args, fast=fast)
+    tee.flush()
+    return tee
+
+
+@pytest.mark.parametrize("fast", [False, True], ids=["refkernel", "fastpath"])
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_orig_grid_cell(workload, fast):
+    assert_periods_differential(run_orig_cell(workload, fast))
+
+
+@pytest.mark.parametrize("fast", [False, True], ids=["refkernel", "fastpath"])
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_dyn_grid_cell(workload, fast):
+    assert_periods_differential(run_dyn_cell(workload, fast))
+
+
+def test_period_reset_boundaries_are_captured():
+    """A mid-run ``reset`` starts a new period and both replays still match."""
+    tee = run_orig_cell("vortex", fast=False)
+    tee.reset()
+    tee.record(7, 1024)
+    tee.record(7, 1088)
+    tee.flush()
+    assert len(tee.periods) == 2 and len(tee.periods[-1]) == 2
+    assert_periods_differential(tee)

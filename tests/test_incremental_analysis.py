@@ -1,0 +1,98 @@
+"""Incremental hot-stream analysis == one-shot Figure 5, epoch after epoch."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.hotstreams import (
+    AnalysisConfig,
+    HotStreamAnalyzer,
+    analyze_grammar,
+    find_hot_streams,
+)
+from repro.sequitur import Sequitur
+
+CONFIGS = (
+    AnalysisConfig(),
+    AnalysisConfig(heat_ratio=0.002, min_length=2, max_length=64, min_unique=3),
+    AnalysisConfig(heat_threshold=4, min_length=2, max_length=8),
+)
+
+
+def assert_same_facts(analyzer: HotStreamAnalyzer, seq: Sequitur) -> None:
+    for config in CONFIGS:
+        assert analyzer.analyze(config) == analyze_grammar(seq, config)
+
+
+@given(
+    epochs=st.lists(
+        st.lists(st.integers(min_value=0, max_value=4), max_size=60),
+        min_size=1,
+        max_size=6,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_incremental_equals_oneshot_after_every_epoch(epochs):
+    seq = Sequitur()
+    analyzer = HotStreamAnalyzer(seq)
+    for tokens in epochs:
+        seq.extend_batch(tokens)
+        assert_same_facts(analyzer, seq)
+
+
+def test_streams_equal_oneshot_on_repetitive_trace():
+    motif = [3, 1, 4, 1, 5, 9, 2, 6]
+    seq = Sequitur()
+    analyzer = HotStreamAnalyzer(seq)
+    for rep in range(12):
+        seq.extend_batch(motif + [50 + rep])
+        for config in CONFIGS:
+            got = analyzer.find_hot_streams(config)
+            want = find_hot_streams(seq, config)
+            assert got == want
+    assert analyzer.find_hot_streams(CONFIGS[1])  # non-vacuous: streams exist
+
+
+def test_second_analyze_walks_no_rule_bodies(monkeypatch):
+    """With no grammar change between epochs, no rule body is re-walked."""
+    seq = Sequitur()
+    analyzer = HotStreamAnalyzer(seq)
+    seq.extend_batch([3, 1, 4, 1, 5, 9, 2, 6] * 8)
+    analyzer.analyze(CONFIGS[0])
+
+    walks = []
+    real_walk = HotStreamAnalyzer._walk_body
+    monkeypatch.setattr(
+        HotStreamAnalyzer,
+        "_walk_body",
+        lambda self, rule_id: walks.append(rule_id) or real_walk(self, rule_id),
+    )
+    assert analyzer.analyze(CONFIGS[0]) == analyze_grammar(seq, CONFIGS[0])
+    assert walks == []
+
+    # A small append dirties a bounded set of rules, not the whole grammar.
+    seq.append(7)
+    analyzer.analyze(CONFIGS[0])
+    assert 0 < len(set(walks)) < len(seq.rules)
+
+
+def test_analyzer_on_restored_checkpoint_matches_oneshot():
+    seq = Sequitur()
+    seq.extend_batch([3, 1, 4, 1, 5, 9, 2, 6] * 6)
+    clone = Sequitur.__new__(Sequitur)
+    clone.__setstate__(seq.__getstate__())
+    analyzer = HotStreamAnalyzer(clone)
+    assert_same_facts(analyzer, clone)
+    clone.extend_batch([3, 1, 4, 1])
+    assert_same_facts(analyzer, clone)
+
+
+def test_rule_deletion_is_tracked():
+    """Epochs that delete rules (utility rule) keep the caches consistent."""
+    seq = Sequitur()
+    analyzer = HotStreamAnalyzer(seq)
+    # abab -> rule; then abcabcabc restructures and retires intermediates.
+    for tokens in ([0, 1, 0, 1], [2, 0, 1, 2], [0, 1, 2, 0, 1, 2], [0, 1, 2]):
+        seq.extend_batch(tokens)
+        assert_same_facts(analyzer, seq)
+        assert set(analyzer._lengths) == set(seq.rules)
+        assert set(analyzer._children) == set(seq.rules)

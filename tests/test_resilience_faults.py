@@ -149,10 +149,10 @@ class TestErrorContainment:
         failures — the workload still runs to completion, unoptimized.
         """
 
-        def broken(sequitur, config):
+        def broken(profiler, config):
             raise AnalysisError("synthetic analysis corruption")
 
-        monkeypatch.setattr("repro.core.optimizer.find_hot_streams", broken)
+        monkeypatch.setattr("repro.profiling.profiler.TemporalProfiler.hot_streams", broken)
         # Short phases so the run fits several failing optimize attempts.
         opt = replace(small_opt, max_optimizer_errors=2, n_awake=4, n_hibernate=8)
         session = TelemetrySession.recording()

@@ -1,0 +1,105 @@
+"""Property tests: batched feeding is byte-identical to per-token feeding.
+
+``extend_batch`` is the flat core's one-call-frame-per-batch entry point;
+these tests pin that for *any* token sequence and *any* partition of it
+into batches, the resulting grammar — rules, refcounts, digram index
+insertion order, the full serialized state — equals the grammar built by
+per-token ``append``, and equals the demoted linked reference engine.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.oracle.fuzz import grammar_state_diff
+from repro.oracle.refsequitur import RefSequitur
+from repro.sequitur import MAX_TERMINAL, Sequitur
+
+tokens_strategy = st.lists(st.integers(min_value=0, max_value=5), max_size=120)
+
+
+def partition(tokens: list[int], cuts: list[int]) -> list[list[int]]:
+    """Split ``tokens`` at the (possibly duplicated, unsorted) cut offsets."""
+    bounds = sorted({min(c, len(tokens)) for c in cuts} | {0, len(tokens)})
+    return [tokens[a:b] for a, b in zip(bounds, bounds[1:])]
+
+
+@given(
+    tokens=tokens_strategy,
+    cuts=st.lists(st.integers(min_value=0, max_value=120), max_size=8),
+)
+@settings(max_examples=200, deadline=None)
+def test_any_partition_matches_per_token_append(tokens, cuts):
+    batched = Sequitur()
+    for batch in partition(tokens, cuts):
+        batched.extend_batch(batch)
+    single = Sequitur()
+    for token in tokens:
+        single.append(token)
+    assert grammar_state_diff(batched.__getstate__(), single.__getstate__()) == ""
+    batched.verify_invariants()
+
+
+@given(tokens=tokens_strategy)
+@settings(max_examples=200, deadline=None)
+def test_one_batch_matches_linked_reference(tokens):
+    flat = Sequitur()
+    flat.extend_batch(tokens)
+    ref = RefSequitur()
+    for token in tokens:
+        ref.append(token)
+    assert grammar_state_diff(flat.__getstate__(), ref.__getstate__()) == ""
+
+
+@given(
+    prefix=st.lists(st.integers(min_value=0, max_value=4), max_size=40),
+    suffix=st.lists(st.integers(min_value=0, max_value=4), max_size=10),
+    bad=st.integers(min_value=-(2**40), max_value=-1),
+)
+@settings(max_examples=100, deadline=None)
+def test_negative_token_raises_at_exact_position(prefix, suffix, bad):
+    seq = Sequitur()
+    with pytest.raises(AnalysisError, match=f"got {bad}"):
+        seq.extend_batch(prefix + [bad] + suffix)
+    # Everything before the offending token is applied; nothing after is.
+    want = Sequitur()
+    want.extend_batch(prefix)
+    assert seq.length == len(prefix)
+    assert grammar_state_diff(seq.__getstate__(), want.__getstate__()) == ""
+    seq.verify_invariants()
+
+
+def test_overflow_token_raises_and_preserves_prefix():
+    seq = Sequitur()
+    with pytest.raises(AnalysisError, match="terminal"):
+        seq.extend_batch([1, 2, 1, 2, MAX_TERMINAL, 7])
+    want = Sequitur()
+    want.extend_batch([1, 2, 1, 2])
+    assert grammar_state_diff(seq.__getstate__(), want.__getstate__()) == ""
+
+
+def test_max_terminal_minus_one_is_accepted():
+    seq = Sequitur()
+    big = MAX_TERMINAL - 1
+    seq.extend_batch([big, 0, big, 0, big, 0])
+    assert seq.expand() == [big, 0, big, 0, big, 0]
+    seq.verify_invariants()
+
+
+@given(tokens=tokens_strategy)
+@settings(max_examples=100, deadline=None)
+def test_serialize_roundtrip_preserves_batched_state(tokens):
+    seq = Sequitur()
+    seq.extend_batch(tokens)
+    clone = Sequitur.__new__(Sequitur)
+    clone.__setstate__(seq.__getstate__())
+    assert grammar_state_diff(clone.__getstate__(), seq.__getstate__()) == ""
+    clone.verify_invariants()
+    assert clone.expand() == tokens
+
+    # The restored grammar keeps growing identically to the original.
+    more = [t + 1 for t in tokens[:17]]
+    seq.extend_batch(more)
+    clone.extend_batch(more)
+    assert grammar_state_diff(clone.__getstate__(), seq.__getstate__()) == ""

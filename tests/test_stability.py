@@ -125,6 +125,10 @@ class TestCrossInputStability:
         def capture(now=0):
             from repro.analysis.hotstreams import find_hot_streams
 
+            # The batched feed holds references in the profiler's buffer
+            # until _optimize flushes them; drain it before peeking at the
+            # grammar (flush is idempotent, _optimize's own flush is a no-op).
+            optimizer.profiler.flush()
             captured.setdefault(
                 "streams",
                 find_hot_streams(optimizer.profiler.sequitur, small_opt.analysis),
